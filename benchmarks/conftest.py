@@ -1,0 +1,144 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md §4). Conventions:
+
+* All runs are **self joins** (the paper's setting, §VI-A) at scaled-down
+  cardinalities: the per-dataset base scales below are chosen so the whole
+  suite finishes in minutes of pure Python. ``REPRO_BENCH_SCALE`` multiplies
+  every cardinality (e.g. ``REPRO_BENCH_SCALE=2 pytest benchmarks/``) for
+  longer, higher-fidelity runs.
+* Each test uses ``benchmark.pedantic(..., rounds=1)`` — one measured run
+  per cell, like the paper's elapsed-time methodology.
+* Besides wall-clock, every cell records this reproduction's
+  hardware-independent cost counters; shape assertions are made on those
+  (wall-clock ratios in pure Python compress; see DESIGN.md §5).
+* Every measurement is appended to a session-global log which is written to
+  ``benchmarks/results/latest.txt`` at the end of the run — the source for
+  EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.bench.report import format_measurements, format_series
+from repro.bench.runner import JoinMeasurement, run_experiment
+from repro.data.collection import SetCollection
+from repro.data.realworld import generate_real_world
+from repro.data.synthetic import generate_zipf
+
+#: Base cardinality scales per real-world surrogate (fraction of Table II).
+BASE_SCALES = {
+    "flickr": 0.002,
+    "aol": 0.0008,
+    "orkut": 0.0008,
+    "twitter": 0.0004,
+}
+
+#: The paper's cardinality sweep (Figs 7-9): fractions of each dataset.
+CARDINALITY_FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+REAL_DATASETS = tuple(BASE_SCALES)
+
+
+def bench_scale() -> float:
+    """Global cardinality multiplier from the environment."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+_dataset_cache: Dict[Tuple, SetCollection] = {}
+
+
+def real_dataset(name: str, fraction: float = 1.0) -> SetCollection:
+    """A real-world surrogate at ``fraction`` of its base benchmark scale."""
+    key = ("real", name, fraction)
+    if key not in _dataset_cache:
+        full_key = ("real", name, 1.0)
+        if full_key not in _dataset_cache:
+            _dataset_cache[full_key] = generate_real_world(
+                name, scale=BASE_SCALES[name] * bench_scale()
+            )
+        full = _dataset_cache[full_key]
+        _dataset_cache[key] = (
+            full if fraction == 1.0 else full.sample(fraction, seed=0)
+        )
+    return _dataset_cache[key]
+
+
+def synthetic_dataset(**kwargs) -> SetCollection:
+    """A cached synthetic Zipf dataset (cardinality already scaled)."""
+    key = ("zipf",) + tuple(sorted(kwargs.items()))
+    if key not in _dataset_cache:
+        kwargs = dict(kwargs)
+        kwargs["cardinality"] = max(1, int(kwargs["cardinality"] * bench_scale()))
+        _dataset_cache[key] = generate_zipf(**kwargs)
+    return _dataset_cache[key]
+
+
+# --------------------------------------------------------------------------
+# Session-global measurement log -> benchmarks/results/latest.txt
+# --------------------------------------------------------------------------
+
+_measurement_log: List[Tuple[str, JoinMeasurement]] = []
+
+
+def record(figure: str, measurement: JoinMeasurement) -> JoinMeasurement:
+    _measurement_log.append((figure, measurement))
+    return measurement
+
+
+def measured_run(
+    figure: str,
+    benchmark,
+    method: str,
+    data: SetCollection,
+    workload: str,
+    measure_memory: bool = False,
+    **kwargs,
+) -> JoinMeasurement:
+    """One benchmark cell: run once under pytest-benchmark, log the result."""
+    holder: List[JoinMeasurement] = []
+
+    def job():
+        holder.append(
+            run_experiment(
+                method, data, workload=workload,
+                measure_memory=measure_memory, **kwargs,
+            )
+        )
+
+    benchmark.pedantic(job, rounds=1, iterations=1)
+    return record(figure, holder[-1])
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write every recorded measurement grouped by figure."""
+    if not _measurement_log:
+        return
+    out_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(out_dir, exist_ok=True)
+    figures: Dict[str, List[JoinMeasurement]] = {}
+    for figure, m in _measurement_log:
+        figures.setdefault(figure, []).append(m)
+    path = os.path.join(out_dir, "latest.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# benchmark scale multiplier: {bench_scale()}\n\n")
+        for figure in sorted(figures):
+            ms = figures[figure]
+            handle.write(f"== {figure} ==\n")
+            handle.write(format_measurements(ms))
+            handle.write("\n\nelapsed seconds by workload:\n")
+            handle.write(format_series(ms, value="elapsed_seconds"))
+            handle.write("\n\nabstract cost by workload:\n")
+            handle.write(format_series(ms, value="abstract_cost"))
+            handle.write("\n\n")
+    print(f"\n[benchmarks] wrote {len(_measurement_log)} measurements to {path}")
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()

@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Run the full experiment sweep and print paper-style tables.
+
+This is the standalone harness behind EXPERIMENTS.md: it regenerates every
+figure's data without pytest, prints one pivoted table per figure (rows =
+methods, columns = the figure's x-axis, exactly the series the paper
+plots), and writes everything to ``benchmarks/results/experiments.txt``.
+
+Usage::
+
+    python benchmarks/run_experiments.py            # full sweep (~10 min)
+    python benchmarks/run_experiments.py fig9       # selected figures
+    python benchmarks/run_experiments.py --plots    # + ASCII charts
+    REPRO_BENCH_SCALE=0.5 python benchmarks/run_experiments.py  # faster
+
+The pytest benchmark suite (``pytest benchmarks/ --benchmark-only``) runs
+the same cells with shape assertions; this script is for generating the
+complete report in one go.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, List
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import (  # noqa: E402  (path bootstrap above)
+    BASE_SCALES,
+    CARDINALITY_FRACTIONS,
+    REAL_DATASETS,
+    real_dataset,
+    synthetic_dataset,
+)
+
+from repro.bench.report import format_series, speedup_summary  # noqa: E402
+from repro.bench.runner import JoinMeasurement, run_experiment  # noqa: E402
+
+TREE_METHODS = ("framework", "framework_et", "tree", "tree_et")
+PARTITION_METHODS = ("tree_et", "all_partition", "lcjoin")
+EXISTING_METHODS = ("lcjoin", "pretti", "limit", "ttjoin")
+SYN_DEFAULTS = dict(avg_set_size=8, num_elements=1_000, z=0.5, seed=42)
+
+
+def _sweep_real(figure: str, methods, **kwargs) -> List[JoinMeasurement]:
+    out = []
+    for dataset in REAL_DATASETS:
+        for fraction in CARDINALITY_FRACTIONS:
+            data = real_dataset(dataset, fraction)
+            label = f"{dataset}@{int(fraction * 100)}%"
+            for method in methods:
+                out.append(run_experiment(method, data, workload=label, **kwargs))
+                print(f"  [{figure}] {label} {method}: "
+                      f"{out[-1].elapsed_seconds:.2f}s")
+    return out
+
+
+def fig7() -> List[JoinMeasurement]:
+    print("Fig 7: tree-based methods vs the framework")
+    return _sweep_real("fig7", TREE_METHODS)
+
+
+def fig8() -> List[JoinMeasurement]:
+    print("Fig 8: data partition methods")
+    return _sweep_real("fig8", PARTITION_METHODS)
+
+
+def fig9() -> List[JoinMeasurement]:
+    print("Fig 9: LCJoin vs existing methods (real-world)")
+    return _sweep_real("fig9", EXISTING_METHODS)
+
+
+def fig10() -> List[JoinMeasurement]:
+    print("Fig 10: peak memory (tracemalloc)")
+    out = []
+    for dataset in REAL_DATASETS:
+        data = real_dataset(dataset, 0.5)
+        for method in EXISTING_METHODS:
+            m = run_experiment(method, data, workload=dataset,
+                               measure_memory=True)
+            out.append(m)
+            print(f"  [fig10] {dataset} {method}: "
+                  f"{m.peak_memory_bytes / 1e6:.1f} MB")
+    return out
+
+
+def _sweep_synthetic(figure, axis_name, axis_values, make_params):
+    out = []
+    for value in axis_values:
+        params = make_params(value)
+        data = synthetic_dataset(**params)
+        label = f"{axis_name}={value}"
+        for method in EXISTING_METHODS:
+            out.append(run_experiment(method, data, workload=label))
+            print(f"  [{figure}] {label} {method}: "
+                  f"{out[-1].elapsed_seconds:.2f}s")
+    return out
+
+
+def fig11a():
+    print("Fig 11a: varying cardinality")
+    return _sweep_synthetic(
+        "fig11a", "n", (2_500, 5_000, 10_000, 20_000),
+        lambda n: dict(SYN_DEFAULTS, cardinality=n),
+    )
+
+
+def fig11b():
+    print("Fig 11b: varying average set size")
+    return _sweep_synthetic(
+        "fig11b", "avg", (4, 8, 16, 32, 64, 128),
+        lambda a: dict(SYN_DEFAULTS, cardinality=2_500, avg_set_size=a),
+    )
+
+
+def fig11c():
+    print("Fig 11c: varying distinct elements")
+    return _sweep_synthetic(
+        "fig11c", "U", (10, 100, 1_000, 10_000),
+        lambda u: dict(SYN_DEFAULTS, cardinality=1_000, num_elements=u),
+    )
+
+
+def fig11d():
+    print("Fig 11d: varying z-value")
+    return _sweep_synthetic(
+        "fig11d", "z", (0.25, 0.5, 0.75, 1.0),
+        lambda z: dict(SYN_DEFAULTS, cardinality=5_000, z=z),
+    )
+
+
+FIGURES = {
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11a": fig11a,
+    "fig11b": fig11b,
+    "fig11c": fig11c,
+    "fig11d": fig11d,
+}
+
+
+def main(argv: List[str]) -> int:
+    plots = "--plots" in argv
+    argv = [a for a in argv if a != "--plots"]
+    wanted = argv or list(FIGURES)
+    unknown = [w for w in wanted if w not in FIGURES]
+    if unknown:
+        print(f"unknown figures: {unknown}; choose from {sorted(FIGURES)}")
+        return 1
+    sections: Dict[str, List[JoinMeasurement]] = {}
+    for name in wanted:
+        sections[name] = FIGURES[name]()
+    out_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "experiments.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        for name, measurements in sections.items():
+            for title, value in (
+                ("elapsed seconds", "elapsed_seconds"),
+                ("abstract cost (probes + entries + build)", "abstract_cost"),
+                ("peak memory bytes", "peak_memory_bytes"),
+            ):
+                if value == "peak_memory_bytes" and name != "fig10":
+                    continue
+                block = format_series(measurements, value=value)
+                header = f"== {name} — {title} =="
+                print(f"\n{header}\n{block}")
+                handle.write(f"{header}\n{block}\n\n")
+            if name in ("fig9", "fig11a", "fig11b", "fig11c", "fig11d"):
+                summary = speedup_summary(measurements)
+                handle.write(f"-- speedups vs lcjoin --\n{summary}\n\n")
+            if plots:
+                from repro.bench.plotting import chart_measurements
+
+                chart = chart_measurements(
+                    measurements, value="abstract_cost",
+                    title=f"{name}: abstract cost (log scale)",
+                )
+                print(f"\n{chart}")
+                handle.write(chart + "\n\n")
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,73 @@
+"""Extra experiment — the remaining intersection-oriented competitors.
+
+The paper's Fig 9 compares against PRETTI, LIMIT+ and TT-Join; the related
+work (§VII) also surveys BNL (the original rip-cutting join) and PIEJoin
+(interval lists over the S prefix tree). This bench runs both against
+LCJoin on a real-world surrogate so the whole lineage is measured in one
+place:
+
+* BNL pays the full rip-cutting scan (no tree sharing at all) — the worst
+  entries-touched count of any intersection method;
+* PIEJoin's tree-interval index is much smaller than the token-level
+  inverted index, its §VII selling point, which we assert;
+* LCJoin still probes least.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.piejoin import PieIndex
+from repro.core.order import build_order
+from repro.index.inverted import InvertedIndex
+
+from conftest import measured_run, real_dataset
+
+METHODS = ("lcjoin", "bnl", "piejoin", "pretti")
+
+_results = {}
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_baseline_cell(benchmark, method):
+    data = real_dataset("aol", 0.5)
+    m = measured_run("extra_baselines", benchmark, method, data, workload="aol@50%")
+    _results[method] = m
+    assert m.results > 0
+
+
+def test_all_methods_agree(benchmark):
+    for m in METHODS:
+        if m not in _results:
+            pytest.skip("cells did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len({_results[m].results for m in METHODS}) == 1
+
+
+def test_bnl_touches_most_entries(benchmark):
+    for m in METHODS:
+        if m not in _results:
+            pytest.skip("cells did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print("\nentries touched:",
+          {m: _results[m].entries_touched for m in METHODS})
+    # No prefix sharing: BNL re-scans shared prefixes per set.
+    assert _results["bnl"].entries_touched > _results["pretti"].entries_touched
+    assert _results["lcjoin"].binary_searches < _results["bnl"].entries_touched
+
+
+def test_piejoin_index_is_smaller(benchmark):
+    """§VII: PIEJoin "uses a tree structure to reduce the size of the
+    inverted index on S" — one entry per tree node vs one per token."""
+    data = real_dataset("aol", 0.5)
+
+    def build_both():
+        inverted = InvertedIndex.build(data)
+        pie = PieIndex(data, build_order(data, kind="freq_asc"))
+        return inverted, pie
+
+    inverted, pie = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    interval_entries = sum(len(v) for v in pie.starts.values())
+    print(f"\ninverted postings: {inverted.size_in_entries()}, "
+          f"pie intervals: {interval_entries}")
+    assert interval_entries < inverted.size_in_entries()

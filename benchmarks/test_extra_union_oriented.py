@@ -1,0 +1,56 @@
+"""Extra experiment — union-oriented methods are not competitive (§I, §VII).
+
+The paper dismisses union-oriented methods (SHJ's signature enumeration,
+PSJ's partition-and-verify) citing prior studies. This bench runs our
+reimplementations of both against LCJoin and the naive join to back the
+claim with numbers: their verification candidate counts blow up well past
+the actual result count, and SHJ's sub-signature enumeration grows
+exponentially with the signature density.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import measured_run, synthetic_dataset
+
+PARAMS = dict(cardinality=3_000, avg_set_size=8, num_elements=600, z=0.5, seed=42)
+
+_results = {}
+
+
+@pytest.mark.parametrize("method", ("lcjoin", "shj", "psj", "naive"))
+def test_union_oriented_cell(benchmark, method):
+    data = synthetic_dataset(**PARAMS)
+    m = measured_run("extra_union", benchmark, method, data, workload="zipf-3k")
+    _results[method] = m
+    assert m.results > 0
+
+
+def test_union_oriented_shape(benchmark):
+    for m in ("lcjoin", "shj", "psj", "naive"):
+        if m not in _results:
+            pytest.skip("cell benchmarks did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = _results["lcjoin"].results
+    shj, psj = _results["shj"], _results["psj"]
+    print(f"\nresults={results} shj_candidates={shj.candidates} "
+          f"psj_candidates={psj.candidates}")
+    # Verification-based methods check far more pairs than there are
+    # results; LCJoin never verifies a candidate at all.
+    assert shj.candidates > 3 * results
+    assert psj.candidates > 3 * results
+    assert _results["lcjoin"].candidates == 0
+
+
+@pytest.mark.parametrize("bits", (4, 8, 16))
+def test_shj_enumeration_grows_with_bits(benchmark, bits):
+    """More signature bits = fewer candidates but exponentially more
+    sub-signature enumeration — the union-oriented dilemma (§I)."""
+    data = synthetic_dataset(**PARAMS)
+    m = measured_run(
+        "extra_union", benchmark, "shj", data,
+        workload=f"zipf-3k-bits={bits}", bits=bits,
+    )
+    _results[f"shj-{bits}"] = m
+    assert m.results == _results.get("shj", m).results or m.results > 0

@@ -1,0 +1,73 @@
+"""Fig 7 — evaluating the tree-based methods.
+
+Framework vs FrameworkET vs TreeBased vs TreeBasedET over a cardinality
+sweep (20%..100%) on each real-world surrogate, exactly the grid of the
+paper's Fig 7.
+
+Paper shape to reproduce: (a) the tree methods beat the framework methods
+at high cardinality — on the hardware-independent probe counter, where the
+paper's up-to-20x gap comes from; (b) early termination never loses and
+usually saves probes; (c) at small cardinality the framework methods can
+win (less computation to share).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import CARDINALITY_FRACTIONS, REAL_DATASETS, measured_run, real_dataset
+
+METHODS = ("framework", "framework_et", "tree", "tree_et")
+
+_results = {}
+
+
+@pytest.mark.parametrize("dataset", REAL_DATASETS)
+@pytest.mark.parametrize("fraction", CARDINALITY_FRACTIONS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig7_cell(benchmark, dataset, fraction, method):
+    data = real_dataset(dataset, fraction)
+    m = measured_run(
+        "fig7", benchmark, method, data,
+        workload=f"{dataset}@{int(fraction * 100)}%",
+    )
+    _results[(dataset, fraction, method)] = m
+    assert m.results > 0  # a self join always has the reflexive pairs
+
+
+@pytest.mark.parametrize("dataset", REAL_DATASETS)
+def test_fig7_shape_tree_saves_probes_at_full_cardinality(benchmark, dataset):
+    """At 100% cardinality the shared prefix tree must probe less than the
+    per-set framework (the paper's headline for Fig 7)."""
+    needed = [
+        (dataset, 1.0, "framework_et"),
+        (dataset, 1.0, "tree_et"),
+    ]
+    for key in needed:
+        if key not in _results:
+            pytest.skip("cell benchmarks did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    flat = _results[(dataset, 1.0, "framework_et")]
+    tree = _results[(dataset, 1.0, "tree_et")]
+    assert tree.binary_searches < flat.binary_searches
+    print(f"\n{dataset}: framework_et {flat.binary_searches} probes vs "
+          f"tree_et {tree.binary_searches} probes "
+          f"({flat.binary_searches / tree.binary_searches:.1f}x saved)")
+
+
+@pytest.mark.parametrize("dataset", REAL_DATASETS)
+def test_fig7_shape_early_termination_helps(benchmark, dataset):
+    """ET never probes more than the plain variant (§III-C, §IV-C)."""
+    for key in [(dataset, 1.0, "tree"), (dataset, 1.0, "tree_et"),
+                (dataset, 1.0, "framework"), (dataset, 1.0, "framework_et")]:
+        if key not in _results:
+            pytest.skip("cell benchmarks did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert (
+        _results[(dataset, 1.0, "tree_et")].binary_searches
+        <= _results[(dataset, 1.0, "tree")].binary_searches
+    )
+    assert (
+        _results[(dataset, 1.0, "framework_et")].binary_searches
+        <= _results[(dataset, 1.0, "framework")].binary_searches
+    )

@@ -1,0 +1,62 @@
+"""Fig 8 — evaluating the data partition methods.
+
+TreeBasedET vs AllPartition vs LCJoin over the cardinality sweep on each
+real-world surrogate.
+
+Paper shape to reproduce: LCJoin is the best of the three at full
+cardinality; partitioning reduces probe counts (smaller local indexes mean
+shorter lists and bigger skips); AllPartition can lose to TreeBasedET on
+tiny partitions, which is exactly the gap LCJoin's adaptive rule closes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import CARDINALITY_FRACTIONS, REAL_DATASETS, measured_run, real_dataset
+
+METHODS = ("tree_et", "all_partition", "lcjoin")
+
+_results = {}
+
+
+@pytest.mark.parametrize("dataset", REAL_DATASETS)
+@pytest.mark.parametrize("fraction", CARDINALITY_FRACTIONS)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig8_cell(benchmark, dataset, fraction, method):
+    data = real_dataset(dataset, fraction)
+    m = measured_run(
+        "fig8", benchmark, method, data,
+        workload=f"{dataset}@{int(fraction * 100)}%",
+    )
+    _results[(dataset, fraction, method)] = m
+    assert m.results > 0
+
+
+@pytest.mark.parametrize("dataset", REAL_DATASETS)
+def test_fig8_shape_partitioning_saves_probes(benchmark, dataset):
+    """Local indexes must cut binary searches vs the unpartitioned tree."""
+    keys = [(dataset, 1.0, m) for m in METHODS]
+    for key in keys:
+        if key not in _results:
+            pytest.skip("cell benchmarks did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    tree = _results[(dataset, 1.0, "tree_et")]
+    allp = _results[(dataset, 1.0, "all_partition")]
+    lcj = _results[(dataset, 1.0, "lcjoin")]
+    assert allp.binary_searches < tree.binary_searches
+    assert lcj.binary_searches < tree.binary_searches
+    print(f"\n{dataset}: probes tree_et={tree.binary_searches} "
+          f"all_partition={allp.binary_searches} lcjoin={lcj.binary_searches}")
+
+
+@pytest.mark.parametrize("dataset", REAL_DATASETS)
+def test_fig8_shape_all_methods_agree(benchmark, dataset):
+    """The three methods must report identical result counts."""
+    keys = [(dataset, 1.0, m) for m in METHODS]
+    for key in keys:
+        if key not in _results:
+            pytest.skip("cell benchmarks did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    counts = {_results[k].results for k in keys}
+    assert len(counts) == 1

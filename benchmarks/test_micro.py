@@ -1,0 +1,110 @@
+"""Micro-benchmarks of the primitives every join is built from.
+
+Unlike the figure benches (one run per cell), these use pytest-benchmark's
+statistical mode — many rounds, distribution reported — because their
+subjects are microsecond-scale: probes, intersections, tree/index
+construction, one cross-cut, one traversal round. Regressions here predict
+regressions everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import cross_cut_record
+from repro.core.order import build_order
+from repro.core.results import CountSink
+from repro.core.tree_join import bind_tree, postorder_traverse
+from repro.data.synthetic import generate_zipf
+from repro.index.inverted import InvertedIndex
+from repro.index.prefix_tree import PrefixTree
+from repro.index.search import (
+    gallop_geq,
+    intersect_sorted,
+    intersect_sorted_merge,
+    probe,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_zipf(
+        cardinality=4_000, avg_set_size=8, num_elements=500, z=0.5, seed=3
+    )
+
+
+@pytest.fixture(scope="module")
+def index(data):
+    return InvertedIndex.build(data)
+
+
+@pytest.fixture(scope="module")
+def long_lists(index):
+    lists = sorted(index.lists.values(), key=len, reverse=True)
+    return lists[0], lists[1]
+
+
+class TestSearchPrimitives:
+    def test_probe(self, benchmark, long_lists):
+        lst, __ = long_lists
+        mid = lst[len(lst) // 2] + 1
+        benchmark(probe, lst, mid, 10**9)
+
+    def test_gallop(self, benchmark, long_lists):
+        lst, __ = long_lists
+        target = lst[3 * len(lst) // 4]
+        benchmark(gallop_geq, lst, target, len(lst) // 2)
+
+    def test_intersect_merge(self, benchmark, long_lists):
+        a, b = long_lists
+        result = benchmark(intersect_sorted_merge, a, b)
+        assert result == sorted(set(a) & set(b))
+
+    def test_intersect_gallop(self, benchmark, long_lists):
+        a, b = long_lists
+        result = benchmark(intersect_sorted, a, b)
+        assert result == sorted(set(a) & set(b))
+
+
+class TestConstruction:
+    def test_inverted_index_build(self, benchmark, data):
+        result = benchmark(InvertedIndex.build, data)
+        assert result.inf_sid == len(data)
+
+    def test_prefix_tree_build(self, benchmark, data):
+        order = build_order(data)
+        result = benchmark(PrefixTree.build, data, order)
+        assert result.num_sets == len(data)
+
+    def test_patricia_compression(self, benchmark, data):
+        order = build_order(data)
+
+        def build_compressed():
+            return PrefixTree.build(data, order, compress=True)
+
+        result = benchmark(build_compressed)
+        assert result.compressed
+
+
+class TestJoinKernels:
+    def test_one_cross_cut(self, benchmark, data, index):
+        record = max(data.records, key=len)
+        lists = sorted(index.get_lists(record), key=len)
+
+        def run():
+            sink = CountSink()
+            cross_cut_record(0, lists, 0, index.inf_sid, sink, True, None)
+            return sink.count
+
+        benchmark(run)
+
+    def test_one_traversal_round(self, benchmark, data, index):
+        order = build_order(data)
+        tree = PrefixTree.build(data, order)
+
+        def run():
+            bind_tree(tree, index)
+            postorder_traverse(tree.root, 0, index.inf_sid, True)
+            return tree.root.max_sid
+
+        benchmark(run)

@@ -1,0 +1,117 @@
+"""Extra experiment — parameter sensitivity of the tunable methods.
+
+The paper fixes its competitors' knobs (TT-Join k=3 "the same as in [25]",
+LIMIT+'s trained model); this bench sweeps them so the chosen operating
+points are visible rather than asserted:
+
+* TT-Join's k: candidates shrink with k (longer signatures filter more)
+  while the signature tree grows — k=3 sits at the knee;
+* LIMIT+'s prefix limit: deeper prefixes cut candidates but touch more
+  list entries;
+* LCJoin's patience: how quickly the adaptive rule commits to local
+  indexes (results never change);
+* SHJ's signature width is swept in test_extra_union_oriented.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_experiment
+
+from conftest import record, synthetic_dataset
+
+PARAMS = dict(cardinality=5_000, avg_set_size=8, num_elements=800, z=0.6, seed=42)
+
+_cells = {}
+
+
+def _data():
+    return synthetic_dataset(**PARAMS)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+def test_ttjoin_k_cell(benchmark, k):
+    data = _data()
+    holder = []
+
+    def job():
+        holder.append(run_experiment("ttjoin", data, workload=f"k={k}", k=k))
+
+    benchmark.pedantic(job, rounds=1, iterations=1)
+    _cells[f"ttjoin-k{k}"] = record("param_sweeps", holder[-1])
+
+
+def test_ttjoin_k_shape(benchmark):
+    keys = [f"ttjoin-k{k}" for k in (1, 3, 8)]
+    for key in keys:
+        if key not in _cells:
+            pytest.skip("cells did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cands = {k: _cells[f"ttjoin-k{k}"].candidates for k in (1, 3, 8)}
+    print(f"\nttjoin candidates by k: {cands}")
+    # Longer signatures never generate more candidates.
+    assert cands[1] >= cands[3] >= cands[8]
+    # And results are identical throughout.
+    results = {_cells[f"ttjoin-k{k}"].results for k in (1, 3, 8)}
+    assert len(results) == 1
+
+
+@pytest.mark.parametrize("limit", [1, 2, 4, 8, 16])
+def test_limit_prefix_cell(benchmark, limit):
+    data = _data()
+    holder = []
+
+    def job():
+        holder.append(
+            run_experiment("limit", data, workload=f"l={limit}", limit=limit)
+        )
+
+    benchmark.pedantic(job, rounds=1, iterations=1)
+    _cells[f"limit-l{limit}"] = record("param_sweeps", holder[-1])
+
+
+def test_limit_prefix_shape(benchmark):
+    keys = [f"limit-l{k}" for k in (1, 16)]
+    for key in keys:
+        if key not in _cells:
+            pytest.skip("cells did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    shallow = _cells["limit-l1"]
+    deep = _cells["limit-l16"]
+    print(f"\nLIMIT+ l=1: candidates={shallow.candidates} "
+          f"touched={shallow.entries_touched}; "
+          f"l=16: candidates={deep.candidates} touched={deep.entries_touched}")
+    assert deep.candidates <= shallow.candidates
+    assert deep.entries_touched >= shallow.entries_touched
+    assert shallow.results == deep.results
+
+
+@pytest.mark.parametrize("patience", [1, 3, 10, 10**6])
+def test_lcjoin_patience_cell(benchmark, patience):
+    data = _data()
+    holder = []
+
+    def job():
+        holder.append(
+            run_experiment("lcjoin", data, workload=f"p={patience}",
+                           patience=patience)
+        )
+
+    benchmark.pedantic(job, rounds=1, iterations=1)
+    _cells[f"lcjoin-p{patience}"] = record("param_sweeps", holder[-1])
+
+
+def test_lcjoin_patience_shape(benchmark):
+    keys = [f"lcjoin-p{p}" for p in (1, 10**6)]
+    for key in keys:
+        if key not in _cells:
+            pytest.skip("cells did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    eager = _cells["lcjoin-p1"]
+    never = _cells[f"lcjoin-p{10**6}"]
+    assert eager.results == never.results
+    # Infinite patience means no partition ever goes local: all probe work
+    # happens on the global index.
+    print(f"\nlcjoin cost p=1: {eager.abstract_cost}, "
+          f"p=inf: {never.abstract_cost}")

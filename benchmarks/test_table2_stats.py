@@ -1,0 +1,51 @@
+"""Table II — statistics of the (surrogate) real-world datasets.
+
+Regenerates the table's four rows from the surrogates and checks the shape
+columns track the paper: scaled cardinality, min/avg set size, and z-value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.realworld import REAL_WORLD_SPECS, table2_row
+from repro.data.skew import z_value
+
+from conftest import BASE_SCALES, REAL_DATASETS, bench_scale, real_dataset
+
+
+@pytest.mark.parametrize("name", REAL_DATASETS)
+def test_table2_row(benchmark, name):
+    data = real_dataset(name)
+    spec = REAL_WORLD_SPECS[name]
+
+    def build_row():
+        return table2_row(name, data)
+
+    row = benchmark.pedantic(build_row, rounds=1, iterations=1)
+    label, num_sets, size_summary, num_elements, z = row
+    print(f"\nTable II ({label}): {num_sets} sets, sizes {size_summary}, "
+          f"{num_elements} elements, z={z:.2f} "
+          f"(paper: {spec.cardinality} sets, avg {spec.avg_size}, z={spec.z})")
+
+    expected_sets = spec.cardinality * BASE_SCALES[name] * bench_scale()
+    assert num_sets == pytest.approx(expected_sets, rel=0.02)
+    assert data.stats().min_size >= spec.min_size
+    assert data.stats().avg_size == pytest.approx(spec.avg_size, rel=0.35)
+    assert z == pytest.approx(spec.z, abs=0.12)
+
+
+def test_fig6_skew_ordering(benchmark):
+    """Fig 6's headline: FLICKR/AOL are ~100x more top-heavy than
+    ORKUT/TWITTER; at least an order of magnitude must survive scaling."""
+    from repro.data.skew import top_k_mass
+
+    def masses():
+        return {name: top_k_mass(real_dataset(name), 150) for name in REAL_DATASETS}
+
+    got = benchmark.pedantic(masses, rounds=1, iterations=1)
+    print("\nFig 6 top-150 element mass:",
+          {k: f"{v * 100:.1f}%" for k, v in got.items()})
+    for skewed in ("flickr", "aol"):
+        for flat in ("orkut", "twitter"):
+            assert got[skewed] > 3 * got[flat]

@@ -1,0 +1,63 @@
+"""Table III — the synthetic dataset parameter grid.
+
+Checks the generator realises each parameter (cardinality, average set
+size, number of distinct elements, z-value) at the scaled defaults, and
+benches generation itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.skew import z_value
+
+from conftest import synthetic_dataset
+
+# Table III, cardinality and universe scaled by 1/1000 (DESIGN.md §5).
+DEFAULTS = dict(cardinality=10_000, avg_set_size=8, num_elements=1_000, z=0.5)
+
+
+@pytest.mark.parametrize("cardinality", [2_500, 5_000, 10_000, 20_000])
+def test_cardinality_axis(benchmark, cardinality):
+    params = dict(DEFAULTS, cardinality=cardinality)
+
+    def gen():
+        return synthetic_dataset(seed=42, **params)
+
+    data = benchmark.pedantic(gen, rounds=1, iterations=1)
+    assert abs(len(data) - cardinality) <= cardinality * 0.01 + 1
+
+
+@pytest.mark.parametrize("avg", [4, 8, 16, 32, 64, 128])
+def test_avg_set_size_axis(benchmark, avg):
+    params = dict(DEFAULTS, cardinality=2_000, avg_set_size=avg)
+
+    def gen():
+        return synthetic_dataset(seed=42, **params)
+
+    data = benchmark.pedantic(gen, rounds=1, iterations=1)
+    realised = data.total_tokens() / len(data)
+    # Dedup shrinks big sets on a 1k-element universe; allow a loose band.
+    assert realised == pytest.approx(avg, rel=0.3)
+
+
+@pytest.mark.parametrize("universe", [10, 100, 1_000, 10_000])
+def test_distinct_elements_axis(benchmark, universe):
+    params = dict(DEFAULTS, cardinality=2_000, num_elements=universe)
+
+    def gen():
+        return synthetic_dataset(seed=42, **params)
+
+    data = benchmark.pedantic(gen, rounds=1, iterations=1)
+    assert data.max_element() < universe
+
+
+@pytest.mark.parametrize("z", [0.25, 0.5, 0.75, 1.0])
+def test_z_axis(benchmark, z):
+    params = dict(DEFAULTS, cardinality=5_000, z=z)
+
+    def gen():
+        return synthetic_dataset(seed=42, **params)
+
+    data = benchmark.pedantic(gen, rounds=1, iterations=1)
+    assert z_value(data) == pytest.approx(z, abs=0.2)

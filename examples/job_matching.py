@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Skill-based job matching (paper §I, first motivating example).
+
+A worker is competent for a job when the job's required skill set is a
+subset of the worker's skills. With job requirements on the subset side and
+worker profiles on the superset side, the containment join produces every
+(job, qualified worker) pair in one pass.
+
+This example also shows the streaming API (``collect="callback"``) — useful
+when the result set is large and should be consumed on the fly — and
+compares the cost counters of LCJoin against the rip-cutting PRETTI
+baseline on the same workload.
+
+Run:  python examples/job_matching.py
+"""
+
+import random
+
+from repro import JoinStats, SetCollection, set_containment_join
+
+SKILLS = [
+    "python", "java", "go", "rust", "sql", "nosql", "spark", "airflow",
+    "docker", "kubernetes", "terraform", "aws", "gcp", "linux", "react",
+    "typescript", "ml", "statistics", "etl", "kafka",
+]
+
+
+def sample_skills(rng: random.Random, lo: int, hi: int) -> set:
+    return set(rng.sample(SKILLS, rng.randint(lo, hi)))
+
+
+def main() -> None:
+    rng = random.Random(11)
+    jobs = [sample_skills(rng, 3, 6) for __ in range(1500)]     # requirements
+    workers = [sample_skills(rng, 5, 12) for __ in range(1000)]  # profiles
+
+    job_sets = SetCollection.from_iterable(jobs)
+    worker_sets = SetCollection.from_iterable(workers, dictionary=job_sets.dictionary)
+
+    # Stream matches into a per-job counter instead of materialising pairs.
+    qualified_per_job = [0] * len(job_sets)
+
+    def on_match(job_id: int, worker_id: int) -> None:
+        qualified_per_job[job_id] += 1
+
+    stats = JoinStats()
+    total = set_containment_join(
+        job_sets, worker_sets, method="lcjoin",
+        collect="callback", callback=on_match, stats=stats,
+    )
+    hardest = min(range(len(job_sets)), key=qualified_per_job.__getitem__)
+    print(f"{len(job_sets)} jobs x {len(worker_sets)} workers -> {total} matches")
+    print(f"lcjoin: {stats.elapsed_seconds * 1000:.1f} ms, "
+          f"{stats.binary_searches} probes")
+    print(f"hardest job to staff: #{hardest} "
+          f"requires {sorted(job_sets.decode_record(hardest))} "
+          f"({qualified_per_job[hardest]} qualified workers)")
+
+    # Same join through the faithful rip-cutting baseline, for comparison.
+    base = JoinStats()
+    base_total = set_containment_join(
+        job_sets, worker_sets, method="pretti", collect="count", stats=base,
+    )
+    assert base_total == total
+    print(f"pretti: {base.elapsed_seconds * 1000:.1f} ms, "
+          f"{base.entries_touched} inverted-list entries touched")
+    ratio = base.entries_touched / max(stats.binary_searches, 1)
+    print(f"LCJoin replaced those scans with {ratio:.1f}x fewer probes "
+          "by crosscutting the lists (wall-clock ratios differ in pure "
+          "Python; see EXPERIMENTS.md).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Foreign-key discovery over a directory of CSV files.
+
+The industrial version of the inclusion-dependency use case (paper §I):
+dump a schema's tables to CSV, point the relational layer at the
+directory, and get ranked foreign-key candidates — unary INDs via one
+containment join over all column-value sets, then the levelwise lift to
+composite (n-ary) keys.
+
+Run:  python examples/schema_discovery.py
+"""
+
+import csv
+import os
+import random
+import tempfile
+
+from repro.relational import find_inds, find_nary_inds, load_directory
+
+
+def write_demo_warehouse(directory: str) -> None:
+    """A small retail schema with planted single and composite keys."""
+    rng = random.Random(42)
+    regions = [("US", "west"), ("US", "east"), ("DE", "north"), ("FR", "south")]
+
+    with open(os.path.join(directory, "warehouses.csv"), "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["country", "zone", "capacity"])
+        for country, zone in regions:
+            w.writerow([country, zone, rng.randint(100, 900)])
+
+    with open(os.path.join(directory, "products.csv"), "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["sku", "category"])
+        for i in range(60):
+            w.writerow([f"P{i:03d}", rng.choice(["food", "tools", "toys"])])
+
+    with open(os.path.join(directory, "stock.csv"), "w", newline="") as f:
+        w = csv.writer(f)
+        # stock.(country, zone) is a composite foreign key to warehouses;
+        # stock.sku references products.sku.
+        w.writerow(["sku", "country", "zone", "qty"])
+        for __ in range(200):
+            country, zone = rng.choice(regions)
+            w.writerow([f"P{rng.randrange(60):03d}", country, zone,
+                        rng.randint(0, 50)])
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as directory:
+        write_demo_warehouse(directory)
+        tables = load_directory(directory)
+        print(f"loaded {len(tables)} tables: "
+              f"{', '.join(t.name for t in tables)}")
+
+        print("\nUnary inclusion dependencies (coverage-ranked):")
+        inds = find_inds(tables, min_coverage=0.5)
+        for ind in inds:
+            print(f"  {ind}")
+        found = {(str(i.dependent), str(i.referenced)) for i in inds}
+        assert ("stock.sku", "products.sku") in found
+
+        print("\nComposite (binary) inclusion dependencies:")
+        for ind in find_nary_inds(tables, max_arity=2):
+            if ind.arity == 2:
+                print(f"  {ind}")
+        binary = {
+            str(i) for i in find_nary_inds(tables, max_arity=2) if i.arity == 2
+        }
+        assert "[stock.country, stock.zone] ⊆ [warehouses.country, warehouses.zone]" in binary
+        print("\nThe planted composite key (country, zone) was discovered.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Inducing a tag taxonomy from co-occurring tag sets.
+
+Photo-tag datasets (the paper's FLICKR) implicitly define a hierarchy:
+the tag set {animal} generalises {animal, cat}, which generalises
+{animal, cat, kitten}. The containment *hierarchy* — the transitive
+reduction of ⊆ over the distinct tag sets — is exactly that taxonomy,
+and :func:`repro.core.build_hierarchy` derives it from one containment
+join. The analytics helpers then surface the most general and most
+specific tag sets, and the error-tolerant join finds near-containments
+(one tag missing) that exact containment would drop.
+
+Run:  python examples/tag_taxonomy.py
+"""
+
+from repro import SetCollection
+from repro.core import build_hierarchy, tolerant_containment_join
+from repro.core.analytics import top_contained, top_containers
+
+PHOTO_TAGS = [
+    {"animal"},
+    {"animal", "cat"},
+    {"animal", "dog"},
+    {"animal", "cat", "kitten"},
+    {"animal", "cat", "outdoor"},
+    {"animal", "dog", "puppy"},
+    {"outdoor"},
+    {"outdoor", "beach"},
+    {"outdoor", "beach", "sunset"},
+    {"animal", "cat", "kitten"},          # duplicate photo tags
+    {"city", "night"},
+    {"city", "night", "skyline"},
+]
+
+
+def main() -> None:
+    tags = SetCollection.from_iterable(PHOTO_TAGS)
+    decode = tags.dictionary.decode
+
+    hierarchy = build_hierarchy(tags)
+    print(f"{len(tags)} photos, {len(hierarchy)} distinct tag sets, "
+          f"taxonomy depth {hierarchy.depth()}")
+
+    def label(node) -> str:
+        return "{" + ", ".join(sorted(decode(e) for e in node.record)) + "}"
+
+    print("\nTaxonomy (children under parents):")
+    by_id = {n.node_id: n for n in hierarchy.nodes}
+
+    def show(node, indent=1):
+        for child_id in node.children:
+            child = by_id[child_id]
+            dupes = f"  x{len(child.member_ids)}" if len(child.member_ids) > 1 else ""
+            print("  " * indent + label(child) + dupes)
+            show(child, indent + 1)
+
+    for root in hierarchy.roots():
+        print("  " + label(root))
+        show(root, 2)
+
+    print("\nMost general tag sets (contained in the most photos):")
+    for rid, count in top_contained(tags, k=3):
+        print(f"  {sorted(tags.decode_record(rid))}: generalises {count} photos")
+
+    print("\nBroadest photos (containing the most other tag sets):")
+    for sid, count in top_containers(tags, k=3):
+        print(f"  {sorted(tags.decode_record(sid))}: contains {count} tag sets")
+
+    # Near-containment: allow one missing tag. {animal, dog, puppy} now
+    # also relates to {animal, cat, ...} sets sharing two of its tags? No —
+    # but {outdoor, beach, sunset} becomes reachable from {animal, cat,
+    # outdoor} neighbours etc. Count how much the relation grows.
+    exact = len(tolerant_containment_join(tags, tags, missing=0))
+    near = len(tolerant_containment_join(tags, tags, missing=1))
+    print(f"\nexact containment pairs: {exact}; "
+          f"allowing one missing tag: {near} (+{near - exact})")
+
+
+if __name__ == "__main__":
+    main()

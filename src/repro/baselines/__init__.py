@@ -1,0 +1,24 @@
+"""Reimplemented competitors (paper §VII)."""
+
+from .bnl import bnl_join
+from .dcj import dcj_join
+from .limit import limit_join
+from .naive import naive_join
+from .piejoin import PieIndex, pie_join
+from .pretti import pretti_join
+from .psj import psj_join
+from .shj import shj_join
+from .ttjoin import tt_join
+
+__all__ = [
+    "naive_join",
+    "bnl_join",
+    "pretti_join",
+    "limit_join",
+    "tt_join",
+    "pie_join",
+    "PieIndex",
+    "shj_join",
+    "psj_join",
+    "dcj_join",
+]

@@ -1,0 +1,35 @@
+"""Naive nested-loop set containment join.
+
+The quadratic reference implementation: every ``(R, S)`` pair is tested with
+a sorted-merge subset check. It exists as the trusted ground truth for the
+test suite and as the degenerate baseline in the union-vs-intersection
+benchmark; it is never competitive beyond toy sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.stats import JoinStats
+from ..core.verify import is_subset_sorted
+from ..data.collection import SetCollection
+
+__all__ = ["naive_join"]
+
+
+def naive_join(
+    r_collection: SetCollection,
+    s_collection: SetCollection,
+    sink,
+    stats: Optional[JoinStats] = None,
+) -> None:
+    """Test every pair; emit the containments."""
+    s_records = s_collection.records
+    candidates = 0
+    for rid, record in enumerate(r_collection):
+        for sid, s_record in enumerate(s_records):
+            candidates += 1
+            if is_subset_sorted(record, s_record):
+                sink.add(rid, sid)
+    if stats is not None:
+        stats.candidates += candidates

@@ -1,0 +1,21 @@
+"""Benchmark harness: measurement runner and table formatting."""
+
+from .plotting import ascii_chart, chart_measurements
+from .regression import RegressionReport, compare_runs, parse_results
+from .report import format_measurements, format_series, format_table, speedup_summary
+from .runner import JoinMeasurement, run_experiment, run_matrix
+
+__all__ = [
+    "JoinMeasurement",
+    "run_experiment",
+    "run_matrix",
+    "format_table",
+    "format_measurements",
+    "format_series",
+    "speedup_summary",
+    "ascii_chart",
+    "chart_measurements",
+    "compare_runs",
+    "parse_results",
+    "RegressionReport",
+]

@@ -1,0 +1,103 @@
+"""ASCII chart rendering for experiment series.
+
+The paper's figures are log-scale line charts of runtime vs a workload
+parameter. For a dependency-free repository, this module renders the same
+series as terminal charts (one symbol per method, log-scaled rows), used by
+``run_experiments.py --plots`` and EXPERIMENTS.md regeneration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from .runner import JoinMeasurement
+
+__all__ = ["ascii_chart", "chart_measurements"]
+
+_SYMBOLS = "ox+*%&$~"
+#: Printed where two or more series land on the same cell.
+_COLLISION = "#"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    x_labels: Sequence[str],
+    height: int = 12,
+    title: str = "",
+    log_scale: bool = True,
+) -> str:
+    """Render named series as a character chart.
+
+    Values must be positive when ``log_scale`` (zeroes are clamped to the
+    smallest positive value present).
+    """
+    if not series or not x_labels:
+        return "(no data)"
+    values = [v for row in series.values() for v in row if v > 0]
+    if not values:
+        return "(no positive data)"
+    lo, hi = min(values), max(values)
+
+    def transform(v: float) -> float:
+        if log_scale:
+            v = max(v, lo)
+            return math.log10(v)
+        return v
+
+    t_lo, t_hi = transform(lo), transform(hi)
+    span = (t_hi - t_lo) or 1.0
+
+    width = len(x_labels)
+    grid = [[" "] * width for __ in range(height)]
+    for idx, (name, row) in enumerate(sorted(series.items())):
+        symbol = _SYMBOLS[idx % len(_SYMBOLS)]
+        for x, v in enumerate(row[:width]):
+            if v <= 0:
+                continue
+            level = (transform(v) - t_lo) / span
+            y = height - 1 - int(level * (height - 1))
+            grid[y][x] = symbol if grid[y][x] == " " else _COLLISION
+
+    left_labels = []
+    for y in range(height):
+        level = (height - 1 - y) / (height - 1)
+        value = 10 ** (t_lo + level * span) if log_scale else lo + level * span
+        left_labels.append(f"{value:>10.3g} |")
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    col_width = max(3, max(len(lbl) for lbl in x_labels) + 1)
+    for y in range(height):
+        cells = "".join(c.center(col_width) for c in grid[y])
+        lines.append(left_labels[y] + cells)
+    lines.append(" " * 11 + "+" + "-" * (col_width * width))
+    lines.append(
+        " " * 12 + "".join(lbl.center(col_width) for lbl in x_labels)
+    )
+    legend = "  ".join(
+        f"{_SYMBOLS[i % len(_SYMBOLS)]}={name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append(f"legend: {legend}  {_COLLISION}=overlap")
+    return "\n".join(lines)
+
+
+def chart_measurements(
+    measurements: Sequence[JoinMeasurement],
+    value: str = "elapsed_seconds",
+    title: str = "",
+    height: int = 12,
+) -> str:
+    """Pivot measurements (as in the figures) and render the chart."""
+    x_labels: List[str] = []
+    series: Dict[str, List[float]] = {}
+    for m in measurements:
+        if m.workload not in x_labels:
+            x_labels.append(m.workload)
+    for m in measurements:
+        row = series.setdefault(m.method, [0.0] * len(x_labels))
+        v = m.abstract_cost if value == "abstract_cost" else getattr(m, value)
+        row[x_labels.index(m.workload)] = float(v)
+    return ascii_chart(series, x_labels, height=height, title=title)

@@ -1,0 +1,151 @@
+"""Benchmark regression detection.
+
+CI for performance: parse two measurement tables (the ``latest.txt``
+format the benchmark suite writes), align their cells, and flag
+regressions. Wall-clock is noisy, so the default compares the
+deterministic ``abstract_cost`` column — a cost regression is a real
+algorithmic change, not scheduler jitter — with an optional elapsed-time
+check at a generous threshold.
+
+Usage::
+
+    from repro.bench.regression import compare_runs
+    report = compare_runs("results/baseline.txt", "results/latest.txt")
+    assert report.ok, report.summary()
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import DatasetError
+
+__all__ = ["CellDiff", "RegressionReport", "parse_results", "compare_runs"]
+
+_ROW = re.compile(
+    r"^\s*(?P<workload>\S+)\s+(?P<method>\S+)\s+(?P<num_r>\d+)\s+"
+    r"(?P<results>\d+)\s+(?P<time>[\d.]+)\s+(?P<cost>\d+)\s+(?P<mem>\d+)\s*$"
+)
+
+
+def parse_results(path: str) -> Dict[Tuple[str, str, str], Dict[str, float]]:
+    """Parse a ``latest.txt`` into ``(figure, workload, method) -> metrics``.
+
+    Only the per-measurement tables are read; the pivoted series blocks are
+    ignored.
+    """
+    out: Dict[Tuple[str, str, str], Dict[str, float]] = {}
+    figure = ""
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise DatasetError(f"cannot read results file: {path}") from exc
+    with handle:
+        for line in handle:
+            header = re.match(r"^== (\S+) ==", line)
+            if header:
+                figure = header.group(1)
+                continue
+            m = _ROW.match(line)
+            if m and figure:
+                key = (figure, m.group("workload"), m.group("method"))
+                out[key] = {
+                    "results": float(m.group("results")),
+                    "elapsed": float(m.group("time")),
+                    "cost": float(m.group("cost")),
+                    "memory": float(m.group("mem")),
+                }
+    if not out:
+        raise DatasetError(f"no measurement rows found in {path}")
+    return out
+
+
+@dataclass(frozen=True)
+class CellDiff:
+    """One cell that moved past a threshold (or changed its answer)."""
+
+    figure: str
+    workload: str
+    method: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def ratio(self) -> float:
+        return self.after / self.before if self.before else float("inf")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.figure}/{self.workload}/{self.method}: {self.metric} "
+            f"{self.before:g} -> {self.after:g} ({self.ratio:.2f}x)"
+        )
+
+
+@dataclass
+class RegressionReport:
+    compared: int = 0
+    missing: List[Tuple[str, str, str]] = field(default_factory=list)
+    regressions: List[CellDiff] = field(default_factory=list)
+    answer_changes: List[CellDiff] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.answer_changes
+
+    def summary(self) -> str:
+        lines = [
+            f"compared {self.compared} cells: "
+            + ("OK" if self.ok else
+               f"{len(self.regressions)} regressions, "
+               f"{len(self.answer_changes)} answer changes")
+        ]
+        lines.extend(f"  ANSWER {d}" for d in self.answer_changes[:20])
+        lines.extend(f"  COST   {d}" for d in self.regressions[:20])
+        if self.missing:
+            lines.append(f"  ({len(self.missing)} cells only in one run)")
+        return "\n".join(lines)
+
+
+def compare_runs(
+    baseline_path: str,
+    candidate_path: str,
+    cost_threshold: float = 1.10,
+    elapsed_threshold: float = 0.0,
+) -> RegressionReport:
+    """Compare two result files.
+
+    * any change in ``results`` is an answer change (always flagged);
+    * ``cost`` growing beyond ``cost_threshold`` is a regression;
+    * ``elapsed_threshold > 1`` additionally checks wall-clock (e.g. 2.0
+      flags only gross slowdowns; 0 disables, the default).
+    """
+    baseline = parse_results(baseline_path)
+    candidate = parse_results(candidate_path)
+    report = RegressionReport()
+    for key in sorted(set(baseline) | set(candidate)):
+        if key not in baseline or key not in candidate:
+            report.missing.append(key)
+            continue
+        before, after = baseline[key], candidate[key]
+        report.compared += 1
+        figure, workload, method = key
+        if before["results"] != after["results"]:
+            report.answer_changes.append(CellDiff(
+                figure, workload, method, "results",
+                before["results"], after["results"],
+            ))
+        if before["cost"] and after["cost"] > before["cost"] * cost_threshold:
+            report.regressions.append(CellDiff(
+                figure, workload, method, "cost",
+                before["cost"], after["cost"],
+            ))
+        if (elapsed_threshold > 1.0 and before["elapsed"]
+                and after["elapsed"] > before["elapsed"] * elapsed_threshold):
+            report.regressions.append(CellDiff(
+                figure, workload, method, "elapsed",
+                before["elapsed"], after["elapsed"],
+            ))
+    return report

@@ -1,0 +1,88 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark suite prints the same rows the paper's figures plot; these
+helpers keep the formatting in one place and readable both on a terminal
+and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .runner import JoinMeasurement
+
+__all__ = ["format_table", "format_measurements", "format_series", "speedup_summary"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        line = "  ".join(col.rjust(w) for col, w in zip(row, widths))
+        lines.append(line)
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_measurements(measurements: Sequence[JoinMeasurement]) -> str:
+    """One row per measurement: the generic experiment table."""
+    headers = (
+        "workload", "method", "|R|", "results",
+        "time(s)", "abstract_cost", "peak_mem(B)",
+    )
+    return format_table(headers, [m.as_row() for m in measurements])
+
+
+def format_series(
+    measurements: Sequence[JoinMeasurement],
+    x_label: str = "workload",
+    value: str = "elapsed_seconds",
+) -> str:
+    """Pivot measurements into one row per method, one column per workload.
+
+    This is the shape of the paper's figures: x-axis = workload parameter,
+    one series (row) per method.
+    """
+    x_values: List[str] = []
+    series: Dict[str, Dict[str, float]] = {}
+    for m in measurements:
+        if m.workload not in x_values:
+            x_values.append(m.workload)
+        series.setdefault(m.method, {})[m.workload] = (
+            m.abstract_cost if value == "abstract_cost" else getattr(m, value)
+        )
+    headers = ["method \\ " + x_label] + x_values
+    rows = []
+    for method, points in series.items():
+        rows.append([method] + [points.get(x, "-") for x in x_values])
+    return format_table(headers, rows)
+
+
+def speedup_summary(
+    measurements: Sequence[JoinMeasurement], reference: str = "lcjoin"
+) -> str:
+    """Per-workload speedup of ``reference`` over every other method."""
+    by_workload: Dict[str, Dict[str, float]] = {}
+    for m in measurements:
+        by_workload.setdefault(m.workload, {})[m.method] = m.elapsed_seconds
+    lines = []
+    for workload, times in by_workload.items():
+        base = times.get(reference)
+        if not base:
+            continue
+        others = ", ".join(
+            f"{method} {t / base:.1f}x"
+            for method, t in sorted(times.items())
+            if method != reference and t > 0
+        )
+        lines.append(f"{workload}: {reference} vs " + others)
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Experiment runner shared by the benchmark suite and the CLI.
+
+One :func:`run_experiment` call measures one (method, workload) cell the way
+the paper does: wall-clock of the whole join (index and tree construction
+included — the paper reports end-to-end elapsed time), plus this
+reproduction's hardware-independent counters and the tracemalloc peak.
+
+The Python-vs-C++ caveat lives here in code form: ``JoinMeasurement`` always
+carries both the wall-clock *and* the abstract cost so report tables can
+show the two side by side (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.api import JOIN_METHODS, set_containment_join
+from ..core.stats import JoinStats
+from ..data.collection import SetCollection
+from ..errors import UnknownMethodError
+from ..memory.meter import measure_peak
+
+__all__ = ["JoinMeasurement", "run_experiment", "run_matrix"]
+
+
+@dataclass
+class JoinMeasurement:
+    """Everything measured for one join run."""
+
+    method: str
+    workload: str
+    num_r: int
+    num_s: int
+    results: int
+    elapsed_seconds: float
+    binary_searches: int
+    entries_touched: int
+    candidates: int
+    index_build_tokens: int
+    peak_memory_bytes: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def abstract_cost(self) -> int:
+        """Probe + scan + build work in hardware-independent units."""
+        return self.binary_searches + self.entries_touched + self.index_build_tokens
+
+    def as_row(self) -> Tuple:
+        return (
+            self.workload,
+            self.method,
+            self.num_r,
+            self.results,
+            round(self.elapsed_seconds, 4),
+            self.abstract_cost,
+            self.peak_memory_bytes,
+        )
+
+
+def run_experiment(
+    method: str,
+    r_collection: SetCollection,
+    s_collection: Optional[SetCollection] = None,
+    workload: str = "",
+    measure_memory: bool = False,
+    **kwargs,
+) -> JoinMeasurement:
+    """Run one method on one workload and collect all measurements.
+
+    ``s_collection=None`` runs the paper's self-join setting. Results are
+    counted, never materialised, so output size does not distort memory
+    measurements.
+    """
+    if method not in JOIN_METHODS:
+        raise UnknownMethodError(method, tuple(JOIN_METHODS))
+    s = s_collection if s_collection is not None else r_collection
+    stats = JoinStats()
+
+    def job() -> int:
+        return set_containment_join(
+            r_collection, s, method=method, collect="count", stats=stats, **kwargs
+        )
+
+    if measure_memory:
+        count, peak = measure_peak(job)
+    else:
+        count, peak = job(), 0
+    return JoinMeasurement(
+        method=method,
+        workload=workload,
+        num_r=len(r_collection),
+        num_s=len(s),
+        results=count,
+        elapsed_seconds=stats.elapsed_seconds,
+        binary_searches=stats.binary_searches,
+        entries_touched=stats.entries_touched,
+        candidates=stats.candidates,
+        index_build_tokens=stats.index_build_tokens,
+        peak_memory_bytes=peak,
+    )
+
+
+def run_matrix(
+    methods: Sequence[str],
+    workloads: Iterable[Tuple[str, SetCollection]],
+    measure_memory: bool = False,
+    **kwargs,
+) -> List[JoinMeasurement]:
+    """Cross product of methods × workloads (self-join), in workload order."""
+    out: List[JoinMeasurement] = []
+    for name, data in workloads:
+        for method in methods:
+            out.append(
+                run_experiment(
+                    method, data, workload=name,
+                    measure_memory=measure_memory, **kwargs,
+                )
+            )
+    return out

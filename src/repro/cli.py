@@ -1,0 +1,270 @@
+"""Command-line interface: ``lcjoin`` (or ``python -m repro``).
+
+Subcommands
+-----------
+
+``join``      — join two dataset files (or self-join one) with any method.
+``generate``  — write a synthetic Zipf or real-world-surrogate dataset file.
+``stats``     — print Table II-style statistics and the z-value of a file.
+``compare``   — run several methods on one dataset and print a comparison.
+
+All dataset files are one whitespace-separated set per line; ``--tokens``
+treats tokens as strings (hashed through a shared dictionary), otherwise
+they must be integers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.report import format_measurements
+from .bench.runner import run_experiment
+from .core.api import join_methods, set_containment_join
+from .core.stats import JoinStats
+from .data.collection import ElementDictionary
+from .data.io import load_collection, load_tokens, save_collection
+from .data.realworld import REAL_WORLD_SPECS, generate_real_world
+from .data.skew import top_k_mass, z_value
+from .data.synthetic import generate_zipf
+from .errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lcjoin",
+        description="LCJoin: set containment joins via list crosscutting "
+        "(ICDE 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_join = sub.add_parser("join", help="join two dataset files")
+    p_join.add_argument("r_file", help="subset-side dataset (one set per line)")
+    p_join.add_argument(
+        "s_file", nargs="?", default=None,
+        help="superset-side dataset; omit for a self join",
+    )
+    p_join.add_argument("--method", default="lcjoin", choices=join_methods())
+    p_join.add_argument("--tokens", action="store_true",
+                        help="treat tokens as strings instead of integers")
+    p_join.add_argument("--count-only", action="store_true",
+                        help="print only the number of result pairs")
+    p_join.add_argument("--max-sets", type=int, default=None,
+                        help="load at most this many sets per file")
+    p_join.add_argument("--output", default=None,
+                        help="write result pairs here instead of stdout")
+
+    p_gen = sub.add_parser("generate", help="generate a dataset file")
+    p_gen.add_argument("output", help="output path")
+    p_gen.add_argument("--kind", default="zipf",
+                       choices=["zipf"] + sorted(REAL_WORLD_SPECS))
+    p_gen.add_argument("--cardinality", type=int, default=10_000)
+    p_gen.add_argument("--avg-set-size", type=float, default=8.0)
+    p_gen.add_argument("--num-elements", type=int, default=1_000)
+    p_gen.add_argument("--z", type=float, default=0.5)
+    p_gen.add_argument("--scale", type=float, default=0.001,
+                       help="cardinality scale for real-world surrogates")
+    p_gen.add_argument("--seed", type=int, default=42)
+
+    p_stats = sub.add_parser("stats", help="dataset statistics (Table II style)")
+    p_stats.add_argument("file")
+    p_stats.add_argument("--tokens", action="store_true")
+    p_stats.add_argument("--full", action="store_true",
+                         help="full profile: percentiles, histograms, dupes")
+
+    p_est = sub.add_parser(
+        "estimate", help="sampled result-size estimate before joining"
+    )
+    p_est.add_argument("file")
+    p_est.add_argument("--tokens", action="store_true")
+    p_est.add_argument("--sample-size", type=int, default=500)
+
+    p_inds = sub.add_parser(
+        "inds", help="discover inclusion dependencies in a directory of CSVs"
+    )
+    p_inds.add_argument("directory")
+    p_inds.add_argument("--min-coverage", type=float, default=0.0)
+    p_inds.add_argument("--max-arity", type=int, default=1)
+
+    sub.add_parser("workloads", help="list the named benchmark workloads")
+
+    p_cmp = sub.add_parser("compare", help="compare methods on one dataset")
+    p_cmp.add_argument("file")
+    p_cmp.add_argument("--methods", default="lcjoin,tree_et,framework_et,pretti,limit,ttjoin",
+                       help="comma-separated method names")
+    p_cmp.add_argument("--tokens", action="store_true")
+    p_cmp.add_argument("--max-sets", type=int, default=None)
+    p_cmp.add_argument("--memory", action="store_true",
+                       help="also measure tracemalloc peaks")
+
+    p_self = sub.add_parser(
+        "selftest",
+        help="differential check of every method against brute force",
+    )
+    p_self.add_argument("--trials", type=int, default=50)
+    p_self.add_argument("--seed", type=int, default=0)
+    p_self.add_argument("--methods", default=None,
+                        help="comma-separated subset (default: all)")
+    return parser
+
+
+def _load(path: str, tokens: bool, max_sets: Optional[int],
+          dictionary: Optional[ElementDictionary] = None):
+    if tokens:
+        return load_tokens(path, dictionary=dictionary, max_sets=max_sets)
+    return load_collection(path, max_sets=max_sets), None
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    r_collection, dictionary = _load(args.r_file, args.tokens, args.max_sets)
+    if args.s_file is None:
+        s_collection = r_collection
+    else:
+        s_collection, __ = _load(args.s_file, args.tokens, args.max_sets, dictionary)
+    stats = JoinStats()
+    if args.count_only:
+        count = set_containment_join(
+            r_collection, s_collection, method=args.method,
+            collect="count", stats=stats,
+        )
+        print(count)
+    else:
+        pairs = set_containment_join(
+            r_collection, s_collection, method=args.method, stats=stats
+        )
+        out = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+        try:
+            for rid, sid in pairs:
+                out.write(f"{rid} {sid}\n")
+        finally:
+            if args.output:
+                out.close()
+    print(
+        f"# method={args.method} results={stats.results} "
+        f"time={stats.elapsed_seconds:.3f}s searches={stats.binary_searches}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "zipf":
+        data = generate_zipf(
+            cardinality=args.cardinality,
+            avg_set_size=args.avg_set_size,
+            num_elements=args.num_elements,
+            z=args.z,
+            seed=args.seed,
+        )
+    else:
+        data = generate_real_world(args.kind, scale=args.scale, seed=args.seed)
+    save_collection(data, args.output)
+    stats = data.stats()
+    print(f"wrote {stats.num_sets} sets to {args.output} "
+          f"(avg size {stats.avg_size:.2f}, {stats.num_elements} elements)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    collection, __ = _load(args.file, args.tokens, None)
+    if args.full:
+        from .data.summary import profile
+
+        print(profile(collection).render())
+        return 0
+    stats = collection.stats()
+    print(f"# of sets:        {stats.num_sets}")
+    print(f"min/max/avg size: {stats.min_size} / {stats.max_size} / {stats.avg_size:.2f}")
+    print(f"# of elements:    {stats.num_elements}")
+    print(f"total tokens:     {stats.total_tokens}")
+    print(f"z-value:          {z_value(collection):.3f}")
+    print(f"top-150 mass:     {top_k_mass(collection, 150) * 100:.2f}%")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from .core.estimate import estimate_result_size
+
+    collection, __ = _load(args.file, args.tokens, None)
+    est = estimate_result_size(collection, sample_size=args.sample_size)
+    print(f"estimated result pairs: {int(est):,} "
+          f"(from a {est.sample_size}-set sample, "
+          f"scale factor {est.scale_factor:.1f})")
+    return 0
+
+
+def _cmd_inds(args: argparse.Namespace) -> int:
+    from .relational import find_inds, find_nary_inds, load_directory
+
+    tables = load_directory(args.directory)
+    print(f"loaded {len(tables)} tables from {args.directory}")
+    inds = find_inds(tables, min_coverage=args.min_coverage)
+    for ind in inds:
+        print(f"  {ind}")
+    if args.max_arity > 1:
+        for ind in find_nary_inds(tables, max_arity=args.max_arity):
+            if ind.arity > 1:
+                print(f"  {ind}")
+    print(f"{len(inds)} unary inclusion dependencies")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from .data.workloads import describe, workload_names
+
+    for name in workload_names():
+        print(f"{name:14s} {describe(name)}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    collection, __ = _load(args.file, args.tokens, args.max_sets)
+    methods: List[str] = [m.strip() for m in args.methods.split(",") if m.strip()]
+    measurements = [
+        run_experiment(m, collection, workload=args.file,
+                       measure_memory=args.memory)
+        for m in methods
+    ]
+    print(format_measurements(measurements))
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from .core.selfcheck import self_check
+
+    methods = (
+        [m.strip() for m in args.methods.split(",") if m.strip()]
+        if args.methods
+        else None
+    )
+    report = self_check(trials=args.trials, methods=methods, seed=args.seed)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "join": _cmd_join,
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "estimate": _cmd_estimate,
+        "inds": _cmd_inds,
+        "workloads": _cmd_workloads,
+        "compare": _cmd_compare,
+        "selftest": _cmd_selftest,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

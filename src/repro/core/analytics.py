@@ -1,0 +1,113 @@
+"""Containment analytics over one join pass.
+
+Aggregate views of the containment relation that applications keep asking
+for, each computed with a streaming sink so the pair list never needs to
+be materialised:
+
+* :func:`containment_counts` — per-``R`` superset counts and per-``S``
+  subset counts (fan-out histograms of the relation);
+* :func:`top_contained` — the ``R`` sets with the most supersets (the
+  "most general" records: short popular tag sets, loose rule patterns);
+* :func:`top_containers` — the ``S`` sets containing the most others (hub
+  records: catch-all documents, wide transactions);
+* :func:`containment_ratio` — the relation's density against the full
+  cross product, a one-number selectivity measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..data.collection import SetCollection
+from .api import set_containment_join
+from .stats import JoinStats
+
+__all__ = [
+    "ContainmentCounts",
+    "containment_counts",
+    "top_contained",
+    "top_containers",
+    "containment_ratio",
+]
+
+
+@dataclass(frozen=True)
+class ContainmentCounts:
+    """Fan-out of the containment relation."""
+
+    supersets_per_r: Tuple[int, ...]
+    subsets_per_s: Tuple[int, ...]
+    total_pairs: int
+
+    def r_histogram(self) -> List[Tuple[int, int]]:
+        """(superset count, how many R sets have it), ascending."""
+        from collections import Counter
+
+        return sorted(Counter(self.supersets_per_r).items())
+
+
+def containment_counts(
+    r_collection: SetCollection,
+    s_collection: Optional[SetCollection] = None,
+    method: str = "lcjoin",
+    stats: Optional[JoinStats] = None,
+) -> ContainmentCounts:
+    """Count the relation's fan-out without materialising pairs."""
+    s = s_collection if s_collection is not None else r_collection
+    per_r = [0] * len(r_collection)
+    per_s = [0] * len(s)
+
+    def on_pair(rid: int, sid: int) -> None:
+        per_r[rid] += 1
+        per_s[sid] += 1
+
+    total = set_containment_join(
+        r_collection, s, method=method, collect="callback",
+        callback=on_pair, stats=stats,
+    )
+    return ContainmentCounts(tuple(per_r), tuple(per_s), total)
+
+
+def top_contained(
+    r_collection: SetCollection,
+    s_collection: Optional[SetCollection] = None,
+    k: int = 10,
+    method: str = "lcjoin",
+) -> List[Tuple[int, int]]:
+    """The ``k`` R ids with the most supersets, as (rid, count), ties by id."""
+    counts = containment_counts(r_collection, s_collection, method=method)
+    order = sorted(
+        range(len(counts.supersets_per_r)),
+        key=lambda rid: (-counts.supersets_per_r[rid], rid),
+    )
+    return [(rid, counts.supersets_per_r[rid]) for rid in order[:k]]
+
+
+def top_containers(
+    r_collection: SetCollection,
+    s_collection: Optional[SetCollection] = None,
+    k: int = 10,
+    method: str = "lcjoin",
+) -> List[Tuple[int, int]]:
+    """The ``k`` S ids containing the most R sets, as (sid, count)."""
+    counts = containment_counts(r_collection, s_collection, method=method)
+    order = sorted(
+        range(len(counts.subsets_per_s)),
+        key=lambda sid: (-counts.subsets_per_s[sid], sid),
+    )
+    return [(sid, counts.subsets_per_s[sid]) for sid in order[:k]]
+
+
+def containment_ratio(
+    r_collection: SetCollection,
+    s_collection: Optional[SetCollection] = None,
+    method: str = "lcjoin",
+) -> float:
+    """``|R ⋈⊆ S| / (|R|·|S|)`` — the relation's density in [0, 1]."""
+    s = s_collection if s_collection is not None else r_collection
+    cross = len(r_collection) * len(s)
+    if cross == 0:
+        return 0.0
+    total = set_containment_join(r_collection, s, method=method, collect="count")
+    return total / cross

@@ -1,0 +1,126 @@
+"""Public front door: :func:`set_containment_join` and the method registry.
+
+Every algorithm in the library — the paper's four LCJoin variants, the two
+partitioned methods, and all nine baselines — is callable through one
+function with one signature. The registry also drives the CLI and the
+benchmark harness, so adding a method in one place surfaces it everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..baselines.bnl import bnl_join
+from ..baselines.dcj import dcj_join
+from ..baselines.limit import limit_join
+from ..baselines.naive import naive_join
+from ..baselines.piejoin import pie_join
+from ..baselines.pretti import pretti_join
+from ..baselines.psj import psj_join
+from ..baselines.shj import shj_join
+from ..baselines.ttjoin import tt_join
+from ..data.collection import SetCollection
+from ..errors import UnknownMethodError
+from .framework import framework_join
+from .partition import all_partition_join, lcjoin
+from .results import make_sink
+from .stats import JoinStats
+from .tree_join import tree_join
+
+__all__ = ["set_containment_join", "join_methods", "JOIN_METHODS"]
+
+# Each adapter takes (R, S, sink, stats=..., **kwargs).
+JOIN_METHODS: Dict[str, Callable] = {
+    # The paper's methods (§III–§V).
+    "framework": lambda r, s, sink, **kw: framework_join(
+        r, s, sink, early_termination=False, **kw
+    ),
+    "framework_et": lambda r, s, sink, **kw: framework_join(
+        r, s, sink, early_termination=True, **kw
+    ),
+    "tree": lambda r, s, sink, **kw: tree_join(
+        r, s, sink, early_termination=False, **kw
+    ),
+    "tree_et": lambda r, s, sink, **kw: tree_join(
+        r, s, sink, early_termination=True, **kw
+    ),
+    "all_partition": all_partition_join,
+    "lcjoin": lcjoin,
+    # Baselines (§VII).
+    "naive": naive_join,
+    "bnl": bnl_join,
+    "pretti": pretti_join,
+    "limit": limit_join,
+    "ttjoin": tt_join,
+    "piejoin": pie_join,
+    "shj": shj_join,
+    "psj": psj_join,
+    "dcj": dcj_join,
+}
+
+
+def join_methods() -> Tuple[str, ...]:
+    """Registered method names, paper methods first."""
+    return tuple(JOIN_METHODS)
+
+
+def set_containment_join(
+    r_collection: SetCollection,
+    s_collection: SetCollection,
+    method: str = "lcjoin",
+    collect: str = "pairs",
+    callback: Optional[Callable[[int, int], None]] = None,
+    stats: Optional[JoinStats] = None,
+    **kwargs,
+) -> Union[List[Tuple[int, int]], int]:
+    """Compute ``R ⋈⊆ S = {(rid, sid) | R[rid] ⊆ S[sid]}``.
+
+    Parameters
+    ----------
+    r_collection, s_collection:
+        The subset side and the superset side. For a self join pass the same
+        object twice (the paper evaluates self joins; every reported pair
+        then includes the trivial ``R ⊆ R`` reflexive matches, as in the
+        original evaluation).
+    method:
+        One of :func:`join_methods` — ``"lcjoin"`` (the paper's full
+        method) by default — or ``"auto"`` to let
+        :func:`repro.core.planner.choose_method` pick from workload
+        statistics.
+    collect:
+        ``"pairs"`` returns the list of ``(rid, sid)`` pairs;
+        ``"count"`` returns only their number; ``"callback"`` streams each
+        pair into ``callback`` and returns the count.
+    stats:
+        Optional :class:`~repro.core.stats.JoinStats` to meter the run; the
+        wall-clock time is always recorded into ``stats.elapsed_seconds``.
+    kwargs:
+        Method-specific knobs (e.g. ``limit=`` for LIMIT+, ``k=`` for
+        TT-Join, ``patience=`` for LCJoin, ``patricia=True`` for the
+        compressed tree). Unknown knobs raise ``TypeError`` from the method.
+
+    Returns
+    -------
+    The pair list (``collect="pairs"``) or the result count.
+    """
+    if method == "auto":
+        # Lazy import: the planner's estimator runs joins through this very
+        # function, so the modules are mutually recursive by design.
+        from .planner import choose_method
+
+        method = choose_method(r_collection, s_collection).method
+    try:
+        impl = JOIN_METHODS[method]
+    except KeyError:
+        raise UnknownMethodError(method, join_methods()) from None
+    sink = make_sink(collect, callback)
+    start = time.perf_counter()
+    impl(r_collection, s_collection, sink, stats=stats, **kwargs)
+    elapsed = time.perf_counter() - start
+    if stats is not None:
+        stats.elapsed_seconds += elapsed
+        stats.results += len(sink)
+    if collect == "pairs":
+        return sink.pairs
+    return len(sink)

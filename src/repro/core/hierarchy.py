@@ -1,0 +1,134 @@
+"""Containment hierarchies (Hasse diagram of the ⊆ partial order).
+
+The all-pair join gives the full containment *relation*; many consumers —
+taxonomy induction over tag sets, deduplication of rule bases, lattice
+browsing — want the **transitive reduction**: each set linked only to its
+*direct* (minimal) supersets. This module derives that hierarchy from one
+containment join.
+
+Duplicate sets are collapsed into one node each (a partial order is over
+distinct sets; duplicates are recorded on the node). Construction sorts
+nodes by set size, collects each node's proper supersets via the join, and
+prunes transitive edges with a reachability sweep — ``O(E · depth)`` on the
+reduced graph, fine at library scale.
+
+Also here: the skyline helpers ``maximal_sets`` / ``minimal_sets`` (the
+top and bottom antichains of the order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..data.collection import SetCollection
+from .api import set_containment_join
+
+__all__ = ["HierarchyNode", "ContainmentHierarchy", "build_hierarchy"]
+
+
+@dataclass
+class HierarchyNode:
+    """One distinct set in the hierarchy."""
+
+    node_id: int
+    record: Tuple[int, ...]
+    member_ids: List[int] = field(default_factory=list)
+    parents: List[int] = field(default_factory=list)   # direct supersets
+    children: List[int] = field(default_factory=list)  # direct subsets
+
+    @property
+    def size(self) -> int:
+        return len(self.record)
+
+
+class ContainmentHierarchy:
+    """The transitive reduction of ⊆ over a collection's distinct sets."""
+
+    def __init__(self, nodes: List[HierarchyNode]):
+        self.nodes = nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node_of(self, record: Sequence[int]) -> "HierarchyNode | None":
+        key = tuple(sorted(set(record)))
+        for node in self.nodes:
+            if node.record == key:
+                return node
+        return None
+
+    def roots(self) -> List[HierarchyNode]:
+        """Maximal sets: contained in no other distinct set."""
+        return [n for n in self.nodes if not n.parents]
+
+    def leaves(self) -> List[HierarchyNode]:
+        """Minimal sets: containing no other distinct set."""
+        return [n for n in self.nodes if not n.children]
+
+    def ancestors(self, node_id: int) -> Set[int]:
+        """All (transitive) proper supersets of a node."""
+        seen: Set[int] = set()
+        stack = list(self.nodes[node_id].parents)
+        while stack:
+            nid = stack.pop()
+            if nid not in seen:
+                seen.add(nid)
+                stack.extend(self.nodes[nid].parents)
+        return seen
+
+    def depth(self) -> int:
+        """Length of the longest chain (in edges)."""
+        memo: Dict[int, int] = {}
+
+        def height(nid: int) -> int:
+            if nid not in memo:
+                node = self.nodes[nid]
+                memo[nid] = 1 + max(
+                    (height(c) for c in node.children), default=-1
+                )
+            return memo[nid]
+
+        # Sets are bounded in size, so chains are short; recursion is safe
+        # for any realistic input (chain length <= max set size).
+        return max((height(n.node_id) for n in self.roots()), default=0)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All (child, parent) direct edges."""
+        return [(n.node_id, p) for n in self.nodes for p in n.parents]
+
+
+def build_hierarchy(
+    collection: SetCollection, method: str = "lcjoin"
+) -> ContainmentHierarchy:
+    """Build the containment hierarchy of ``collection``'s distinct sets."""
+    from ..data.transforms import deduplicate
+
+    unique, groups = deduplicate(collection)
+    nodes = [
+        HierarchyNode(node_id=i, record=unique[i], member_ids=groups[i])
+        for i in range(len(unique))
+    ]
+    if not nodes:
+        return ContainmentHierarchy(nodes)
+
+    pairs = set_containment_join(unique, unique, method=method)
+    supersets: Dict[int, Set[int]] = {i: set() for i in range(len(unique))}
+    for rid, sid in pairs:
+        if rid != sid:
+            supersets[rid].add(sid)
+
+    # Transitive reduction: a superset p of n is *direct* iff no other
+    # superset of n lies strictly between them — i.e. p is not a superset
+    # of any other superset of n.
+    for nid, sups in supersets.items():
+        indirect: Set[int] = set()
+        for mid in sups:
+            indirect |= supersets[mid] & sups
+        direct = sorted(sups - indirect)
+        nodes[nid].parents = direct
+        for p in direct:
+            nodes[p].children.append(nid)
+    for node in nodes:
+        node.children.sort()
+    return ContainmentHierarchy(nodes)

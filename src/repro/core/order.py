@@ -1,0 +1,123 @@
+"""Global element orders.
+
+Several structures in the paper depend on a *global order* of elements:
+
+* the prefix tree on ``R`` inserts each set's elements sorted in the global
+  order (§IV-A), and the paper's implementation uses **decreasing frequency**
+  so that frequent elements cluster near the root and more computation is
+  shared;
+* the partitioner (§V-A) splits ``R`` by each set's *smallest* element in the
+  global order, i.e. its most frequent element under the default order;
+* TT-Join's signature is the ``k`` **least** frequent elements of a set,
+  which is simply the suffix of the set under the same order.
+
+A :class:`GlobalOrder` is a permutation of element ids exposed as a ``rank``
+array: ``rank[e]`` is the position of element ``e``, smaller means earlier.
+Frequencies are always counted on the **indexed side** ``S`` (frequencies in
+``R`` say nothing about inverted-list lengths).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional, Sequence
+
+from ..data.collection import SetCollection
+from ..errors import InvalidParameterError
+
+__all__ = ["GlobalOrder", "build_order", "ORDER_KINDS"]
+
+ORDER_KINDS = ("freq_desc", "freq_asc", "element_id")
+
+
+class GlobalOrder:
+    """A total order over element ids ``0 .. universe-1``.
+
+    ``rank[e]`` gives the sort key of element ``e``; ties in the underlying
+    criterion are broken by element id, so the order is deterministic.
+    """
+
+    __slots__ = ("rank", "kind", "frequency")
+
+    def __init__(self, rank: Sequence[int], kind: str, frequency: Optional[Counter] = None):
+        self.rank: List[int] = list(rank)
+        self.kind = kind
+        self.frequency: Counter = frequency if frequency is not None else Counter()
+
+    def __len__(self) -> int:
+        return len(self.rank)
+
+    def extend_to(self, universe: int) -> None:
+        """Grow the rank array to cover element ids up to ``universe - 1``.
+
+        Newly covered ids rank after every known element, in id order —
+        the same placement :func:`build_order` gives unseen elements. Used
+        by incremental indexes when an appended set introduces elements.
+        """
+        rank = self.rank
+        while len(rank) < universe:
+            rank.append(len(rank))
+
+    def sort_record(self, record: Iterable[int]) -> List[int]:
+        """Sort a record's elements into the global order."""
+        rank = self.rank
+        return sorted(record, key=rank.__getitem__)
+
+    def smallest(self, record: Iterable[int]) -> int:
+        """The record's smallest element in the global order (partition key)."""
+        rank = self.rank
+        return min(record, key=rank.__getitem__)
+
+    def largest_suffix(self, record: Iterable[int], k: int) -> List[int]:
+        """The ``k`` largest elements in the order — TT-Join's signature.
+
+        Under ``freq_desc`` these are the ``k`` *least frequent* elements,
+        returned sorted in the global order.
+        """
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        srt = self.sort_record(record)
+        return srt[-k:] if k < len(srt) else srt
+
+    def freq(self, element: int) -> int:
+        """Occurrence count of ``element`` on the indexed side."""
+        return self.frequency.get(element, 0)
+
+
+def build_order(
+    s_collection: SetCollection,
+    kind: str = "freq_desc",
+    universe: Optional[int] = None,
+) -> GlobalOrder:
+    """Build a :class:`GlobalOrder` from the indexed collection ``S``.
+
+    ``kind`` is one of:
+
+    * ``"freq_desc"`` — decreasing frequency in ``S`` (the paper's choice);
+    * ``"freq_asc"``  — increasing frequency (used for ablation; also what
+      several prior systems, e.g. PRETTI variants, prefer);
+    * ``"element_id"`` — ascending raw element id (the paper's running
+      example uses subscript order).
+
+    ``universe`` forces the rank array length when ``R`` contains element ids
+    that never occur in ``S`` — those get ranks after every ``S`` element,
+    ordered by id.
+    """
+    if kind not in ORDER_KINDS:
+        raise InvalidParameterError(
+            f"unknown order kind {kind!r}; expected one of {ORDER_KINDS}"
+        )
+    freq = s_collection.element_frequencies()
+    size = max(s_collection.max_element() + 1, universe or 0)
+    ids = list(range(size))
+    if kind == "freq_desc":
+        ids.sort(key=lambda e: (-freq.get(e, 0), e))
+    elif kind == "freq_asc":
+        # Elements absent from S sort first (frequency 0), matching "least
+        # frequent"; ties by id.
+        ids.sort(key=lambda e: (freq.get(e, 0), e))
+    # "element_id": ids already ascending.
+    rank = [0] * size
+    for pos, e in enumerate(ids):
+        rank[e] = pos
+    return GlobalOrder(rank, kind, freq)

@@ -1,0 +1,98 @@
+"""Automatic method selection (``method="auto"``).
+
+The paper's own evaluation shows no single configuration wins everywhere:
+the framework beats the tree on small inputs (§VI-B), partitioning beats
+both once there is data to share (§VI-C), and the adaptive switch exists
+precisely because the right index choice is workload-dependent (§V-B).
+This module extends that adaptivity one level up: pick the *method* from
+cheap workload statistics, with an optional sampling probe for the
+undecided middle ground.
+
+Heuristics (in decision order):
+
+1. tiny inputs (``|R|·|S|`` below a threshold) → ``naive``: no structure
+   pays for itself;
+2. small ``R`` relative to ``S``'s vocabulary (little prefix sharing to
+   exploit) → ``framework_et``;
+3. otherwise → ``lcjoin`` (tree sharing + partitioning), the paper's
+   full method and the right default at scale;
+4. with ``probe=True``, the borderline band is resolved by
+   :func:`repro.core.estimate.estimate_costs` on a sample instead of by
+   rules 2–3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..data.collection import SetCollection
+from .estimate import estimate_costs
+
+__all__ = ["PlanDecision", "choose_method"]
+
+#: |R| * |S| below which brute force beats building any index.
+NAIVE_CROSS_LIMIT = 2_000
+
+#: Average sets-per-distinct-element in R below which prefix sharing is too
+#: thin for the tree to pay off.
+SHARING_THRESHOLD = 2.0
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """The chosen method plus the reasoning, for logs and tests."""
+
+    method: str
+    reason: str
+    sharing_ratio: float
+    cross_product: int
+
+
+def choose_method(
+    r_collection: SetCollection,
+    s_collection: Optional[SetCollection] = None,
+    probe: bool = False,
+    sample_size: int = 300,
+) -> PlanDecision:
+    """Pick a join method for this workload.
+
+    With ``probe=True``, candidate methods are cost-estimated on an
+    R-sample (slower, more reliable); otherwise pure statistics decide.
+    """
+    s = s_collection if s_collection is not None else r_collection
+    cross = len(r_collection) * len(s)
+    if cross <= NAIVE_CROSS_LIMIT:
+        return PlanDecision("naive", "tiny input: brute force wins", 0.0, cross)
+
+    distinct = len({e for rec in r_collection for e in rec})
+    sharing = len(r_collection) / max(distinct, 1)
+
+    if probe:
+        costs = estimate_costs(
+            r_collection, s,
+            methods=("framework_et", "lcjoin"),
+            sample_size=sample_size,
+        )
+        method = min(costs, key=costs.get)
+        return PlanDecision(
+            method,
+            f"sampled costs {': '.join(f'{m}={c:.0f}' for m, c in costs.items())}",
+            sharing,
+            cross,
+        )
+
+    if sharing < SHARING_THRESHOLD:
+        return PlanDecision(
+            "framework_et",
+            f"sharing ratio {sharing:.2f} < {SHARING_THRESHOLD}: "
+            "prefix tree would not pay off",
+            sharing,
+            cross,
+        )
+    return PlanDecision(
+        "lcjoin",
+        f"sharing ratio {sharing:.2f}: tree sharing and partitioning pay off",
+        sharing,
+        cross,
+    )

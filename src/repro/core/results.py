@@ -1,0 +1,111 @@
+"""Result sinks.
+
+On skewed inputs a containment join's output can be far larger than its
+input (every small set joins with thousands of supersets), and the paper's
+TWITTER preprocessing ("removed the sets with more than 5000 elements to
+keep the number of results reasonable") exists precisely because of that.
+Materialising every pair is therefore a *choice*, not a given — benchmarks
+usually only need the count.
+
+All algorithms emit through a sink with a single ``add(rid, sid)`` method;
+three implementations cover the practical cases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+__all__ = ["PairListSink", "CountSink", "CallbackSink", "make_sink"]
+
+
+class PairListSink:
+    """Materialise every ``(rid, sid)`` pair in emission order.
+
+    The bulk methods (``add_rids`` / ``add_sids``) exist because several
+    algorithms naturally produce one-to-many results (a whole rid list
+    against one superset, or one subset against a candidate list); emitting
+    them in one call keeps the per-pair overhead out of the hot loops of
+    *every* method, so cross-method timings stay fair.
+    """
+
+    __slots__ = ("pairs",)
+
+    def __init__(self) -> None:
+        self.pairs: List[Tuple[int, int]] = []
+
+    def add(self, rid: int, sid: int) -> None:
+        self.pairs.append((rid, sid))
+
+    def add_rids(self, rids, sid: int) -> None:
+        """Emit ``(rid, sid)`` for every rid in ``rids``."""
+        self.pairs.extend((rid, sid) for rid in rids)
+
+    def add_sids(self, rid: int, sids) -> None:
+        """Emit ``(rid, sid)`` for every sid in ``sids``."""
+        self.pairs.extend((rid, sid) for sid in sids)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def sorted_pairs(self) -> List[Tuple[int, int]]:
+        """Pairs in canonical ``(rid, sid)`` order, for comparisons in tests."""
+        return sorted(self.pairs)
+
+
+class CountSink:
+    """Count results without materialising them."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, rid: int, sid: int) -> None:
+        self.count += 1
+
+    def add_rids(self, rids, sid: int) -> None:
+        self.count += len(rids)
+
+    def add_sids(self, rid: int, sids) -> None:
+        self.count += len(sids)
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class CallbackSink:
+    """Forward each pair to a user callback (streaming consumption)."""
+
+    __slots__ = ("callback", "count")
+
+    def __init__(self, callback: Callable[[int, int], None]) -> None:
+        self.callback = callback
+        self.count = 0
+
+    def add(self, rid: int, sid: int) -> None:
+        self.count += 1
+        self.callback(rid, sid)
+
+    def add_rids(self, rids, sid: int) -> None:
+        for rid in rids:
+            self.add(rid, sid)
+
+    def add_sids(self, rid: int, sids) -> None:
+        for sid in sids:
+            self.add(rid, sid)
+
+    def __len__(self) -> int:
+        return self.count
+
+
+def make_sink(collect: str = "pairs", callback: Callable[[int, int], None] = None):
+    """Factory used by the public API: ``"pairs"``, ``"count"`` or ``"callback"``."""
+    if collect == "pairs":
+        return PairListSink()
+    if collect == "count":
+        return CountSink()
+    if collect == "callback":
+        if callback is None:
+            raise ValueError("collect='callback' requires a callback")
+        return CallbackSink(callback)
+    raise ValueError(f"unknown collect mode {collect!r}")

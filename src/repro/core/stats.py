@@ -1,0 +1,99 @@
+"""Cost counters shared by every join implementation.
+
+The paper's evaluation is wall-clock on a 20-core C++ testbed. A pure-Python
+reproduction cannot match absolute times, so alongside wall-clock we meter
+**abstract costs** that are hardware-independent and map directly onto the
+paper's cost model (§III-B):
+
+* ``binary_searches`` — probes into inverted lists (the dominant term
+  ``x·Σ_R Σ_e log|I[e]|``);
+* ``entries_touched`` — postings materialised or compared (rip-cutting
+  baselines pay this linearly; cross-cutting skips it);
+* ``candidates`` — pairs that reached verification (union-oriented and
+  signature methods);
+* ``rounds`` — specific-set iterations of the cross-cutting loop;
+* ``index_build_tokens`` — ``Σ|S|`` index construction work, including local
+  index rebuilds in the partitioned methods.
+
+Counters are plain ints on ``__slots__`` so incrementing them in hot loops is
+as cheap as Python allows; pass ``stats=None`` to skip metering entirely
+(every algorithm treats the ``None`` case with a dedicated fast path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["JoinStats"]
+
+
+class JoinStats:
+    """Mutable cost-counter bundle attached to a single join run."""
+
+    __slots__ = (
+        "binary_searches",
+        "entries_touched",
+        "candidates",
+        "results",
+        "rounds",
+        "index_build_tokens",
+        "tree_nodes",
+        "partitions_local",
+        "partitions_global",
+        "elapsed_seconds",
+        "peak_memory_bytes",
+    )
+
+    def __init__(self) -> None:
+        self.binary_searches = 0
+        self.entries_touched = 0
+        self.candidates = 0
+        self.results = 0
+        self.rounds = 0
+        self.index_build_tokens = 0
+        self.tree_nodes = 0
+        self.partitions_local = 0
+        self.partitions_global = 0
+        self.elapsed_seconds = 0.0
+        self.peak_memory_bytes = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """All counters as a plain dict (for reports and tests)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def merge(self, other: "JoinStats") -> None:
+        """Accumulate another run's counters into this one."""
+        for name in self.__slots__:
+            if name == "peak_memory_bytes":
+                self.peak_memory_bytes = max(self.peak_memory_bytes, other.peak_memory_bytes)
+            else:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def abstract_cost(self) -> int:
+        """Single-number cost proxy: probes plus postings touched plus builds.
+
+        Used by the adaptive partition processor (§V-B) to compare "process
+        with the global index" against "build a local index and process with
+        it" in hardware-independent units.
+        """
+        return self.binary_searches + self.entries_touched + self.index_build_tokens
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"JoinStats({parts})"
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Immutable copy of a :class:`JoinStats`, for before/after comparisons."""
+
+    values: Dict[str, float]
+
+    @classmethod
+    def of(cls, stats: JoinStats) -> "StatsSnapshot":
+        return cls(stats.as_dict())
+
+    def delta(self, stats: JoinStats) -> Dict[str, float]:
+        """Counter increments since this snapshot was taken."""
+        return {k: getattr(stats, k) - v for k, v in self.values.items()}

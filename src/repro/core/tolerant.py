@@ -1,0 +1,159 @@
+"""Error-tolerant set containment (the T-occurrence problem).
+
+The paper's related work cites two generalisations of exact containment:
+error-tolerant containment joins (Agrawal, Arasu & Kaushik, SIGMOD'10
+— ref [1]) and the T-occurrence algorithms of Li, Lu & Lu (ICDE'08 —
+ref [12]). Both reduce to the same primitive: find the ``S`` sets
+containing **at least T** of a query's elements. Exact containment is the
+special case ``T = |R|``; "containment with up to k missing elements" is
+``T = |R| - k``.
+
+Two classic algorithms are implemented, both operating on the same
+inverted index as everything else:
+
+* :func:`scan_count` — one counter per ``S`` id, bumped for every posting
+  of every query element; linear in the total list length, unbeatable for
+  high-frequency queries on small universes;
+* :func:`merge_skip` — the heap-based MergeSkip of Li et al.: ids are
+  merged across the lists and, whenever the current id cannot reach ``T``
+  occurrences, the ``T-1`` smallest heap heads are *popped and jumped*
+  past it — list skipping again, the same spirit as cross-cutting.
+
+:func:`tolerant_containment_join` lifts either primitive to a join.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from heapq import heapify, heappop, heappush
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.collection import SetCollection
+from ..errors import InvalidParameterError
+from ..index.inverted import InvertedIndex
+from .stats import JoinStats
+
+__all__ = ["scan_count", "merge_skip", "tolerant_containment_join"]
+
+
+def scan_count(
+    index: InvertedIndex, elements: Sequence[int], threshold: int
+) -> List[int]:
+    """Ids occurring in at least ``threshold`` of the elements' lists.
+
+    Duplicate query elements are collapsed first (an element can only
+    testify once).
+    """
+    if threshold < 1:
+        raise InvalidParameterError(f"threshold must be >= 1, got {threshold}")
+    counts: Dict[int, int] = {}
+    for e in set(elements):
+        for sid in index[e]:
+            counts[sid] = counts.get(sid, 0) + 1
+    return sorted(sid for sid, c in counts.items() if c >= threshold)
+
+
+def merge_skip(
+    index: InvertedIndex,
+    elements: Sequence[int],
+    threshold: int,
+    stats: Optional[JoinStats] = None,
+) -> List[int]:
+    """MergeSkip (Li, Lu & Lu, ICDE'08): heap merge with T-1 jumps.
+
+    Maintains a min-heap of (current id, list, cursor). When the smallest
+    id is held by ``c`` lists:
+
+    * ``c >= threshold`` → it's a result; advance those lists by one;
+    * otherwise the id cannot win — and neither can anything smaller than
+      the heap's ``threshold``-th distinct head; pop ``threshold - 1``
+      entries and binary-search each list forward to the new head,
+      skipping every posting in between.
+    """
+    if threshold < 1:
+        raise InvalidParameterError(f"threshold must be >= 1, got {threshold}")
+    lists = [index[e] for e in set(elements)]
+    lists = [lst for lst in lists if len(lst)]
+    if len(lists) < threshold:
+        return []
+    searches = 0
+    # Heap entries: [current id, list index]; cursors held separately.
+    cursors = [0] * len(lists)
+    heap: List[List[int]] = [[lst[0], i] for i, lst in enumerate(lists)]
+    heapify(heap)
+    out: List[int] = []
+    while len(heap) >= threshold:
+        smallest = heap[0][0]
+        # Count how many lists sit on this id.
+        holders: List[List[int]] = []
+        while heap and heap[0][0] == smallest:
+            holders.append(heappop(heap))
+        if len(holders) >= threshold:
+            out.append(smallest)
+            for entry in holders:
+                i = entry[1]
+                cursors[i] += 1
+                lst = lists[i]
+                if cursors[i] < len(lst):
+                    entry[0] = lst[cursors[i]]
+                    heappush(heap, entry)
+        else:
+            # Not enough holders: jump. Pop until threshold-1 entries are
+            # out of the heap in total, then everything below the new head
+            # can be skipped in one binary search per popped list.
+            while heap and len(holders) < threshold - 1:
+                holders.append(heappop(heap))
+            if not heap:
+                break
+            target = heap[0][0]
+            for entry in holders:
+                i = entry[1]
+                lst = lists[i]
+                pos = bisect_left(lst, target, cursors[i])
+                searches += 1
+                cursors[i] = pos
+                if pos < len(lst):
+                    entry[0] = lst[pos]
+                    heappush(heap, entry)
+    if stats is not None:
+        stats.binary_searches += searches
+    return out
+
+
+def tolerant_containment_join(
+    r_collection: SetCollection,
+    s_collection: SetCollection,
+    missing: int = 0,
+    algorithm: str = "merge_skip",
+    index: Optional[InvertedIndex] = None,
+    stats: Optional[JoinStats] = None,
+) -> List[Tuple[int, int]]:
+    """All pairs with ``|R \\ S| <= missing`` (exact join at ``missing=0``).
+
+    Sets smaller than ``missing`` match everything with any overlap
+    requirement below 1; they are matched against the whole of ``S``
+    (threshold clamps at 1 — at least one shared element is required, the
+    T-occurrence convention).
+    """
+    if missing < 0:
+        raise InvalidParameterError(f"missing must be >= 0, got {missing}")
+    if algorithm not in ("merge_skip", "scan_count"):
+        raise InvalidParameterError(
+            f"algorithm must be merge_skip or scan_count, got {algorithm!r}"
+        )
+    if index is None:
+        index = InvertedIndex.build(s_collection)
+        if stats is not None:
+            stats.index_build_tokens += index.construction_cost
+    out: List[Tuple[int, int]] = []
+    for rid, record in enumerate(r_collection):
+        threshold = max(len(record) - missing, 1)
+        if algorithm == "scan_count":
+            sids = scan_count(index, record, threshold)
+        else:
+            sids = merge_skip(index, record, threshold, stats=stats)
+        for sid in sids:
+            out.append((rid, sid))
+    if stats is not None:
+        stats.results += len(out)
+    return out

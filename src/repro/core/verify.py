@@ -1,0 +1,73 @@
+"""Ground-truth verification helpers used by tests and the bench harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from ..data.collection import SetCollection
+
+__all__ = ["ground_truth", "check_join_result", "is_subset_sorted"]
+
+
+def is_subset_sorted(small: Tuple[int, ...], big: Tuple[int, ...]) -> bool:
+    """Subset test on two sorted duplicate-free tuples by merging.
+
+    Faster than building frozensets when called once per pair, and the
+    records in a :class:`SetCollection` are already sorted.
+    """
+    if len(small) > len(big):
+        return False
+    j = 0
+    nb = len(big)
+    for e in small:
+        while j < nb and big[j] < e:
+            j += 1
+        if j == nb or big[j] != e:
+            return False
+        j += 1
+    return True
+
+
+def ground_truth(
+    r_collection: SetCollection, s_collection: SetCollection
+) -> List[Tuple[int, int]]:
+    """All containment pairs by brute force (quadratic; testing only)."""
+    s_sets = [frozenset(rec) for rec in s_collection]
+    out: List[Tuple[int, int]] = []
+    for rid, record in enumerate(r_collection):
+        rset = frozenset(record)
+        for sid, sset in enumerate(s_sets):
+            if rset <= sset:
+                out.append((rid, sid))
+    return out
+
+
+def check_join_result(
+    pairs: Iterable[Tuple[int, int]],
+    r_collection: SetCollection,
+    s_collection: SetCollection,
+) -> None:
+    """Assert that ``pairs`` is exactly the containment join, or raise.
+
+    Raises ``AssertionError`` naming the first false positive, the first
+    missing pair, or any duplicate — the failure modes of a broken join.
+    """
+    seen: Set[Tuple[int, int]] = set()
+    for rid, sid in pairs:
+        if (rid, sid) in seen:
+            raise AssertionError(f"duplicate result pair ({rid}, {sid})")
+        seen.add((rid, sid))
+        if not is_subset_sorted(r_collection[rid], s_collection[sid]):
+            raise AssertionError(
+                f"false positive: R{rid}={r_collection[rid]} is not a subset "
+                f"of S{sid}={s_collection[sid]}"
+            )
+    expected = set(ground_truth(r_collection, s_collection))
+    missing = expected - seen
+    if missing:
+        rid, sid = sorted(missing)[0]
+        raise AssertionError(
+            f"missing pair ({rid}, {sid}): R{rid}={r_collection[rid]} ⊆ "
+            f"S{sid}={s_collection[sid]} but was not reported "
+            f"({len(missing)} missing in total)"
+        )

@@ -1,0 +1,57 @@
+"""Datasets: containers, I/O, synthetic and surrogate generators, skew."""
+
+from .collection import CollectionStats, ElementDictionary, SetCollection
+from .examples import PAPER_EXPECTED_PAIRS, paper_r, paper_s
+from .io import load_collection, load_tokens, save_collection
+from .realworld import (
+    REAL_WORLD_SPECS,
+    aol_like,
+    flickr_like,
+    generate_real_world,
+    orkut_like,
+    twitter_like,
+)
+from .skew import mass_of_top_fraction, top_k_mass, z_value
+from .transforms import (
+    deduplicate,
+    expand_deduplicated_pairs,
+    filter_by_size,
+    project_elements,
+    relabel_by_frequency,
+)
+from .synthetic import (
+    DEFAULT_SPEC,
+    SyntheticSpec,
+    generate_zipf,
+    zipf_exponent_for_z,
+)
+
+__all__ = [
+    "SetCollection",
+    "ElementDictionary",
+    "CollectionStats",
+    "paper_r",
+    "paper_s",
+    "PAPER_EXPECTED_PAIRS",
+    "save_collection",
+    "load_collection",
+    "load_tokens",
+    "generate_zipf",
+    "SyntheticSpec",
+    "DEFAULT_SPEC",
+    "zipf_exponent_for_z",
+    "generate_real_world",
+    "flickr_like",
+    "aol_like",
+    "orkut_like",
+    "twitter_like",
+    "REAL_WORLD_SPECS",
+    "z_value",
+    "top_k_mass",
+    "mass_of_top_fraction",
+    "filter_by_size",
+    "deduplicate",
+    "expand_deduplicated_pairs",
+    "relabel_by_frequency",
+    "project_elements",
+]

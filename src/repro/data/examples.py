@@ -1,0 +1,50 @@
+"""The paper's running example (Table I) as ready-made collections.
+
+Element ``e_i`` maps to id ``i - 1`` and set ``S_j`` to id ``j - 1``, so the
+paper's expected join result ``{(R1, S3), (R2, S5)}`` becomes
+``{(0, 2), (1, 4)}``. Used by the golden tests and the quickstart example.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .collection import SetCollection
+
+__all__ = ["paper_r", "paper_s", "PAPER_EXPECTED_PAIRS"]
+
+
+def _e(*subscripts: int) -> List[int]:
+    """Translate the paper's 1-based element subscripts to 0-based ids."""
+    return [i - 1 for i in subscripts]
+
+
+def paper_r() -> SetCollection:
+    """Table I(a): the three ``R`` sets."""
+    return SetCollection(
+        [
+            _e(1, 2, 3, 4),  # R1
+            _e(2, 3, 5),     # R2
+            _e(1, 2, 5, 6),  # R3
+        ]
+    )
+
+
+def paper_s() -> SetCollection:
+    """Table I(b): the seven ``S`` sets."""
+    return SetCollection(
+        [
+            _e(1, 3, 4, 5, 6),     # S1
+            _e(1, 3, 5),           # S2
+            _e(1, 2, 3, 4, 6),     # S3
+            _e(2, 4, 5, 6),        # S4
+            _e(2, 3, 4, 5, 6),     # S5
+            _e(2, 3, 4, 6),        # S6
+            _e(1, 2, 3, 6),        # S7
+        ]
+    )
+
+
+#: Example 1: R1 ⊆ S3 and R2 ⊆ S5 — "for all the other 19 pairs, there is
+#: no subset relationship".
+PAPER_EXPECTED_PAIRS: List[Tuple[int, int]] = [(0, 2), (1, 4)]

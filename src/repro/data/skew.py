@@ -1,0 +1,86 @@
+"""Skew measurement: the paper's z-value and Fig 6's top-k frequency mass.
+
+The paper (§VI-A) defines the z-value of a dataset through the "80/20"
+rule: if the most frequent ``b`` percent of elements account for ``a``
+percent of all element occurrences, then::
+
+    z = 1 - log(a/100) / log(b/100)
+
+so ``a = b`` (uniform) gives ``z = 0`` and the classic 80/20 split gives
+``z ≈ 0.86``. We follow the paper and fix ``b = 20`` when measuring.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence, Union
+
+from ..errors import InvalidParameterError
+from .collection import SetCollection
+
+__all__ = ["z_value", "top_k_mass", "mass_of_top_fraction"]
+
+
+def _frequencies(data: Union[SetCollection, Counter, Sequence[int]]) -> Sequence[int]:
+    """Element occurrence counts, sorted descending."""
+    if isinstance(data, SetCollection):
+        counts = list(data.element_frequencies().values())
+    elif isinstance(data, Counter):
+        counts = list(data.values())
+    else:
+        counts = list(data)
+    counts.sort(reverse=True)
+    return counts
+
+
+def mass_of_top_fraction(
+    data: Union[SetCollection, Counter, Sequence[int]], fraction: float
+) -> float:
+    """Share of all occurrences held by the top ``fraction`` of elements.
+
+    ``fraction`` is of the *distinct element* count, e.g. ``0.2`` for the
+    top 20%. At least one element is always counted.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise InvalidParameterError(f"fraction must be in (0, 1], got {fraction}")
+    counts = _frequencies(data)
+    if not counts:
+        return 0.0
+    total = sum(counts)
+    top = max(1, int(len(counts) * fraction))
+    return sum(counts[:top]) / total
+
+
+def z_value(
+    data: Union[SetCollection, Counter, Sequence[int]], b_percent: float = 20.0
+) -> float:
+    """The paper's z-value with the top ``b_percent`` of elements.
+
+    Returns 0.0 for degenerate inputs (no elements, or a single distinct
+    element, where "top b%" is the whole population).
+    """
+    if not 0.0 < b_percent < 100.0:
+        raise InvalidParameterError(
+            f"b_percent must be in (0, 100), got {b_percent}"
+        )
+    a_fraction = mass_of_top_fraction(data, b_percent / 100.0)
+    if a_fraction <= 0.0 or a_fraction >= 1.0:
+        # a == 100% happens when the top bucket swallowed everything
+        # (tiny universes); the formula would be -inf/undefined.
+        return 0.0 if a_fraction <= 0.0 else 1.0
+    return 1.0 - math.log(a_fraction) / math.log(b_percent / 100.0)
+
+
+def top_k_mass(
+    data: Union[SetCollection, Counter, Sequence[int]], k: int = 150
+) -> float:
+    """Fig 6's metric: share of occurrences held by the ``k`` most frequent
+    elements (the paper plots the top 150)."""
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    counts = _frequencies(data)
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    return sum(counts[:k]) / total

@@ -1,0 +1,111 @@
+"""Dataset profiling beyond the Table II headline numbers.
+
+:func:`profile` computes the distributions that actually predict join
+behaviour — set-size percentiles and histogram, inverted-list length
+percentiles, duplicate-set share, and the skew measures — and renders them
+as a compact text report (``lcjoin stats --full``).
+
+These are the statistics the planner's heuristics and the paper's
+dataset discussion (§VI-A) are grounded in, made inspectable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .collection import SetCollection
+from .skew import top_k_mass, z_value
+
+__all__ = ["DatasetProfile", "profile", "percentile", "log_histogram"]
+
+
+def percentile(sorted_values: Sequence[int], q: float) -> float:
+    """Linear-interpolated percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    pos = (len(sorted_values) - 1) * q
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def log_histogram(values: Sequence[int]) -> List[Tuple[str, int]]:
+    """Counts per power-of-two bucket: ``1, 2, 3-4, 5-8, 9-16, ...``."""
+    buckets: Counter = Counter()
+    for v in values:
+        if v <= 0:
+            buckets["0"] += 1
+            continue
+        exp = max(0, (v - 1).bit_length())
+        buckets[exp] += 1
+    out = []
+    for exp in sorted(k for k in buckets if k != "0"):
+        lo = (1 << (exp - 1)) + 1 if exp > 0 else 1
+        hi = 1 << exp
+        label = str(hi) if lo >= hi else f"{lo}-{hi}"
+        out.append((label, buckets[exp]))
+    if buckets.get("0"):
+        out.insert(0, ("0", buckets["0"]))
+    return out
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Everything :func:`profile` measures."""
+
+    num_sets: int
+    num_elements: int
+    total_tokens: int
+    duplicate_sets: int
+    size_percentiles: Dict[str, float]
+    size_histogram: List[Tuple[str, int]]
+    list_percentiles: Dict[str, float]
+    z: float
+    top150_mass: float
+
+    def render(self) -> str:
+        lines = [
+            f"sets:            {self.num_sets:,}",
+            f"distinct elems:  {self.num_elements:,}",
+            f"total tokens:    {self.total_tokens:,}",
+            f"duplicate sets:  {self.duplicate_sets:,} "
+            f"({self.duplicate_sets / max(self.num_sets, 1):.1%})",
+            "set sizes:       "
+            + "  ".join(f"p{k}={v:g}" for k, v in self.size_percentiles.items()),
+            "list lengths:    "
+            + "  ".join(f"p{k}={v:g}" for k, v in self.list_percentiles.items()),
+            f"z-value:         {self.z:.3f}",
+            f"top-150 mass:    {self.top150_mass:.1%}",
+            "size histogram:",
+        ]
+        peak = max((count for __, count in self.size_histogram), default=1)
+        for label, count in self.size_histogram:
+            bar = "#" * max(1, math.ceil(count / peak * 40))
+            lines.append(f"  {label:>9}: {count:>8,} {bar}")
+        return "\n".join(lines)
+
+
+def profile(collection: SetCollection) -> DatasetProfile:
+    """Profile a collection (one pass over the data plus sorts)."""
+    sizes = sorted(len(rec) for rec in collection)
+    freq = collection.element_frequencies()
+    list_lengths = sorted(freq.values())
+    duplicates = len(collection) - len(set(collection.records))
+    qs = {"50": 0.50, "90": 0.90, "99": 0.99, "100": 1.0}
+    return DatasetProfile(
+        num_sets=len(collection),
+        num_elements=len(freq),
+        total_tokens=sum(sizes),
+        duplicate_sets=duplicates,
+        size_percentiles={k: percentile(sizes, q) for k, q in qs.items()},
+        size_histogram=log_histogram(sizes),
+        list_percentiles={k: percentile(list_lengths, q) for k, q in qs.items()},
+        z=z_value(freq),
+        top150_mass=top_k_mass(freq, 150),
+    )

@@ -1,0 +1,159 @@
+"""Synthetic Zipf dataset generator (paper §VI-A, Table III).
+
+The paper generates synthetic datasets with four parameters: data
+cardinality (number of sets), average set size, number of distinct
+elements, and the *z-value* skew measure defined through the 80/20 rule
+(see :mod:`repro.data.skew`). This module reproduces that generator.
+
+Element popularity follows a power law ``w_i ∝ (i+1)^(-s)``; the exponent
+``s`` is **calibrated** so the weight distribution's top-20% mass matches
+the requested z-value exactly (the paper's definition ties z to mass, not
+to the exponent, so we solve for the exponent numerically — bisection on a
+monotone function).
+
+Sets draw their sizes from a shifted Poisson (mean = requested average,
+minimum 1) and their members i.i.d. from the element distribution; duplicate
+draws within one set collapse, so the realised average size lands slightly
+below the nominal one on skewed/small universes, exactly as with any
+with-replacement Zipf sampler. Tests pin the tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .collection import SetCollection
+
+__all__ = [
+    "SyntheticSpec",
+    "generate_zipf",
+    "zipf_exponent_for_z",
+    "weight_mass_top_fraction",
+    "DEFAULT_SPEC",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """One synthetic workload configuration (a row of Table III).
+
+    The paper's defaults (bold in Table III) are cardinality 10M, average
+    set size 8, 1M distinct elements, z = 0.5; :data:`DEFAULT_SPEC` scales
+    cardinality and universe by 1/1000 for the pure-Python testbed.
+    """
+
+    cardinality: int = 10_000
+    avg_set_size: float = 8.0
+    num_elements: int = 1_000
+    z: float = 0.5
+    seed: int = 42
+
+    def scaled(self, factor: float) -> "SyntheticSpec":
+        """A copy with cardinality and universe scaled by ``factor``."""
+        return SyntheticSpec(
+            cardinality=max(1, int(self.cardinality * factor)),
+            avg_set_size=self.avg_set_size,
+            num_elements=max(1, int(self.num_elements * factor)),
+            z=self.z,
+            seed=self.seed,
+        )
+
+
+DEFAULT_SPEC = SyntheticSpec()
+
+
+def weight_mass_top_fraction(exponent: float, universe: int, fraction: float = 0.2) -> float:
+    """Mass of the top ``fraction`` of elements under ``w_i ∝ (i+1)^-s``."""
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    top = max(1, int(universe * fraction))
+    return float(weights[:top].sum() / weights.sum())
+
+
+def zipf_exponent_for_z(z: float, universe: int, b_fraction: float = 0.2) -> float:
+    """Solve for the power-law exponent whose top-20% mass realises ``z``.
+
+    Inverts the paper's ``z = 1 - log(a)/log(b)`` to the target mass
+    ``a = b^(1-z)`` and bisects on the exponent (mass is monotone in it).
+    """
+    if z < 0.0 or z >= 1.0 + 1e-9:
+        raise InvalidParameterError(f"z must be in [0, 1], got {z}")
+    if universe < 1:
+        raise InvalidParameterError(f"universe must be >= 1, got {universe}")
+    if z == 0.0 or universe <= 2:
+        return 0.0
+    target = b_fraction ** (1.0 - z)
+    lo, hi = 0.0, 8.0
+    if weight_mass_top_fraction(hi, universe, b_fraction) < target:
+        return hi
+    for __ in range(60):
+        mid = (lo + hi) / 2.0
+        if weight_mass_top_fraction(mid, universe, b_fraction) < target:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def generate_zipf(
+    spec: Optional[SyntheticSpec] = None,
+    *,
+    cardinality: Optional[int] = None,
+    avg_set_size: Optional[float] = None,
+    num_elements: Optional[int] = None,
+    z: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> SetCollection:
+    """Generate a synthetic collection; keyword overrides beat the spec.
+
+    >>> data = generate_zipf(cardinality=100, avg_set_size=4,
+    ...                      num_elements=50, z=0.5, seed=1)
+    >>> len(data)
+    100
+    """
+    base = spec if spec is not None else DEFAULT_SPEC
+    spec = SyntheticSpec(
+        cardinality=cardinality if cardinality is not None else base.cardinality,
+        avg_set_size=avg_set_size if avg_set_size is not None else base.avg_set_size,
+        num_elements=num_elements if num_elements is not None else base.num_elements,
+        z=z if z is not None else base.z,
+        seed=seed if seed is not None else base.seed,
+    )
+    if spec.cardinality < 1:
+        raise InvalidParameterError(f"cardinality must be >= 1, got {spec.cardinality}")
+    if spec.avg_set_size < 1:
+        raise InvalidParameterError(
+            f"avg_set_size must be >= 1, got {spec.avg_set_size}"
+        )
+    if spec.num_elements < 1:
+        raise InvalidParameterError(
+            f"num_elements must be >= 1, got {spec.num_elements}"
+        )
+
+    rng = np.random.default_rng(spec.seed)
+    exponent = zipf_exponent_for_z(spec.z, spec.num_elements)
+    ranks = np.arange(1, spec.num_elements + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    weights /= weights.sum()
+
+    sizes = rng.poisson(max(spec.avg_set_size - 1.0, 0.0), spec.cardinality) + 1
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    tokens = rng.choice(spec.num_elements, size=int(offsets[-1]), p=weights)
+
+    records = []
+    for i in range(spec.cardinality):
+        chunk = tokens[offsets[i]: offsets[i + 1]]
+        records.append(np.unique(chunk).tolist())
+    return SetCollection(records, validate=False)
+
+
+def realised_avg_size(collection: SetCollection) -> float:
+    """Average post-dedup set size of a generated collection."""
+    if len(collection) == 0:
+        return 0.0
+    return collection.total_tokens() / len(collection)
+

@@ -1,0 +1,133 @@
+"""Named workload registry.
+
+One place that knows how to materialise every workload the evaluation
+uses — the four real-world surrogates and the synthetic sweeps — by name
+and scale, with caching. The benchmark suite, the CLI and user scripts all
+pull from here, so "the AOL workload at 40% cardinality" means the same
+bytes everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..errors import InvalidParameterError
+from .collection import SetCollection
+from .realworld import REAL_WORLD_SPECS, generate_real_world
+from .synthetic import generate_zipf
+
+__all__ = ["Workload", "workload_names", "get_workload", "clear_cache"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named dataset recipe."""
+
+    name: str
+    description: str
+    build: Callable[[float, int], SetCollection]
+
+
+def _real(name: str, base_scale: float) -> Workload:
+    spec = REAL_WORLD_SPECS[name]
+    return Workload(
+        name=name,
+        description=(
+            f"{name.upper()} surrogate (Table II: {spec.cardinality:,} sets, "
+            f"avg {spec.avg_size}, z={spec.z}) at base scale {base_scale}"
+        ),
+        build=lambda scale, seed: generate_real_world(
+            name, scale=base_scale * scale, seed=seed
+        ),
+    )
+
+
+def _zipf(name: str, description: str, **params) -> Workload:
+    return Workload(
+        name=name,
+        description=description,
+        build=lambda scale, seed: generate_zipf(
+            cardinality=max(1, int(params["cardinality"] * scale)),
+            avg_set_size=params["avg_set_size"],
+            num_elements=params["num_elements"],
+            z=params["z"],
+            seed=seed,
+        ),
+    )
+
+
+_REGISTRY: Dict[str, Workload] = {
+    w.name: w
+    for w in (
+        _real("flickr", 0.002),
+        _real("aol", 0.0008),
+        _real("orkut", 0.0008),
+        _real("twitter", 0.0004),
+        _zipf(
+            "zipf-default",
+            "Table III defaults scaled 1/1000 (10k sets, avg 8, 1k elems, z=0.5)",
+            cardinality=10_000, avg_set_size=8, num_elements=1_000, z=0.5,
+        ),
+        _zipf(
+            "zipf-dense",
+            "small universe, result-dense (the Fig 11c stress point)",
+            cardinality=1_000, avg_set_size=8, num_elements=10, z=0.5,
+        ),
+        _zipf(
+            "zipf-wide",
+            "large sets (the Fig 11b stress point)",
+            cardinality=2_500, avg_set_size=64, num_elements=1_000, z=0.5,
+        ),
+        _zipf(
+            "zipf-skewed",
+            "maximum skew (the Fig 11d stress point)",
+            cardinality=5_000, avg_set_size=8, num_elements=1_000, z=1.0,
+        ),
+    )
+}
+
+_cache: Dict[Tuple[str, float, int], SetCollection] = {}
+
+
+def workload_names() -> Tuple[str, ...]:
+    """All registered workload names."""
+    return tuple(_REGISTRY)
+
+
+def get_workload(
+    name: str, scale: float = 1.0, seed: int = 42, cached: bool = True
+) -> SetCollection:
+    """Materialise a workload by name.
+
+    ``scale`` multiplies the workload's base cardinality; identical
+    (name, scale, seed) requests return the same object when ``cached``.
+    """
+    workload = _REGISTRY.get(name)
+    if workload is None:
+        raise InvalidParameterError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    if scale <= 0:
+        raise InvalidParameterError(f"scale must be positive, got {scale}")
+    key = (name, scale, seed)
+    if not cached:
+        return workload.build(scale, seed)
+    if key not in _cache:
+        _cache[key] = workload.build(scale, seed)
+    return _cache[key]
+
+
+def describe(name: str) -> str:
+    """Human-readable description of a workload."""
+    workload = _REGISTRY.get(name)
+    if workload is None:
+        raise InvalidParameterError(
+            f"unknown workload {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return workload.description
+
+
+def clear_cache() -> None:
+    """Drop all cached materialisations (tests, memory pressure)."""
+    _cache.clear()

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type to handle anything the
+library signals while letting genuine bugs (``TypeError`` and friends)
+propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DatasetError",
+    "InvalidParameterError",
+    "UnknownMethodError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class DatasetError(ReproError):
+    """A dataset file or in-memory collection is malformed."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An algorithm or generator parameter is out of its valid range."""
+
+
+class UnknownMethodError(ReproError, KeyError):
+    """The requested join method name is not registered."""
+
+    def __init__(self, name: str, known: tuple) -> None:
+        self.name = name
+        self.known = tuple(known)
+        super().__init__(
+            f"unknown join method {name!r}; known methods: {', '.join(self.known)}"
+        )

@@ -1,0 +1,38 @@
+"""Index substrates: inverted index, prefix/Patricia tree, search primitives."""
+
+from .inverted import InvertedIndex
+from .prefix_tree import PrefixTree, TreeNode
+from .storage import (
+    load_collection_binary,
+    load_index,
+    save_collection_binary,
+    save_index,
+)
+from .search import (
+    contains_sorted,
+    first_geq,
+    first_gt,
+    gallop_geq,
+    intersect_many,
+    intersect_sorted,
+    is_sorted_strict,
+    probe,
+)
+
+__all__ = [
+    "InvertedIndex",
+    "PrefixTree",
+    "TreeNode",
+    "save_collection_binary",
+    "load_collection_binary",
+    "save_index",
+    "load_index",
+    "first_geq",
+    "first_gt",
+    "probe",
+    "gallop_geq",
+    "intersect_sorted",
+    "intersect_many",
+    "contains_sorted",
+    "is_sorted_strict",
+]

@@ -1,0 +1,231 @@
+"""Prefix tree (trie) over the subset-side collection ``R`` (paper §IV-A).
+
+Each set in ``R`` is inserted with its elements sorted in a global order
+(descending frequency by default), so sets sharing a prefix share tree
+nodes and the tree-based join shares their inverted-list probes.
+
+Two deviations from the paper's idealised picture, both forced by real data:
+
+* **End-marker leaves.** The paper assumes every set corresponds to a unique
+  leaf. Real collections contain duplicate sets and sets that are prefixes
+  of other sets. We terminate every inserted set with an *end-marker* child
+  node that carries the set ids (``terminal_rids``). An end-marker has no
+  element; during the join its "inverted list" is the index's universe id
+  list, so a probe on it always hits and Algorithms 2/3 run unmodified.
+* **Multi-element nodes.** The paper notes the prefix tree can be replaced
+  by a Patricia tree (radix trie) where single-child chains are merged. A
+  node therefore carries a *tuple* of elements; the join probes the
+  candidate in each of the node's lists. :meth:`PrefixTree.compress`
+  performs the merge in place.
+
+Join-time state (``max_sid``, ``next_max``, ``rid_list``, per-list cursors)
+lives on the nodes and is (re)initialised by the join driver, so one tree can
+be reused across runs and across partition-local indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.order import GlobalOrder
+from ..data.collection import SetCollection
+
+__all__ = ["TreeNode", "PrefixTree"]
+
+#: Shared empty rid-list; identity-compared nowhere, equality everywhere.
+_EMPTY: Tuple[int, ...] = ()
+
+
+class TreeNode:
+    """One node of the prefix tree.
+
+    ``elements`` is empty for the root and for end-marker leaves, a single
+    element for ordinary prefix-tree nodes, and several elements for merged
+    (Patricia) nodes. ``terminal_rids`` is non-None exactly on end-marker
+    leaves and lists every ``R`` id whose set ends here (duplicates share).
+    """
+
+    __slots__ = (
+        "elements",
+        "children",
+        "child_map",
+        "terminal_rids",
+        # join-time state, initialised by the join driver's bind step (not
+        # here: skipping the writes keeps tree construction lean) ----------
+        "inv",        # primary inverted list (or the index universe)
+        "cur",        # cursor into ``inv``
+        "more_invs",  # extra lists for merged Patricia nodes, else None
+        "more_curs",
+        "max_sid",
+        "next_max",
+        "rid_list",
+        "heap",
+        "only_child",
+    )
+
+    def __init__(self, elements: Tuple[int, ...] = ()) -> None:
+        self.elements: Tuple[int, ...] = elements
+        self.children: List["TreeNode"] = []
+        self.child_map: Optional[Dict[int, "TreeNode"]] = None
+        self.terminal_rids: Optional[List[int]] = None
+
+    @property
+    def is_end_marker(self) -> bool:
+        """True for the virtual leaves that carry set ids."""
+        return self.terminal_rids is not None
+
+    def __repr__(self) -> str:
+        tag = f"rids={self.terminal_rids}" if self.is_end_marker else f"e={self.elements}"
+        return f"TreeNode({tag}, {len(self.children)} children)"
+
+
+class PrefixTree:
+    """Prefix tree over ``R`` under a :class:`~repro.core.order.GlobalOrder`."""
+
+    def __init__(self, order: GlobalOrder) -> None:
+        self.order = order
+        self.root = TreeNode()
+        self.root.child_map = {}
+        self.num_sets = 0
+        self.num_nodes = 1  # the root
+        self.compressed = False
+        # Distinct elements per partition anchor (first element), collected
+        # during insertion so the partitioned joins (§V) can build local
+        # indexes without re-walking each subtree.
+        self.partition_elements: Dict[int, set] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        r_collection: SetCollection,
+        order: GlobalOrder,
+        compress: bool = False,
+    ) -> "PrefixTree":
+        """Insert every set of ``R`` (elements sorted in the global order).
+
+        With ``compress=True`` the tree is path-compressed into a Patricia
+        tree after construction.
+        """
+        tree = cls(order)
+        for rid, record in enumerate(r_collection):
+            tree.insert(order.sort_record(record), rid)
+        if compress:
+            tree.compress()
+        tree.freeze()
+        return tree
+
+    def insert(self, sorted_elements: Sequence[int], rid: int) -> None:
+        """Insert one set (already sorted in the global order) with id ``rid``."""
+        node = self.root
+        if sorted_elements:
+            anchor_elements = self.partition_elements.get(sorted_elements[0])
+            if anchor_elements is None:
+                self.partition_elements[sorted_elements[0]] = set(sorted_elements)
+            else:
+                anchor_elements.update(sorted_elements)
+        for e in sorted_elements:
+            cmap = node.child_map
+            if cmap is None:
+                # Fresh node, or one whose map was dropped by freeze():
+                # rebuild from the existing children.
+                cmap = {c.elements[0]: c for c in node.children if c.elements}
+                node.child_map = cmap
+            child = cmap.get(e)
+            if child is None:
+                child = TreeNode((e,))
+                cmap[e] = child
+                node.children.append(child)
+                self.num_nodes += 1
+            node = child
+        end = None
+        for c in node.children:
+            if c.is_end_marker:
+                end = c
+                break
+        if end is None:
+            end = TreeNode()
+            end.terminal_rids = []
+            # End-markers first: they are the cheapest children to finalize.
+            node.children.insert(0, end)
+            self.num_nodes += 1
+        end.terminal_rids.append(rid)
+        self.num_sets += 1
+
+    def freeze(self) -> None:
+        """Drop the per-node child dictionaries once insertion is done.
+
+        ``child_map`` only serves :meth:`insert`; the joins walk
+        ``children`` directly. A dict per inner node is a large share of
+        the tree's footprint (Fig 10 measures peak memory), so a frozen
+        tree is substantially smaller. Inserting after freezing rebuilds
+        the map lazily.
+        """
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            node.child_map = None
+            stack.extend(node.children)
+
+    def compress(self) -> None:
+        """Merge single-child chains in place (Patricia / radix trie, §IV-A).
+
+        A node with exactly one child absorbs that child's elements and
+        children, provided neither is an end-marker (end-markers carry rids
+        and the root must stay element-free).
+        """
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is not self.root and not node.is_end_marker:
+                while len(node.children) == 1 and not node.children[0].is_end_marker:
+                    child = node.children[0]
+                    node.elements = node.elements + child.elements
+                    node.children = child.children
+                    node.child_map = child.child_map
+                    self.num_nodes -= 1
+            stack.extend(node.children)
+        self.compressed = True
+
+    # -- introspection -----------------------------------------------------
+
+    def iter_nodes(self) -> Iterable[TreeNode]:
+        """All nodes, root included, in DFS order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length (in nodes below the root)."""
+        best = 0
+        stack: List[Tuple[TreeNode, int]] = [(self.root, 0)]
+        while stack:
+            node, d = stack.pop()
+            if not node.children and d > best:
+                best = d
+            for c in node.children:
+                stack.append((c, d + 1))
+        return best
+
+    def distinct_elements(self) -> set:
+        """The element ids appearing anywhere in the tree."""
+        out: set = set()
+        for node in self.iter_nodes():
+            out.update(node.elements)
+        return out
+
+    def partition_roots(self) -> List[Tuple[int, "TreeNode"]]:
+        """The root's element children as ``(anchor_element, subtree)`` pairs.
+
+        The paper's partitioner (§V-A) groups ``R`` sets by their smallest
+        element in the global order — which is exactly the subtree rooted at
+        each child of the tree root. End-marker children of the root (sets
+        that are empty after ordering — impossible for valid input) are
+        excluded.
+        """
+        return [
+            (c.elements[0], c) for c in self.root.children if not c.is_end_marker
+        ]

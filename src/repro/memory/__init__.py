@@ -1,0 +1,5 @@
+"""Memory metering (Fig 10 reproduction)."""
+
+from .meter import index_footprint, measure_peak, tree_footprint
+
+__all__ = ["measure_peak", "index_footprint", "tree_footprint"]

@@ -1,0 +1,51 @@
+"""Peak-memory metering for the Fig 10 reproduction.
+
+Two complementary measurements:
+
+* :func:`measure_peak` runs a callable under ``tracemalloc`` and reports the
+  peak *Python-allocated* bytes — the honest equivalent of the paper's peak
+  RSS measurement for a pure-Python system (RSS itself is dominated by the
+  interpreter and noise at our scales);
+* :func:`index_footprint` / :func:`tree_footprint` give analytic structure
+  sizes (entries, nodes) that are hardware- and runtime-independent, used as
+  a second axis in the Fig 10 bench.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Any, Callable, Tuple
+
+from ..index.inverted import InvertedIndex
+from ..index.prefix_tree import PrefixTree
+
+__all__ = ["measure_peak", "index_footprint", "tree_footprint"]
+
+
+def measure_peak(func: Callable[[], Any]) -> Tuple[Any, int]:
+    """Run ``func`` and return ``(result, peak_bytes)``.
+
+    Nested use is supported: if tracemalloc is already tracing, the existing
+    trace is reused (peaks then include the caller's allocations).
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = func()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    return result, peak
+
+
+def index_footprint(index: InvertedIndex) -> int:
+    """Analytic index size: number of postings plus per-list overhead."""
+    return index.size_in_entries() + len(index.lists)
+
+
+def tree_footprint(tree: PrefixTree) -> int:
+    """Analytic tree size in nodes."""
+    return tree.num_nodes

@@ -1,0 +1,5 @@
+"""Publish/subscribe matching service (the paper's §I application)."""
+
+from .broker import Broker, Delivery, Subscription
+
+__all__ = ["Broker", "Subscription", "Delivery"]

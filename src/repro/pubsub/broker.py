@@ -1,0 +1,162 @@
+"""Keyword publish/subscribe matching on top of the containment machinery.
+
+The paper's §I second application: "if the keywords subscribed to by a
+user and the words in an article are modeled as the sets, then the set
+containment determines if an article aligns with the user's interests".
+This module is that service, built properly:
+
+* a :class:`Broker` holds subscriptions (keyword sets). Publishing an
+  event matches it against all *live* subscriptions: a subscription fires
+  when **all** of its keywords appear in the event.
+* matching walks the subscriptions' prefix tree, descending only through
+  keywords the event contains — the same structure as
+  :meth:`ContainmentIndex.subsets_of`, specialised with counters and
+  delivery records.
+* subscriptions can be cancelled; cancellations are tombstones, and the
+  tree is compacted automatically once tombstones exceed
+  ``compact_ratio`` of the registry (amortised O(1) per cancel).
+
+Matching cost is proportional to the part of the subscription tree the
+event's keywords cover, not to the number of subscriptions — which is the
+reason to use a trie-shaped registry at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set
+
+from ..core.order import GlobalOrder
+from ..data.collection import ElementDictionary
+from ..errors import InvalidParameterError
+from ..index.prefix_tree import PrefixTree
+
+__all__ = ["Broker", "Subscription", "Delivery"]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One registered interest: fires when every keyword is in the event."""
+
+    sub_id: int
+    keywords: frozenset
+
+    def __post_init__(self):
+        if not self.keywords:
+            raise InvalidParameterError("a subscription needs at least one keyword")
+
+
+@dataclass
+class Delivery:
+    """The outcome of one publish."""
+
+    event_keywords: frozenset
+    matched: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.matched)
+
+
+class Broker:
+    """Subscription registry + matcher."""
+
+    def __init__(self, compact_ratio: float = 0.5):
+        if not 0.0 < compact_ratio <= 1.0:
+            raise InvalidParameterError(
+                f"compact_ratio must be in (0, 1], got {compact_ratio}"
+            )
+        self._dictionary = ElementDictionary()
+        self._subscriptions: Dict[int, Subscription] = {}
+        self._next_id = 0
+        self._tree: Optional[PrefixTree] = None
+        self._tree_members: Set[int] = set()
+        self._tombstones = 0
+        self._compact_ratio = compact_ratio
+        self.published = 0
+        self.delivered = 0
+
+    # -- subscription management -------------------------------------------
+
+    def subscribe(self, keywords: Iterable[Hashable]) -> int:
+        """Register a subscription; returns its id."""
+        sub = Subscription(self._next_id, frozenset(keywords))
+        self._subscriptions[sub.sub_id] = sub
+        self._next_id += 1
+        encoded = sorted(self._dictionary.encode(k) for k in sub.keywords)
+        if self._tree is not None:
+            # Incremental insert: extend the frozen order for new keywords,
+            # then sort in tree order.
+            self._tree.order.extend_to(len(self._dictionary))
+            self._tree.insert(self._tree.order.sort_record(encoded), sub.sub_id)
+            self._tree_members.add(sub.sub_id)
+        return sub.sub_id
+
+    def unsubscribe(self, sub_id: int) -> None:
+        """Cancel a subscription (idempotent for unknown ids)."""
+        if self._subscriptions.pop(sub_id, None) is None:
+            return
+        if sub_id in self._tree_members:
+            self._tombstones += 1
+            if self._tombstones > self._compact_ratio * max(len(self._subscriptions), 1):
+                self._tree = None  # rebuilt lazily, without tombstones
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    @property
+    def subscriptions(self) -> Dict[int, Subscription]:
+        """Live subscriptions by id (do not mutate)."""
+        return self._subscriptions
+
+    # -- matching --------------------------------------------------------------
+
+    def _build_tree(self) -> PrefixTree:
+        # An identity order over the dictionary's ids; frequency tuning is
+        # pointless here because subscription churn would invalidate it.
+        order = GlobalOrder(list(range(len(self._dictionary))), "element_id")
+        tree = PrefixTree(order)
+        for sub in self._subscriptions.values():
+            encoded = sorted(self._dictionary.encode(k) for k in sub.keywords)
+            tree.insert(encoded, sub.sub_id)
+        self._tree_members = set(self._subscriptions)
+        self._tombstones = 0
+        return tree
+
+    def publish(self, keywords: Iterable[Hashable]) -> Delivery:
+        """Match one event against all live subscriptions."""
+        event = frozenset(keywords)
+        delivery = Delivery(event)
+        self.published += 1
+        if not self._subscriptions:
+            return delivery
+        if self._tree is None:
+            self._tree = self._build_tree()
+        ids: Set[int] = set()
+        for keyword in event:
+            eid = self._dictionary.encode_existing(keyword)
+            if eid is not None:
+                ids.add(eid)
+        live = self._subscriptions
+        matched = delivery.matched
+        stack = [self._tree.root]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                if child.terminal_rids is not None:
+                    # Tombstoned ids stay in the tree until compaction;
+                    # filter on delivery.
+                    matched.extend(
+                        sid for sid in child.terminal_rids if sid in live
+                    )
+                elif all(e in ids for e in child.elements):
+                    stack.append(child)
+        matched.sort()
+        self.delivered += len(matched)
+        return delivery
+
+    def matches(self, keywords: Iterable[Hashable]) -> List[int]:
+        """Like :meth:`publish` but without touching the counters."""
+        saved_published, saved_delivered = self.published, self.delivered
+        delivery = self.publish(keywords)
+        self.published, self.delivered = saved_published, saved_delivered
+        return delivery.matched

@@ -1,0 +1,22 @@
+"""Relational layer: tables, CSV ingestion, inclusion-dependency discovery."""
+
+from .csv_io import load_csv, load_directory
+from .ind import (
+    InclusionDependency,
+    NaryInclusionDependency,
+    find_inds,
+    find_nary_inds,
+)
+from .table import Column, ColumnRef, Table
+
+__all__ = [
+    "Table",
+    "Column",
+    "ColumnRef",
+    "load_csv",
+    "load_directory",
+    "find_inds",
+    "find_nary_inds",
+    "InclusionDependency",
+    "NaryInclusionDependency",
+]

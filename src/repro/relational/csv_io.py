@@ -1,0 +1,59 @@
+"""CSV ingestion for the relational layer.
+
+A thin, predictable wrapper over :mod:`csv`: the first row is the header,
+every following row a record; short rows raise, values stay strings unless
+per-column casts are given. :func:`load_directory` ingests a directory of
+``.csv`` files as one schema (file stem = table name), which is the natural
+input shape for inclusion-dependency discovery over a data lake dump.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Callable, Dict, Hashable, List, Optional
+
+from ..errors import DatasetError
+from .table import Table
+
+__all__ = ["load_csv", "load_directory"]
+
+
+def load_csv(
+    path: str,
+    table_name: Optional[str] = None,
+    delimiter: str = ",",
+    casts: Optional[Dict[str, Callable[[str], Hashable]]] = None,
+) -> Table:
+    """Load one CSV file as a :class:`~repro.relational.table.Table`.
+
+    ``table_name`` defaults to the file stem. The header row is required.
+    """
+    if not os.path.exists(path):
+        raise DatasetError(f"CSV file not found: {path}")
+    name = table_name or os.path.splitext(os.path.basename(path))[0]
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"{path}: empty CSV (no header row)") from None
+        rows = list(reader)
+    return Table.from_rows(name, [h.strip() for h in header], rows, casts=casts)
+
+
+def load_directory(
+    directory: str,
+    delimiter: str = ",",
+) -> List[Table]:
+    """Load every ``*.csv`` in a directory as one schema, sorted by name."""
+    if not os.path.isdir(directory):
+        raise DatasetError(f"not a directory: {directory}")
+    tables = []
+    for entry in sorted(os.listdir(directory)):
+        if entry.lower().endswith(".csv"):
+            tables.append(load_csv(os.path.join(directory, entry),
+                                   delimiter=delimiter))
+    if not tables:
+        raise DatasetError(f"no .csv files in {directory}")
+    return tables

@@ -1,0 +1,212 @@
+"""Inclusion dependency discovery via set containment joins.
+
+The paper's §I application, built end to end. A **unary inclusion
+dependency (IND)** ``A ⊆ B`` holds when every non-null value of column A
+occurs in column B — the precondition for a foreign key A → B. Modelling
+every column as its distinct-value set turns "find all INDs in a schema"
+into exactly one self set-containment join over the column sets, which is
+where LCJoin comes in: schemas have thousands of columns and the value
+sets share heavy overlaps.
+
+On top of the unary discovery this module implements the classic levelwise
+lift to **n-ary INDs** (à la MIND): candidate n-ary INDs are generated
+from valid (n-1)-ary ones (every projection of a valid IND must be valid)
+and verified on the actual tuple sets.
+
+The result objects carry simple quality signals (coverage of the
+referenced column, distinct counts) so callers can rank foreign-key
+candidates instead of drowning in trivial ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..core.api import set_containment_join
+from ..data.collection import ElementDictionary, SetCollection
+from .table import ColumnRef, Table, all_column_sets
+
+__all__ = ["InclusionDependency", "NaryInclusionDependency", "find_inds", "find_nary_inds"]
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """A unary IND ``dependent ⊆ referenced`` with quality signals."""
+
+    dependent: ColumnRef
+    referenced: ColumnRef
+    dependent_distinct: int
+    referenced_distinct: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the referenced column's values actually referenced.
+
+        A near-1.0 coverage is a strong foreign-key signal; near-0 hints a
+        coincidental containment (e.g. a boolean column inside any column
+        that happens to contain "0" and "1").
+        """
+        if self.referenced_distinct == 0:
+            return 0.0
+        return self.dependent_distinct / self.referenced_distinct
+
+    def __str__(self) -> str:
+        return (
+            f"{self.dependent} ⊆ {self.referenced} "
+            f"(coverage {self.coverage:.0%})"
+        )
+
+
+@dataclass(frozen=True)
+class NaryInclusionDependency:
+    """An n-ary IND: the dependent column tuple is contained, row-wise, in
+    the referenced column tuple."""
+
+    dependent: Tuple[ColumnRef, ...]
+    referenced: Tuple[ColumnRef, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.dependent)
+
+    def __str__(self) -> str:
+        dep = ", ".join(map(str, self.dependent))
+        ref = ", ".join(map(str, self.referenced))
+        return f"[{dep}] ⊆ [{ref}]"
+
+
+def find_inds(
+    tables: Sequence[Table],
+    method: str = "lcjoin",
+    include_self: bool = False,
+    min_coverage: float = 0.0,
+) -> List[InclusionDependency]:
+    """All unary INDs across ``tables`` via one containment join.
+
+    ``include_self`` keeps the reflexive ``A ⊆ A`` pairs (off by default —
+    they are tautologies); ``min_coverage`` filters weak candidates.
+    """
+    refs, value_sets = all_column_sets(tables)
+    if not refs:
+        return []
+    dictionary = ElementDictionary()
+    columns = SetCollection.from_iterable(value_sets, dictionary=dictionary)
+    pairs = set_containment_join(columns, columns, method=method)
+    out: List[InclusionDependency] = []
+    for rid, sid in pairs:
+        if rid == sid and not include_self:
+            continue
+        ind = InclusionDependency(
+            dependent=refs[rid],
+            referenced=refs[sid],
+            dependent_distinct=len(value_sets[rid]),
+            referenced_distinct=len(value_sets[sid]),
+        )
+        if ind.coverage >= min_coverage:
+            out.append(ind)
+    out.sort(key=lambda i: (-i.coverage, str(i.dependent), str(i.referenced)))
+    return out
+
+
+def _tuple_set(table: Table, columns: Sequence[str]) -> Set[Tuple]:
+    """Row-wise value tuples over ``columns``, rows with nulls dropped."""
+    cols = [table[c].values for c in columns]
+    out: Set[Tuple] = set()
+    for row in zip(*cols):
+        if any(v is None or v == "" for v in row):
+            continue
+        out.add(tuple(row))
+    return out
+
+
+def find_nary_inds(
+    tables: Sequence[Table],
+    max_arity: int = 2,
+    method: str = "lcjoin",
+) -> List[NaryInclusionDependency]:
+    """Levelwise n-ary IND discovery (MIND-style) up to ``max_arity``.
+
+    Level 1 comes from :func:`find_inds`; level n candidates combine two
+    level n−1 INDs between the same table pair that disagree in exactly
+    their last column, and each candidate is verified on the actual tuple
+    sets. Columns may not repeat on either side of a candidate.
+    """
+    by_name: Dict[str, Table] = {t.name: t for t in tables}
+    unary = find_inds(tables, method=method)
+    current: List[NaryInclusionDependency] = [
+        NaryInclusionDependency((ind.dependent,), (ind.referenced,))
+        for ind in unary
+        # Cross- or intra-table, but a column can't depend on itself.
+        if ind.dependent != ind.referenced
+    ]
+    results = list(current)
+    valid_pairs: Set[Tuple[Tuple[ColumnRef, ...], Tuple[ColumnRef, ...]]] = {
+        (ind.dependent, ind.referenced) for ind in current
+    }
+    for __ in range(2, max_arity + 1):
+        nxt: List[NaryInclusionDependency] = []
+        seen: Set[Tuple] = set()
+        for a, b in combinations(current, 2):
+            cand = _combine(a, b)
+            if cand is None:
+                continue
+            key = (cand.dependent, cand.referenced)
+            if key in seen:
+                continue
+            seen.add(key)
+            # Apriori prune: every unary projection must already be valid.
+            if not all(
+                ((d,), (r,)) in valid_pairs
+                for d, r in zip(cand.dependent, cand.referenced)
+            ):
+                continue
+            if _verify_nary(cand, by_name):
+                nxt.append(cand)
+        if not nxt:
+            break
+        results.extend(nxt)
+        current = nxt
+    return results
+
+
+def _combine(
+    a: NaryInclusionDependency, b: NaryInclusionDependency
+) -> "NaryInclusionDependency | None":
+    """Join two INDs of arity n into an arity n+1 candidate, or None.
+
+    Requires a shared prefix, same dependent/referenced tables, and no
+    repeated column on either side (matching the levelwise generation of
+    MIND)."""
+    if a.arity != b.arity:
+        return None
+    if a.dependent[:-1] != b.dependent[:-1] or a.referenced[:-1] != b.referenced[:-1]:
+        return None
+    if a.dependent[0].table != b.dependent[0].table:
+        return None
+    if a.referenced[0].table != b.referenced[0].table:
+        return None
+    # Canonical ordering: each unordered pair arrives once from
+    # combinations(), so orient it rather than discard it.
+    if str(a.dependent[-1]) == str(b.dependent[-1]):
+        return None
+    if str(a.dependent[-1]) > str(b.dependent[-1]):
+        a, b = b, a
+    dependent = a.dependent + (b.dependent[-1],)
+    referenced = a.referenced + (b.referenced[-1],)
+    if len({c.column for c in dependent}) != len(dependent):
+        return None
+    if len({c.column for c in referenced}) != len(referenced):
+        return None
+    return NaryInclusionDependency(dependent, referenced)
+
+
+def _verify_nary(
+    cand: NaryInclusionDependency, by_name: Dict[str, Table]
+) -> bool:
+    dep_table = by_name[cand.dependent[0].table]
+    ref_table = by_name[cand.referenced[0].table]
+    dep = _tuple_set(dep_table, [c.column for c in cand.dependent])
+    ref = _tuple_set(ref_table, [c.column for c in cand.referenced])
+    return dep <= ref

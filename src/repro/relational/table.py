@@ -1,0 +1,159 @@
+"""Minimal relational substrate for the inclusion-dependency application.
+
+The paper's §I motivates set containment joins with inclusion dependency
+discovery: "if two columns of values are modeled as sets, then set
+containment can be used to determine if there is an inclusion dependency
+between them". This package is that application built out properly: a
+small typed table abstraction (this module), CSV ingestion
+(:mod:`repro.relational.csv_io`), and the discovery driver
+(:mod:`repro.relational.ind`).
+
+A :class:`Table` is a named list of :class:`Column` objects; a column knows
+its distinct-value set, which is all the containment join needs. Values
+are kept as strings (CSV semantics) unless a caster is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import DatasetError
+
+__all__ = ["Column", "Table", "ColumnRef"]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A fully qualified column name, ``table.column``."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+class Column:
+    """One named column: ordered values plus their distinct-value set."""
+
+    __slots__ = ("name", "values", "_distinct")
+
+    def __init__(self, name: str, values: Iterable[Hashable]):
+        self.name = name
+        self.values: List[Hashable] = list(values)
+        self._distinct: Optional[frozenset] = None
+
+    @property
+    def distinct(self) -> frozenset:
+        """The distinct non-null values (``None`` and ``""`` excluded).
+
+        Nulls never participate in inclusion dependencies: SQL's foreign
+        keys ignore NULL references, and an empty string in a CSV is a
+        missing value, not a value.
+        """
+        if self._distinct is None:
+            self._distinct = frozenset(
+                v for v in self.values if v is not None and v != ""
+            )
+        return self._distinct
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {len(self.values)} values)"
+
+
+class Table:
+    """A named table with equal-length columns."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not name:
+            raise DatasetError("table name must be non-empty")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise DatasetError(f"table {name!r} has duplicate columns: {dupes}")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise DatasetError(
+                f"table {name!r} has ragged columns (lengths {sorted(lengths)})"
+            )
+        self.name = name
+        self.columns: List[Column] = list(columns)
+        self._by_name: Dict[str, Column] = {c.name: c for c in columns}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        header: Sequence[str],
+        rows: Iterable[Sequence[Hashable]],
+        casts: Optional[Dict[str, Callable[[str], Hashable]]] = None,
+    ) -> "Table":
+        """Build from a header and row tuples (the CSV reader's shape)."""
+        materialised = [list(row) for row in rows]
+        for i, row in enumerate(materialised):
+            if len(row) != len(header):
+                raise DatasetError(
+                    f"table {name!r} row {i} has {len(row)} fields, "
+                    f"expected {len(header)}"
+                )
+        columns = []
+        for j, col_name in enumerate(header):
+            values: List[Hashable] = [row[j] for row in materialised]
+            cast = casts.get(col_name) if casts else None
+            if cast is not None:
+                values = [cast(v) if v not in (None, "") else v for v in values]
+            columns.append(Column(col_name, values))
+        return cls(name, columns)
+
+    @classmethod
+    def from_dict(cls, name: str, data: Dict[str, Sequence[Hashable]]) -> "Table":
+        """Build from a column-name → values mapping."""
+        return cls(name, [Column(k, v) for k, v in data.items()])
+
+    # -- access --------------------------------------------------------------
+
+    def __getitem__(self, column: str) -> Column:
+        try:
+            return self._by_name[column]
+        except KeyError:
+            raise DatasetError(
+                f"table {self.name!r} has no column {column!r}; "
+                f"columns: {[c.name for c in self.columns]}"
+            ) from None
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._by_name
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    def column_refs(self) -> List[ColumnRef]:
+        return [ColumnRef(self.name, c.name) for c in self.columns]
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, {self.num_rows} rows x "
+            f"{len(self.columns)} columns)"
+        )
+
+
+def all_column_sets(
+    tables: Sequence[Table],
+) -> Tuple[List[ColumnRef], List[frozenset]]:
+    """Flatten tables into parallel (refs, distinct-value sets) lists,
+    skipping columns that are entirely null (they have no value set)."""
+    refs: List[ColumnRef] = []
+    sets: List[frozenset] = []
+    for table in tables:
+        for column in table.columns:
+            if column.distinct:
+                refs.append(ColumnRef(table.name, column.name))
+                sets.append(column.distinct)
+    return refs, sets

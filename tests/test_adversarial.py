@@ -1,0 +1,106 @@
+"""Adversarial workload shapes through every method.
+
+Each workload is engineered to stress one code path hard: gap skipping
+(sparse long lists), end-marker handling (nesting chains), sentinel logic
+(single-element universes), partition boundaries (one dominant anchor),
+signature selectivity (uniform universes), and the adaptive switch (mixed
+partition sizes). Sizes are kept small enough for brute-force comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import set_containment_join
+from repro.core.verify import ground_truth
+from repro.data.collection import SetCollection
+
+from conftest import ALL_METHODS
+
+
+def _check_all(r, s):
+    expected = sorted(ground_truth(r, s))
+    for method in ALL_METHODS:
+        got = sorted(set_containment_join(r, s, method=method))
+        assert got == expected, method
+    return expected
+
+
+class TestAdversarialShapes:
+    def test_single_element_universe(self):
+        r = SetCollection([[0]] * 7)
+        s = SetCollection([[0]] * 9)
+        assert len(_check_all(r, s)) == 63
+
+    def test_full_nesting_chain(self):
+        """R_i = {0..i}: every set contains all earlier ones — maximal
+        end-marker-on-inner-node pressure."""
+        chain = [list(range(i + 1)) for i in range(12)]
+        r = s = SetCollection(chain)
+        expected = _check_all(r, s)
+        assert len(expected) == 12 * 13 // 2
+
+    def test_sparse_long_gaps(self):
+        """S ids with huge gaps between matches: the skip logic must jump
+        over long runs in one probe."""
+        r = SetCollection([[0, 1]])
+        s_records = []
+        for i in range(60):
+            if i % 29 == 0:
+                s_records.append([0, 1, 2])
+            else:
+                s_records.append([0, 3])  # has e0 but never e1
+        s = SetCollection(s_records)
+        expected = _check_all(r, s)
+        assert len(expected) == 3
+
+    def test_one_dominant_partition(self):
+        """Every R set shares the same most frequent element: a single
+        partition holds everything."""
+        r = SetCollection([[0, i + 1] for i in range(12)])
+        s = SetCollection([[0] + list(range(1, 13))])
+        expected = _check_all(r, s)
+        assert len(expected) == 12
+
+    def test_uniform_universe_unselective_signatures(self):
+        """All elements equally frequent: TT-Join/SHJ signatures carry no
+        information and must fall back to honest verification."""
+        records = [[i, (i + 1) % 6, (i + 2) % 6] for i in range(6)]
+        r = s = SetCollection(records + [list(range(6))])
+        _check_all(r, s)
+
+    def test_mixed_partition_sizes(self):
+        """One huge partition plus many singletons: the adaptive switch
+        crosses its boundary inside a single join."""
+        big = [[0, 10 + i] for i in range(15)]
+        small = [[i + 1] for i in range(8)]
+        r = SetCollection(big + small)
+        s = SetCollection([[0] + list(range(10, 26))] + [[i] for i in range(9)])
+        _check_all(r, s)
+
+    def test_disjoint_universes(self):
+        r = SetCollection([[0, 1], [2, 3]])
+        s = SetCollection([[100, 101], [102]])
+        assert _check_all(r, s) == []
+
+    def test_r_elements_superset_of_s_vocabulary(self):
+        r = SetCollection([[0, 1, 2, 99]])
+        s = SetCollection([[0, 1, 2]] * 5)
+        assert _check_all(r, s) == []
+
+    def test_identical_collections_max_duplication(self):
+        data = SetCollection([[3, 4]] * 10)
+        assert len(_check_all(data, data)) == 100
+
+    def test_every_set_is_singleton(self):
+        r = SetCollection([[i % 4] for i in range(12)])
+        s = SetCollection([[i % 4] for i in range(8)])
+        _check_all(r, s)
+
+    def test_large_ids_with_holes(self):
+        """Element ids far apart (sparse id space) must not blow up any
+        rank/array assumption."""
+        r = SetCollection([[1000, 5000], [5000]])
+        s = SetCollection([[1000, 5000, 9000], [5000, 9000]])
+        expected = _check_all(r, s)
+        assert expected == [(0, 0), (1, 0), (1, 1)]

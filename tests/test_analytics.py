@@ -1,0 +1,74 @@
+"""Tests for the containment analytics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analytics import (
+    containment_counts,
+    containment_ratio,
+    top_contained,
+    top_containers,
+)
+from repro.data.collection import SetCollection
+
+
+@pytest.fixture
+def data():
+    # {0} ⊆ everything containing 0; {0,1,2} contains {0} and {0,1}.
+    return SetCollection([[0], [0, 1], [0, 1, 2], [3]])
+
+
+class TestContainmentCounts:
+    def test_fanout(self, data):
+        counts = containment_counts(data)
+        assert counts.supersets_per_r == (3, 2, 1, 1)
+        assert counts.subsets_per_s == (1, 2, 3, 1)
+        assert counts.total_pairs == 7
+
+    def test_two_relations(self, data):
+        other = SetCollection([[0, 1, 2, 3]])
+        counts = containment_counts(data, other)
+        assert counts.supersets_per_r == (1, 1, 1, 1)
+        assert counts.subsets_per_s == (4,)
+
+    def test_histogram(self, data):
+        counts = containment_counts(data)
+        assert counts.r_histogram() == [(1, 2), (2, 1), (3, 1)]
+
+    def test_counts_match_pair_list(self, data, small_zipf):
+        from repro import set_containment_join
+
+        counts = containment_counts(small_zipf)
+        pairs = set_containment_join(small_zipf, small_zipf)
+        assert counts.total_pairs == len(pairs)
+        for rid, c in enumerate(counts.supersets_per_r):
+            assert c == sum(1 for r, __ in pairs if r == rid)
+
+
+class TestTopK:
+    def test_top_contained(self, data):
+        assert top_contained(data, k=2) == [(0, 3), (1, 2)]
+
+    def test_top_containers(self, data):
+        assert top_containers(data, k=2) == [(2, 3), (1, 2)]
+
+    def test_k_larger_than_collection(self, data):
+        assert len(top_contained(data, k=100)) == 4
+
+    def test_ties_break_by_id(self):
+        data = SetCollection([[1], [2]])
+        assert top_contained(data, k=2) == [(0, 1), (1, 1)]
+
+
+class TestRatio:
+    def test_density(self, data):
+        assert containment_ratio(data) == pytest.approx(7 / 16)
+
+    def test_empty(self):
+        empty = SetCollection([], validate=False)
+        assert containment_ratio(empty) == 0.0
+
+    def test_full_density(self):
+        data = SetCollection([[5]] * 3)
+        assert containment_ratio(data) == 1.0

@@ -1,0 +1,124 @@
+"""Tests for the public API front door."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    JoinStats,
+    SetCollection,
+    UnknownMethodError,
+    join_methods,
+    set_containment_join,
+)
+
+from conftest import ALL_METHODS
+
+
+@pytest.fixture
+def tiny():
+    r = SetCollection([[0], [0, 1]])
+    s = SetCollection([[0, 1], [0]])
+    return r, s
+
+
+class TestRegistry:
+    def test_all_methods_registered(self):
+        assert set(ALL_METHODS) == set(join_methods())
+
+    def test_unknown_method_raises(self, tiny):
+        r, s = tiny
+        with pytest.raises(UnknownMethodError, match="no_such_join"):
+            set_containment_join(r, s, method="no_such_join")
+
+    def test_unknown_method_lists_known(self, tiny):
+        r, s = tiny
+        try:
+            set_containment_join(r, s, method="bogus")
+        except UnknownMethodError as exc:
+            assert "lcjoin" in str(exc)
+        else:
+            pytest.fail("expected UnknownMethodError")
+
+
+class TestCollectModes:
+    def test_pairs_default(self, tiny):
+        r, s = tiny
+        pairs = set_containment_join(r, s)
+        assert sorted(pairs) == [(0, 0), (0, 1), (1, 0)]
+
+    def test_count(self, tiny):
+        r, s = tiny
+        assert set_containment_join(r, s, collect="count") == 3
+
+    def test_callback(self, tiny):
+        r, s = tiny
+        seen = []
+        total = set_containment_join(
+            r, s, collect="callback", callback=lambda a, b: seen.append((a, b))
+        )
+        assert total == 3
+        assert sorted(seen) == [(0, 0), (0, 1), (1, 0)]
+
+    def test_callback_requires_callback(self, tiny):
+        r, s = tiny
+        with pytest.raises(ValueError, match="callback"):
+            set_containment_join(r, s, collect="callback")
+
+    def test_unknown_collect(self, tiny):
+        r, s = tiny
+        with pytest.raises(ValueError, match="collect"):
+            set_containment_join(r, s, collect="dataframe")
+
+
+class TestStatsIntegration:
+    def test_elapsed_and_results_recorded(self, tiny):
+        r, s = tiny
+        stats = JoinStats()
+        set_containment_join(r, s, stats=stats)
+        assert stats.results == 3
+        assert stats.elapsed_seconds > 0
+
+    def test_stats_accumulate_across_calls(self, tiny):
+        r, s = tiny
+        stats = JoinStats()
+        set_containment_join(r, s, stats=stats)
+        set_containment_join(r, s, stats=stats)
+        assert stats.results == 6
+
+
+class TestMethodKwargs:
+    def test_ttjoin_k(self, tiny):
+        r, s = tiny
+        assert set_containment_join(r, s, method="ttjoin", k=1, collect="count") == 3
+
+    def test_limit_knobs(self, tiny):
+        r, s = tiny
+        count = set_containment_join(
+            r, s, method="limit", limit=1, stop_threshold=0, collect="count"
+        )
+        assert count == 3
+
+    def test_shj_bits(self, tiny):
+        r, s = tiny
+        assert set_containment_join(r, s, method="shj", bits=4, collect="count") == 3
+
+    def test_patricia_flag(self, tiny):
+        r, s = tiny
+        count = set_containment_join(
+            r, s, method="tree_et", patricia=True, collect="count"
+        )
+        assert count == 3
+
+    def test_unknown_kwarg_raises_type_error(self, tiny):
+        r, s = tiny
+        with pytest.raises(TypeError):
+            set_containment_join(r, s, method="lcjoin", warp_speed=True)
+
+
+def test_two_relation_join_is_directional():
+    """R ⋈⊆ S is not symmetric; both directions must be computable."""
+    small = SetCollection([[0]])
+    big = SetCollection([[0, 1]])
+    assert set_containment_join(small, big) == [(0, 0)]
+    assert set_containment_join(big, small) == []

@@ -1,0 +1,185 @@
+"""Per-baseline tests: knobs, counters, and behaviours beyond plain
+equivalence (which test_equivalence.py covers for everything)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import JoinStats
+from repro.baselines.bnl import bnl_join
+from repro.baselines.limit import limit_join
+from repro.baselines.naive import naive_join
+from repro.baselines.pretti import pretti_join
+from repro.baselines.psj import psj_join
+from repro.baselines.shj import shj_join, signature_of
+from repro.baselines.ttjoin import tt_join
+from repro.core.results import PairListSink
+from repro.core.verify import ground_truth
+from repro.data.collection import SetCollection
+from repro.errors import InvalidParameterError
+
+from conftest import random_instance
+
+
+@pytest.fixture
+def rs():
+    return random_instance(123)
+
+
+class TestNaive:
+    def test_counts_candidates(self, rs):
+        r, s = rs
+        stats = JoinStats()
+        naive_join(r, s, PairListSink(), stats=stats)
+        assert stats.candidates == len(r) * len(s)
+
+
+class TestBNL:
+    def test_gallop_and_merge_agree(self, rs):
+        r, s = rs
+        merge_sink, gallop_sink = PairListSink(), PairListSink()
+        bnl_join(r, s, merge_sink, gallop=False)
+        bnl_join(r, s, gallop_sink, gallop=True)
+        assert merge_sink.sorted_pairs() == gallop_sink.sorted_pairs()
+
+    def test_merge_touches_more_entries(self):
+        # One rare element + one frequent element: merge must scan the long
+        # list, galloping skips most of it.
+        r = SetCollection([[0, 1]])
+        s = SetCollection([[0, 1]] + [[1, 2]] * 50)
+        merge_stats, gallop_stats = JoinStats(), JoinStats()
+        bnl_join(r, s, PairListSink(), gallop=False, stats=merge_stats)
+        bnl_join(r, s, PairListSink(), gallop=True, stats=gallop_stats)
+        assert merge_stats.entries_touched > gallop_stats.entries_touched
+
+    def test_missing_element_short_circuits(self):
+        r = SetCollection([[0, 999]])
+        s = SetCollection([[0]])
+        sink = PairListSink()
+        bnl_join(r, s, sink)
+        assert sink.pairs == []
+
+
+class TestPretti:
+    @pytest.mark.parametrize("patricia", [False, True])
+    @pytest.mark.parametrize("gallop", [False, True])
+    def test_variants_match_ground_truth(self, rs, patricia, gallop):
+        r, s = rs
+        sink = PairListSink()
+        pretti_join(r, s, sink, patricia=patricia, gallop=gallop)
+        assert sink.sorted_pairs() == sorted(ground_truth(r, s))
+
+    def test_entries_touched_metered(self, rs):
+        r, s = rs
+        stats = JoinStats()
+        pretti_join(r, s, PairListSink(), stats=stats)
+        assert stats.entries_touched > 0
+        assert stats.tree_nodes > 0
+
+
+class TestLimit:
+    @pytest.mark.parametrize("limit", [1, 2, 4, 100])
+    def test_limit_values(self, rs, limit):
+        r, s = rs
+        sink = PairListSink()
+        limit_join(r, s, sink, limit=limit)
+        assert sink.sorted_pairs() == sorted(ground_truth(r, s))
+
+    @pytest.mark.parametrize("threshold", [0, 3, 10**6])
+    def test_stop_thresholds(self, rs, threshold):
+        r, s = rs
+        sink = PairListSink()
+        limit_join(r, s, sink, stop_threshold=threshold)
+        assert sink.sorted_pairs() == sorted(ground_truth(r, s))
+
+    def test_truncated_sets_are_verified(self):
+        """A set longer than the limit shares a 1-element prefix with a set
+        it is NOT contained in; verification must reject it."""
+        r = SetCollection([[0, 1, 2, 3, 4]])
+        s = SetCollection([[0, 9], [0, 1, 2, 3, 4]])
+        sink = PairListSink()
+        stats = JoinStats()
+        limit_join(r, s, sink, limit=1, stats=stats)
+        assert sink.sorted_pairs() == [(0, 1)]
+        assert stats.candidates > 0
+
+
+class TestTTJoin:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_k_values(self, rs, k):
+        r, s = rs
+        sink = PairListSink()
+        tt_join(r, s, sink, k=k)
+        assert sink.sorted_pairs() == sorted(ground_truth(r, s))
+
+    def test_k_must_be_positive(self, rs):
+        r, s = rs
+        with pytest.raises(InvalidParameterError):
+            tt_join(r, s, PairListSink(), k=0)
+
+    def test_no_duplicate_pairs_on_shared_prefixes(self):
+        """Signatures that are prefixes of other signatures must not re-emit
+        (the regression the matched-state flag fixed)."""
+        r = SetCollection([[4], [2, 4], [2, 4, 7]])
+        s = SetCollection([[1, 2, 3, 4, 5, 7], [2, 4], [4, 7]])
+        sink = PairListSink()
+        tt_join(r, s, sink, k=2)
+        pairs = sink.pairs
+        assert len(pairs) == len(set(pairs))
+        assert sorted(set(pairs)) == sorted(ground_truth(r, s))
+
+    def test_candidates_metered(self, rs):
+        r, s = rs
+        stats = JoinStats()
+        tt_join(r, s, PairListSink(), stats=stats)
+        assert stats.candidates >= stats.results
+
+
+class TestSHJ:
+    @pytest.mark.parametrize("bits", [1, 4, 16])
+    def test_bits_values(self, rs, bits):
+        r, s = rs
+        sink = PairListSink()
+        shj_join(r, s, sink, bits=bits)
+        assert sink.sorted_pairs() == sorted(ground_truth(r, s))
+
+    def test_bits_bounds(self, rs):
+        r, s = rs
+        for bad in (0, 25):
+            with pytest.raises(InvalidParameterError):
+                shj_join(r, s, PairListSink(), bits=bad)
+
+    def test_signature_is_containment_monotone(self):
+        small = (1, 5, 9)
+        big = (1, 3, 5, 9, 11)
+        sig_small = signature_of(small, 16)
+        sig_big = signature_of(big, 16)
+        assert sig_small & ~sig_big == 0
+
+    def test_fewer_bits_more_candidates(self, rs):
+        r, s = rs
+        coarse, fine = JoinStats(), JoinStats()
+        shj_join(r, s, PairListSink(), bits=2, stats=coarse)
+        shj_join(r, s, PairListSink(), bits=16, stats=fine)
+        assert coarse.candidates >= fine.candidates
+
+
+class TestPSJ:
+    @pytest.mark.parametrize("p", [1, 7, 64])
+    def test_partition_counts(self, rs, p):
+        r, s = rs
+        sink = PairListSink()
+        psj_join(r, s, sink, num_partitions=p)
+        assert sink.sorted_pairs() == sorted(ground_truth(r, s))
+
+    def test_partition_count_must_be_positive(self, rs):
+        r, s = rs
+        with pytest.raises(InvalidParameterError):
+            psj_join(r, s, PairListSink(), num_partitions=0)
+
+    def test_single_partition_degenerates_to_naive_candidates(self):
+        r = SetCollection([[0], [1]])
+        s = SetCollection([[0, 1], [2]])
+        stats = JoinStats()
+        psj_join(r, s, PairListSink(), num_partitions=1, stats=stats)
+        assert stats.candidates == len(r) * len(s)

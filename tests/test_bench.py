@@ -1,0 +1,110 @@
+"""Tests for the benchmark runner and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import (
+    format_measurements,
+    format_series,
+    format_table,
+    speedup_summary,
+)
+from repro.bench.runner import JoinMeasurement, run_experiment, run_matrix
+from repro.data.collection import SetCollection
+from repro.errors import UnknownMethodError
+
+
+@pytest.fixture
+def data():
+    return SetCollection([[0, 1], [0], [1, 2], [0, 1, 2]])
+
+
+class TestRunExperiment:
+    def test_self_join_default(self, data):
+        m = run_experiment("lcjoin", data, workload="w")
+        assert m.num_r == m.num_s == 4
+        assert m.results == 8  # 4 reflexive + {0}⊆{0,1},{0}⊆{012},{01}⊆{012},{12}⊆{012}
+        assert m.elapsed_seconds > 0
+        assert m.workload == "w"
+
+    def test_two_relations(self, data):
+        other = SetCollection([[0, 1, 2, 3]])
+        m = run_experiment("framework", data, other)
+        assert m.num_s == 1
+        assert m.results == 4
+
+    def test_memory_measurement(self, data):
+        m = run_experiment("pretti", data, measure_memory=True)
+        assert m.peak_memory_bytes > 0
+
+    def test_no_memory_by_default(self, data):
+        assert run_experiment("pretti", data).peak_memory_bytes == 0
+
+    def test_unknown_method(self, data):
+        with pytest.raises(UnknownMethodError):
+            run_experiment("hyperjoin", data)
+
+    def test_method_kwargs_forwarded(self, data):
+        m = run_experiment("ttjoin", data, k=1)
+        assert m.results == 8
+
+    def test_abstract_cost(self, data):
+        m = run_experiment("lcjoin", data)
+        assert m.abstract_cost == (
+            m.binary_searches + m.entries_touched + m.index_build_tokens
+        )
+
+
+class TestRunMatrix:
+    def test_cross_product_order(self, data):
+        ms = run_matrix(["naive", "lcjoin"], [("a", data), ("b", data)])
+        assert [(m.workload, m.method) for m in ms] == [
+            ("a", "naive"), ("a", "lcjoin"), ("b", "naive"), ("b", "lcjoin"),
+        ]
+        assert len({m.results for m in ms}) == 1
+
+
+class TestReport:
+    def _measurements(self):
+        return [
+            JoinMeasurement("lcjoin", "w1", 10, 10, 5, 0.5, 100, 0, 0, 50),
+            JoinMeasurement("pretti", "w1", 10, 10, 5, 1.0, 0, 900, 0, 50),
+            JoinMeasurement("lcjoin", "w2", 20, 20, 9, 0.8, 300, 0, 0, 90),
+            JoinMeasurement("pretti", "w2", 20, 20, 9, 4.0, 0, 2000, 0, 90),
+        ]
+
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2.5), (100, 0.125)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in lines[2]
+        assert "100" in lines[3]
+
+    def test_format_measurements_headers(self):
+        text = format_measurements(self._measurements())
+        assert "workload" in text and "abstract_cost" in text
+        assert "lcjoin" in text and "w2" in text
+
+    def test_format_series_pivots(self):
+        text = format_series(self._measurements())
+        lines = text.splitlines()
+        assert "w1" in lines[0] and "w2" in lines[0]
+        lcjoin_line = next(line for line in lines if "lcjoin" in line)
+        assert "0.500" in lcjoin_line and "0.800" in lcjoin_line
+
+    def test_format_series_abstract_cost(self):
+        text = format_series(self._measurements(), value="abstract_cost")
+        pretti_line = next(
+            line for line in text.splitlines() if "pretti" in line
+        )
+        assert "950" in pretti_line and "2090" in pretti_line
+
+    def test_speedup_summary(self):
+        text = speedup_summary(self._measurements())
+        assert "w1" in text and "pretti 2.0x" in text
+        assert "w2" in text and "pretti 5.0x" in text
+
+    def test_speedup_summary_missing_reference(self):
+        ms = [JoinMeasurement("pretti", "w", 1, 1, 1, 1.0, 0, 0, 0, 0)]
+        assert speedup_summary(ms) == ""

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.collection import SetCollection
+from repro.data.io import load_collection, save_collection
+
+
+@pytest.fixture
+def dataset(tmp_path):
+    path = str(tmp_path / "data.txt")
+    save_collection(SetCollection([[0, 1], [0], [1, 2]]), path)
+    return path
+
+
+class TestJoinCommand:
+    def test_self_join_pairs(self, dataset, capsys):
+        assert main(["join", dataset]) == 0
+        out = capsys.readouterr().out
+        pairs = sorted(tuple(map(int, line.split())) for line in out.splitlines())
+        assert (1, 0) in pairs and (1, 1) in pairs
+
+    def test_count_only(self, dataset, capsys):
+        assert main(["join", dataset, "--count-only"]) == 0
+        count = int(capsys.readouterr().out.strip())
+        assert count == 4  # 3 reflexive pairs + ({0} ⊆ {0,1})
+
+    def test_two_files(self, tmp_path, dataset, capsys):
+        other = str(tmp_path / "s.txt")
+        save_collection(SetCollection([[0, 1, 2]]), other)
+        assert main(["join", dataset, other, "--count-only"]) == 0
+        assert int(capsys.readouterr().out.strip()) == 3
+
+    def test_output_file(self, tmp_path, dataset):
+        out_path = str(tmp_path / "pairs.txt")
+        assert main(["join", dataset, "--output", out_path]) == 0
+        lines = open(out_path).read().splitlines()
+        assert len(lines) == 4
+
+    def test_every_method_flag(self, dataset):
+        for method in ("framework", "lcjoin", "pretti", "naive"):
+            assert main(["join", dataset, "--count-only", "--method", method]) == 0
+
+    def test_tokens_mode(self, tmp_path, capsys):
+        path = str(tmp_path / "w.txt")
+        with open(path, "w") as f:
+            f.write("apple pie\napple\n")
+        assert main(["join", path, "--count-only", "--tokens"]) == 0
+        assert int(capsys.readouterr().out.strip()) == 3
+
+    def test_missing_file_is_graceful(self, capsys):
+        assert main(["join", "/no/such/file.txt"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenerateCommand:
+    def test_zipf(self, tmp_path, capsys):
+        out = str(tmp_path / "zipf.txt")
+        assert main([
+            "generate", out, "--cardinality", "50",
+            "--num-elements", "20", "--z", "0.5",
+        ]) == 0
+        assert len(load_collection(out)) == 50
+
+    def test_real_world_kind(self, tmp_path):
+        out = str(tmp_path / "aol.txt")
+        assert main(["generate", out, "--kind", "aol", "--scale", "0.00005"]) == 0
+        assert len(load_collection(out)) > 100
+
+
+class TestStatsCommand:
+    def test_stats_output(self, dataset, capsys):
+        assert main(["stats", dataset]) == 0
+        out = capsys.readouterr().out
+        assert "# of sets:        3" in out
+        assert "z-value" in out
+
+
+class TestCompareCommand:
+    def test_table_printed(self, dataset, capsys):
+        assert main(["compare", dataset, "--methods", "lcjoin,naive"]) == 0
+        out = capsys.readouterr().out
+        assert "lcjoin" in out and "naive" in out
+        assert "time(s)" in out
+
+    def test_memory_flag(self, dataset, capsys):
+        assert main(["compare", dataset, "--methods", "lcjoin", "--memory"]) == 0
+        assert "lcjoin" in capsys.readouterr().out
+
+
+class TestSelftestCommand:
+    def test_selftest_ok(self, capsys):
+        assert main(["selftest", "--trials", "4"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_selftest_method_subset(self, capsys):
+        assert main(["selftest", "--trials", "3", "--methods", "lcjoin,piejoin"]) == 0
+        out = capsys.readouterr().out
+        assert "6 method comparisons" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+class TestNewCommands:
+    def test_stats_full(self, dataset, capsys):
+        assert main(["stats", dataset, "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "size histogram:" in out
+
+    def test_estimate(self, dataset, capsys):
+        assert main(["estimate", dataset]) == 0
+        assert "estimated result pairs" in capsys.readouterr().out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "aol" in out and "zipf-default" in out
+
+    def test_inds(self, tmp_path, capsys):
+        (tmp_path / "a.csv").write_text("id\n1\n2\n")
+        (tmp_path / "b.csv").write_text("ref\n1\n")
+        assert main(["inds", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "b.ref ⊆ a.id" in out
+
+    def test_inds_nary(self, tmp_path, capsys):
+        (tmp_path / "p.csv").write_text("x,y\n1,a\n2,b\n")
+        (tmp_path / "q.csv").write_text("x,y\n1,a\n")
+        assert main(["inds", str(tmp_path), "--max-arity", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[q.x, q.y] ⊆ [p.x, p.y]" in out

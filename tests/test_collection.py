@@ -1,0 +1,148 @@
+"""Tests for SetCollection and ElementDictionary."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.collection import CollectionStats, ElementDictionary, SetCollection
+from repro.errors import DatasetError
+
+
+class TestElementDictionary:
+    def test_encode_is_stable(self):
+        d = ElementDictionary()
+        assert d.encode("a") == 0
+        assert d.encode("b") == 1
+        assert d.encode("a") == 0
+        assert len(d) == 2
+
+    def test_decode_roundtrip(self):
+        d = ElementDictionary()
+        values = ["x", 42, ("tuple",), "x"]
+        ids = [d.encode(v) for v in values]
+        assert [d.decode(i) for i in ids] == values
+
+    def test_encode_existing(self):
+        d = ElementDictionary()
+        d.encode("known")
+        assert d.encode_existing("known") == 0
+        assert d.encode_existing("unknown") is None
+        assert "known" in d and "unknown" not in d
+
+
+class TestConstruction:
+    def test_records_are_sorted_and_deduped(self):
+        c = SetCollection([[3, 1, 2, 1]])
+        assert c[0] == (1, 2, 3)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(DatasetError, match="empty"):
+            SetCollection([[1], []])
+
+    def test_negative_element_rejected(self):
+        with pytest.raises(DatasetError, match="negative"):
+            SetCollection([[-1, 2]])
+
+    def test_validate_false_skips_checks(self):
+        c = SetCollection([[]], validate=False)
+        assert len(c) == 1
+
+    def test_from_iterable_shares_dictionary(self):
+        r = SetCollection.from_iterable([{"a", "b"}])
+        s = SetCollection.from_iterable([{"b", "c"}], dictionary=r.dictionary)
+        b_id = r.dictionary.encode_existing("b")
+        assert b_id in r[0] and b_id in s[0]
+
+    def test_from_records(self):
+        c = SetCollection.from_records([(5, 1)])
+        assert c[0] == (1, 5)
+
+    def test_equality(self):
+        assert SetCollection([[1, 2]]) == SetCollection([[2, 1]])
+        assert SetCollection([[1]]) != SetCollection([[2]])
+        assert SetCollection([[1]]).__eq__(42) is NotImplemented
+
+    def test_repr(self):
+        assert "2 sets" in repr(SetCollection([[1], [2]]))
+
+
+class TestAccessors:
+    def test_iteration_order(self):
+        c = SetCollection([[2], [1], [3]])
+        assert list(c) == [(2,), (1,), (3,)]
+
+    def test_element_frequencies(self):
+        c = SetCollection([[1, 2], [2, 3], [2]])
+        freq = c.element_frequencies()
+        assert freq[2] == 3 and freq[1] == 1 and freq[3] == 1
+
+    def test_max_element(self):
+        assert SetCollection([[1, 7], [3]]).max_element() == 7
+        assert SetCollection([], validate=False).max_element() == -1
+
+    def test_total_tokens(self):
+        assert SetCollection([[1, 2], [3]]).total_tokens() == 3
+
+    def test_record_in_order(self):
+        c = SetCollection([[0, 1, 2]])
+        rank = [2, 0, 1]  # element 1 first, then 2, then 0
+        assert c.record_in_order(0, rank) == [1, 2, 0]
+
+    def test_decode_record_requires_dictionary(self):
+        c = SetCollection([[1]])
+        with pytest.raises(DatasetError, match="dictionary"):
+            c.decode_record(0)
+
+    def test_decode_record(self):
+        c = SetCollection.from_iterable([["b", "a"]])
+        assert sorted(c.decode_record(0)) == ["a", "b"]
+
+
+class TestStats:
+    def test_empty(self):
+        stats = SetCollection([], validate=False).stats()
+        assert stats == CollectionStats(0, 0, 0, 0.0, 0, 0)
+
+    def test_shape(self):
+        c = SetCollection([[1, 2, 3], [2], [4, 5]])
+        stats = c.stats()
+        assert stats.num_sets == 3
+        assert stats.min_size == 1
+        assert stats.max_size == 3
+        assert stats.avg_size == pytest.approx(2.0)
+        assert stats.num_elements == 5
+        assert stats.total_tokens == 6
+
+    def test_as_row(self):
+        row = SetCollection([[1, 2]]).stats().as_row()
+        assert row == (1, "2 / 2 / 2.0", 2)
+
+
+class TestSample:
+    def test_full_fraction_is_identity(self):
+        c = SetCollection([[1], [2]])
+        assert c.sample(1.0) is c
+
+    def test_fraction_bounds(self):
+        c = SetCollection([[1]])
+        with pytest.raises(DatasetError):
+            c.sample(0.0)
+        with pytest.raises(DatasetError):
+            c.sample(1.5)
+
+    def test_nested_samples(self):
+        c = SetCollection([[i] for i in range(100)])
+        small = {rec for rec in c.sample(0.2, seed=3)}
+        large = {rec for rec in c.sample(0.6, seed=3)}
+        assert small <= large
+
+    def test_sample_size(self):
+        c = SetCollection([[i] for i in range(100)])
+        assert len(c.sample(0.25)) == 25
+
+    @given(st.integers(1, 50), st.floats(0.1, 1.0))
+    def test_sample_never_empty(self, n, fraction):
+        c = SetCollection([[i] for i in range(n)])
+        assert 1 <= len(c.sample(fraction)) <= n

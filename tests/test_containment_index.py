@@ -1,0 +1,168 @@
+"""Tests for the reusable ContainmentIndex query API."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.containment_index import ContainmentIndex
+from repro.data.collection import SetCollection
+
+from conftest import random_collection
+
+
+@pytest.fixture
+def index():
+    data = SetCollection([[0, 1], [1, 2], [0, 1, 2, 3], [2]])
+    return ContainmentIndex(data)
+
+
+class TestSupersetsOf:
+    def test_basic(self, index):
+        assert index.supersets_of([0, 1]) == [0, 2]
+        assert index.supersets_of([2]) == [1, 2, 3]
+        assert index.supersets_of([0, 1, 2, 3]) == [2]
+
+    def test_no_match(self, index):
+        assert index.supersets_of([0, 2, 99]) == []
+
+    def test_empty_query_contained_everywhere(self, index):
+        assert index.supersets_of([]) == [0, 1, 2, 3]
+
+    def test_duplicate_query_elements(self, index):
+        assert index.supersets_of([1, 1, 0]) == [0, 2]
+
+    def test_stats_metered(self, index):
+        from repro.core.stats import JoinStats
+
+        stats = JoinStats()
+        index.supersets_of([0, 1], stats=stats)
+        assert stats.binary_searches > 0
+
+
+class TestSubsetsOf:
+    def test_basic(self, index):
+        assert index.subsets_of([0, 1, 2]) == [0, 1, 3]
+        assert index.subsets_of([0, 1, 2, 3]) == [0, 1, 2, 3]
+
+    def test_no_match(self, index):
+        assert index.subsets_of([5, 6]) == []
+
+    def test_empty_query(self, index):
+        assert index.subsets_of([]) == []
+
+    def test_unknown_elements_ignored(self, index):
+        assert index.subsets_of([2, 999]) == [3]
+
+
+class TestDictionaryQueries:
+    @pytest.fixture
+    def word_index(self):
+        data = SetCollection.from_iterable(
+            [{"a", "b"}, {"b", "c"}, {"a", "b", "c"}]
+        )
+        return ContainmentIndex(data)
+
+    def test_supersets_with_values(self, word_index):
+        assert word_index.supersets_of({"a", "b"}) == [0, 2]
+
+    def test_supersets_unknown_value(self, word_index):
+        assert word_index.supersets_of({"a", "zzz"}) == []
+
+    def test_subsets_with_values(self, word_index):
+        assert word_index.subsets_of({"a", "b", "c"}) == [0, 1, 2]
+
+    def test_non_int_without_dictionary_raises(self, index):
+        with pytest.raises(TypeError):
+            index.supersets_of(["word"])
+        with pytest.raises(TypeError):
+            index.subsets_of(["word"])
+
+
+class TestJoinThroughIndex:
+    def test_join_reuses_index(self, index):
+        r = SetCollection([[0, 1], [2]])
+        pairs = sorted(index.join(r))
+        assert pairs == [(0, 0), (0, 2), (1, 1), (1, 2), (1, 3)]
+
+    def test_join_any_method(self, index):
+        r = SetCollection([[0, 1]])
+        for method in ("lcjoin", "ttjoin", "naive", "pretti"):
+            assert sorted(index.join(r, method=method)) == [(0, 0), (0, 2)]
+
+    def test_accessors(self, index):
+        assert len(index) == 4
+        assert index.inverted_index.inf_sid == 4
+        assert len(index.collection) == 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_queries_match_bruteforce(seed):
+    rng = random.Random(seed)
+    data = random_collection(rng, rng.randint(1, 25), rng.choice([4, 8, 16]))
+    index = ContainmentIndex(data)
+    universe = data.max_element() + 1
+    query = frozenset(rng.sample(range(universe + 2), rng.randint(0, universe)))
+    expected_supers = [
+        sid for sid, rec in enumerate(data) if query <= frozenset(rec)
+    ]
+    expected_subs = [
+        sid for sid, rec in enumerate(data) if frozenset(rec) <= query
+    ]
+    assert index.supersets_of(query) == expected_supers
+    assert index.subsets_of(query) == expected_subs
+
+
+class TestIncrementalAdd:
+    def test_add_then_query(self):
+        data = SetCollection([[0, 1]])
+        index = ContainmentIndex(data)
+        sid = index.add([0, 1, 2])
+        assert sid == 1
+        assert index.supersets_of([0, 1]) == [0, 1]
+        assert index.supersets_of([2]) == [1]
+        assert index.subsets_of([0, 1, 2]) == [0, 1]
+
+    def test_add_with_dictionary(self):
+        data = SetCollection.from_iterable([{"a"}])
+        index = ContainmentIndex(data)
+        sid = index.add({"a", "b"})
+        assert index.supersets_of({"a", "b"}) == [sid]
+
+    def test_add_new_element(self):
+        data = SetCollection([[0]])
+        index = ContainmentIndex(data)
+        index.add([7])
+        assert index.supersets_of([7]) == [1]
+        assert index.supersets_of([0]) == [0]
+
+    def test_many_adds_match_bulk_build(self):
+        import random
+
+        rng = random.Random(4)
+        records = [rng.sample(range(12), rng.randint(1, 5)) for __ in range(40)]
+        incremental = ContainmentIndex(SetCollection(records[:1]))
+        for rec in records[1:]:
+            incremental.add(rec)
+        bulk = ContainmentIndex(SetCollection(records))
+        for probe_rec in records[:10]:
+            assert incremental.supersets_of(probe_rec) == bulk.supersets_of(probe_rec)
+            assert incremental.subsets_of(probe_rec) == bulk.subsets_of(probe_rec)
+
+    def test_add_invalidates_subset_tree(self):
+        data = SetCollection([[0, 1]])
+        index = ContainmentIndex(data)
+        assert index.subsets_of([0, 1]) == [0]  # builds the tree
+        index.add([0])
+        assert index.subsets_of([0, 1]) == [0, 1]  # rebuilt after add
+
+    def test_append_empty_set_rejected(self):
+        from repro.errors import DatasetError
+
+        index = ContainmentIndex(SetCollection([[0]]))
+        with pytest.raises(DatasetError):
+            index.add([])

@@ -1,0 +1,62 @@
+"""Tests for the DCJ (divide-and-conquer) baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import JoinStats
+from repro.baselines.dcj import dcj_join
+from repro.core.results import PairListSink
+from repro.core.verify import ground_truth
+from repro.data.collection import SetCollection
+from repro.errors import InvalidParameterError
+
+from conftest import random_instance
+
+
+class TestDCJ:
+    @pytest.mark.parametrize("leaf_size", [1, 4, 64, 10_000])
+    def test_leaf_sizes(self, leaf_size):
+        for seed in range(20):
+            r, s = random_instance(seed)
+            sink = PairListSink()
+            dcj_join(r, s, sink, leaf_size=leaf_size)
+            assert sink.sorted_pairs() == sorted(ground_truth(r, s))
+
+    def test_leaf_size_validation(self):
+        r, s = random_instance(0)
+        with pytest.raises(InvalidParameterError):
+            dcj_join(r, s, PairListSink(), leaf_size=0)
+
+    def test_empty_sides(self):
+        empty = SetCollection([], validate=False)
+        data = SetCollection([[1]])
+        for r, s in [(empty, data), (data, empty)]:
+            sink = PairListSink()
+            dcj_join(r, s, sink)
+            assert sink.pairs == []
+
+    def test_giant_leaf_degenerates_to_naive_candidates(self):
+        r = SetCollection([[0], [1]])
+        s = SetCollection([[0, 1], [2]])
+        stats = JoinStats()
+        dcj_join(r, s, PairListSink(), leaf_size=10_000, stats=stats)
+        assert stats.candidates == 4
+
+    def test_partitioning_prunes_candidates(self):
+        """With a small leaf size the pivot splits must cut the candidate
+        count well below |R| x |S|."""
+        r, s = random_instance(42)
+        tiny, huge = JoinStats(), JoinStats()
+        dcj_join(r, s, PairListSink(), leaf_size=1, stats=tiny)
+        dcj_join(r, s, PairListSink(), leaf_size=10**9, stats=huge)
+        assert tiny.candidates < huge.candidates
+
+    def test_replication_is_bounded(self):
+        """R∅ recursing against both S halves must not duplicate results."""
+        r = SetCollection([[2]] * 5)              # never contains pivot 0/1
+        s = SetCollection([[0, 2], [1, 2], [2]])  # splits on both pivots
+        sink = PairListSink()
+        dcj_join(r, s, sink, leaf_size=1)
+        pairs = sink.pairs
+        assert len(pairs) == len(set(pairs)) == 15

@@ -1,0 +1,120 @@
+"""Tests for the selectivity estimator and the auto method planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import set_containment_join
+from repro.core.estimate import JoinEstimate, estimate_costs, estimate_result_size
+from repro.core.planner import (
+    NAIVE_CROSS_LIMIT,
+    PlanDecision,
+    choose_method,
+)
+from repro.data.collection import SetCollection
+from repro.data.synthetic import generate_zipf
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def zipf():
+    return generate_zipf(
+        cardinality=2_000, avg_set_size=5, num_elements=200, z=0.6, seed=21
+    )
+
+
+class TestEstimateResultSize:
+    def test_full_sample_is_exact(self, zipf):
+        exact = set_containment_join(zipf, zipf, collect="count")
+        est = estimate_result_size(zipf, sample_size=len(zipf))
+        assert int(est) == exact
+        assert est.scale_factor == 1.0
+
+    def test_sampled_estimate_within_tolerance(self, zipf):
+        exact = set_containment_join(zipf, zipf, collect="count")
+        est = estimate_result_size(zipf, sample_size=400, seed=3)
+        assert est.sample_size == 400
+        assert est.estimated_results == pytest.approx(exact, rel=0.4)
+
+    def test_empty_inputs(self):
+        empty = SetCollection([], validate=False)
+        data = SetCollection([[1]])
+        assert estimate_result_size(empty, data).estimated_results == 0.0
+        assert estimate_result_size(data, empty).estimated_results == 0.0
+
+    def test_invalid_sample_size(self, zipf):
+        with pytest.raises(InvalidParameterError):
+            estimate_result_size(zipf, sample_size=0)
+
+    def test_estimate_type(self, zipf):
+        est = estimate_result_size(zipf, sample_size=100)
+        assert isinstance(est, JoinEstimate)
+        assert est.scale_factor == pytest.approx(len(zipf) / 100)
+
+
+class TestEstimateCosts:
+    def test_returns_requested_methods(self, zipf):
+        costs = estimate_costs(zipf, methods=("framework_et", "lcjoin"),
+                               sample_size=200)
+        assert set(costs) == {"framework_et", "lcjoin"}
+        assert all(c > 0 for c in costs.values())
+
+    def test_unknown_method(self, zipf):
+        with pytest.raises(InvalidParameterError, match="unknown methods"):
+            estimate_costs(zipf, methods=("warpjoin",))
+
+    def test_extrapolation_tracks_full_run(self, zipf):
+        """The sampled estimate must land within 3x of the true cost."""
+        from repro.core.stats import JoinStats
+
+        stats = JoinStats()
+        set_containment_join(zipf, zipf, method="framework_et",
+                             collect="count", stats=stats)
+        true_cost = stats.abstract_cost()
+        est = estimate_costs(zipf, methods=("framework_et",),
+                             sample_size=400)["framework_et"]
+        assert true_cost / 3 <= est <= true_cost * 3
+
+
+class TestPlanner:
+    def test_tiny_input_picks_naive(self):
+        data = SetCollection([[0, 1], [1, 2]])
+        decision = choose_method(data)
+        assert decision.method == "naive"
+        assert decision.cross_product <= NAIVE_CROSS_LIMIT
+
+    def test_low_sharing_picks_framework(self):
+        # 100 sets over 1000 distinct elements: almost no shared prefixes.
+        records = [[i * 7, i * 7 + 1, i * 7 + 2] for i in range(100)]
+        data = SetCollection(records)
+        decision = choose_method(data)
+        assert decision.method == "framework_et"
+        assert "sharing" in decision.reason
+
+    def test_high_sharing_picks_lcjoin(self, zipf):
+        decision = choose_method(zipf)
+        assert decision.method == "lcjoin"
+
+    def test_probe_mode(self, zipf):
+        decision = choose_method(zipf, probe=True, sample_size=150)
+        assert decision.method in ("framework_et", "lcjoin")
+        assert "sampled costs" in decision.reason
+
+    def test_decision_is_dataclass(self, zipf):
+        decision = choose_method(zipf)
+        assert isinstance(decision, PlanDecision)
+        assert decision.cross_product == len(zipf) ** 2
+
+
+class TestAutoMethod:
+    def test_auto_produces_correct_results(self, zipf):
+        from repro.core.verify import ground_truth
+
+        small = SetCollection(zipf.records[:60], validate=False)
+        got = sorted(set_containment_join(small, small, method="auto"))
+        assert got == sorted(ground_truth(small, small))
+
+    def test_auto_equals_explicit(self, zipf):
+        auto = set_containment_join(zipf, zipf, method="auto", collect="count")
+        explicit = set_containment_join(zipf, zipf, collect="count")
+        assert auto == explicit

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples double as integration tests of the public API (each contains
+its own internal assertions); these tests execute them as real processes,
+the way a user would.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+SCRIPTS = [
+    "quickstart.py",
+    "publish_subscribe.py",
+    "inclusion_dependency.py",
+    "job_matching.py",
+    "containment_search.py",
+    "schema_discovery.py",
+    "streaming_pubsub.py",
+    "tag_taxonomy.py",
+]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "examples must print something"
+
+
+def test_quickstart_prints_paper_pairs():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert "(R1, S3), (R2, S5)" in proc.stdout
+
+
+def test_inclusion_dependency_finds_planted_keys():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "inclusion_dependency.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert "orders.customer_id" in proc.stdout
+    assert "All planted foreign keys were discovered." in proc.stdout

@@ -1,0 +1,119 @@
+"""Tests for the cross-cutting framework (Algorithm 1) and FrameworkET."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import JoinStats
+from repro.core.framework import cross_cut_record, framework_join
+from repro.core.results import PairListSink
+from repro.core.verify import ground_truth
+from repro.data.collection import SetCollection
+from repro.index.inverted import InvertedIndex
+
+from conftest import random_instance
+
+
+@pytest.mark.parametrize("early", [False, True])
+class TestFrameworkJoin:
+    def test_matches_ground_truth_on_random_instances(self, early):
+        for seed in range(40):
+            r, s = random_instance(seed)
+            sink = PairListSink()
+            framework_join(r, s, sink, early_termination=early)
+            assert sink.sorted_pairs() == sorted(ground_truth(r, s))
+
+    def test_empty_s(self, early):
+        r = SetCollection([[1]])
+        s = SetCollection([], validate=False)
+        sink = PairListSink()
+        framework_join(r, s, sink, early_termination=early)
+        assert sink.pairs == []
+
+    def test_empty_r(self, early):
+        r = SetCollection([], validate=False)
+        s = SetCollection([[1]])
+        sink = PairListSink()
+        framework_join(r, s, sink, early_termination=early)
+        assert sink.pairs == []
+
+    def test_element_absent_from_s_skips_record(self, early):
+        r = SetCollection([[0, 99], [0]])
+        s = SetCollection([[0, 1]])
+        sink = PairListSink()
+        stats = JoinStats()
+        framework_join(r, s, sink, early_termination=early, stats=stats)
+        assert sink.sorted_pairs() == [(1, 0)]
+
+    def test_identical_sets(self, early):
+        data = SetCollection([[1, 2, 3]] * 4)
+        sink = PairListSink()
+        framework_join(data, data, sink, early_termination=early)
+        assert len(sink.pairs) == 16  # every pair matches reflexively
+
+    def test_prebuilt_index_reused(self, early):
+        r = SetCollection([[0]])
+        s = SetCollection([[0], [0, 1]])
+        index = InvertedIndex.build(s)
+        sink = PairListSink()
+        stats = JoinStats()
+        framework_join(r, s, sink, early_termination=early, index=index, stats=stats)
+        assert sink.sorted_pairs() == [(0, 0), (0, 1)]
+        assert stats.index_build_tokens == 0  # not rebuilt
+
+
+class TestCrossCutRecord:
+    INF = 10
+
+    def test_single_list(self):
+        sink = PairListSink()
+        cross_cut_record(7, [[1, 4]], 0, self.INF, sink, False, None)
+        assert sink.sorted_pairs() == [(7, 1), (7, 4)]
+
+    def test_skipping_via_gaps(self):
+        # Candidate jumps 0 -> 8 in one round: ids 1..7 are skipped in BOTH
+        # lists thanks to the first list's gap.
+        stats = JoinStats()
+        sink = PairListSink()
+        lists = [[0, 8], list(range(9))]
+        cross_cut_record(0, lists, 0, self.INF, sink, False, stats)
+        assert sink.sorted_pairs() == [(0, 0), (0, 8)]
+        assert stats.rounds == 2  # candidates 0 and 8; the next gap is S_∞
+        assert stats.binary_searches == 4
+
+    def test_early_termination_skips_unvisited_lists(self):
+        # The first (shortest) list misses candidate 0, so ET stops the
+        # round there; the plain framework still probes the second list.
+        lists = [[5], list(range(9))]
+        stats_et = JoinStats()
+        sink_et = PairListSink()
+        cross_cut_record(0, lists, 0, self.INF, sink_et, True, stats_et)
+        stats_plain = JoinStats()
+        sink_plain = PairListSink()
+        cross_cut_record(0, lists, 0, self.INF, sink_plain, False, stats_plain)
+        assert sink_et.sorted_pairs() == sink_plain.sorted_pairs() == [(0, 5)]
+        assert stats_et.binary_searches == 3
+        assert stats_plain.binary_searches == 4
+
+    def test_stats_none_is_supported(self):
+        cross_cut_record(0, [[0]], 0, self.INF, PairListSink(), True, None)
+
+
+def test_framework_counts_rounds_and_searches():
+    r = SetCollection([[0, 1]])
+    s = SetCollection([[0, 1], [0, 1]])
+    stats = JoinStats()
+    sink = PairListSink()
+    framework_join(r, s, sink, stats=stats)
+    assert stats.rounds >= 2
+    assert stats.binary_searches >= 4
+    assert sink.sorted_pairs() == [(0, 0), (0, 1)]
+
+
+def test_early_termination_never_changes_results():
+    for seed in range(60, 90):
+        r, s = random_instance(seed)
+        plain, early = PairListSink(), PairListSink()
+        framework_join(r, s, plain, early_termination=False)
+        framework_join(r, s, early, early_termination=True)
+        assert plain.sorted_pairs() == early.sorted_pairs()

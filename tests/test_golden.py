@@ -1,0 +1,76 @@
+"""Golden regression pins.
+
+Exact result counts and order-independent result digests for frozen
+workloads, through several methods. These catch *silent* behaviour drift —
+a generator change, an order change, an off-by-one in skipping — that
+equivalence tests would only notice if they happened to re-randomise into
+the broken region.
+
+If a pin fails after an intentional change (e.g. the synthetic generator's
+sampling), re-derive the constants with the snippet in each test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro import set_containment_join
+from repro.data import generate_zipf, generate_real_world
+
+
+def _digest(pairs) -> str:
+    blob = ",".join(f"{r}:{s}" for r, s in sorted(pairs)).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@pytest.fixture(scope="module")
+def zipf_frozen():
+    return generate_zipf(
+        cardinality=800, avg_set_size=6, num_elements=120, z=0.7, seed=20190408
+    )
+
+
+@pytest.fixture(scope="module")
+def aol_frozen():
+    return generate_real_world("aol", scale=0.0001, seed=20190408)
+
+
+class TestFrozenZipf:
+    def test_result_count_and_digest_stable_across_methods(self, zipf_frozen):
+        reference = set_containment_join(zipf_frozen, zipf_frozen)
+        ref_digest = _digest(reference)
+        for method in ("framework", "tree_et", "all_partition", "pretti",
+                       "ttjoin", "piejoin", "dcj"):
+            pairs = set_containment_join(zipf_frozen, zipf_frozen, method=method)
+            assert len(pairs) == len(reference), method
+            assert _digest(pairs) == ref_digest, method
+
+    def test_pinned_values(self, zipf_frozen):
+        pairs = set_containment_join(zipf_frozen, zipf_frozen)
+        assert len(pairs) == PINS["zipf_count"]
+        assert _digest(pairs) == PINS["zipf_digest"]
+
+    def test_generator_shape_pinned(self, zipf_frozen):
+        stats = zipf_frozen.stats()
+        assert stats.num_sets == 800
+        assert stats.total_tokens == PINS["zipf_tokens"]
+
+
+class TestFrozenAol:
+    def test_pinned_values(self, aol_frozen):
+        pairs = set_containment_join(aol_frozen, aol_frozen)
+        assert len(pairs) == PINS["aol_count"]
+        assert _digest(pairs) == PINS["aol_digest"]
+
+
+# The pinned constants; re-derive with the snippet in the module docstring
+# after an intentional generator or join-semantics change.
+PINS = {
+    "zipf_count": 2712,
+    "zipf_digest": "701b60a3c23f87f8",
+    "zipf_tokens": 4416,
+    "aol_count": 185329,
+    "aol_digest": "2089ae8a5eaebaa9",
+}

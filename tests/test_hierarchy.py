@@ -1,0 +1,108 @@
+"""Tests for the containment hierarchy (transitive reduction)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import build_hierarchy
+from repro.data.collection import SetCollection
+
+
+@pytest.fixture
+def diamond():
+    #      {0,1,2}
+    #      /     \
+    #   {0,1}   {1,2}
+    #      \     /
+    #       {1}
+    return SetCollection([[1], [0, 1], [1, 2], [0, 1, 2]])
+
+
+class TestShape:
+    def test_diamond_edges(self, diamond):
+        h = build_hierarchy(diamond)
+        by_record = {n.record: n for n in h.nodes}
+        by_id = {n.node_id: n for n in h.nodes}
+        bottom = by_record[(1,)]
+        top = by_record[(0, 1, 2)]
+        assert sorted(by_id[p].record for p in bottom.parents) == [(0, 1), (1, 2)]
+        assert top.parents == []
+        assert sorted(by_id[c].record for c in top.children) == [(0, 1), (1, 2)]
+        # The transitive edge {1} -> {0,1,2} must have been pruned.
+        assert top.node_id not in bottom.parents
+
+    def test_roots_and_leaves(self, diamond):
+        h = build_hierarchy(diamond)
+        assert [n.record for n in h.roots()] == [(0, 1, 2)]
+        assert [n.record for n in h.leaves()] == [(1,)]
+
+    def test_depth(self, diamond):
+        assert build_hierarchy(diamond).depth() == 2
+
+    def test_ancestors_are_transitive(self, diamond):
+        h = build_hierarchy(diamond)
+        bottom = h.node_of([1])
+        ancestors = {h.nodes[a].record for a in h.ancestors(bottom.node_id)}
+        assert ancestors == {(0, 1), (1, 2), (0, 1, 2)}
+
+    def test_duplicates_collapse(self):
+        c = SetCollection([[0, 1]] * 4 + [[0]])
+        h = build_hierarchy(c)
+        assert len(h) == 2
+        node = h.node_of([0, 1])
+        assert node.member_ids == [0, 1, 2, 3]
+
+    def test_antichain_has_no_edges(self):
+        c = SetCollection([[0], [1], [2]])
+        h = build_hierarchy(c)
+        assert h.edges() == []
+        assert len(h.roots()) == 3 and len(h.leaves()) == 3
+        assert h.depth() == 0
+
+    def test_empty_collection(self):
+        h = build_hierarchy(SetCollection([], validate=False))
+        assert len(h) == 0 and h.depth() == 0
+
+    def test_node_of_missing(self, diamond):
+        assert build_hierarchy(diamond).node_of([9, 9]) is None
+
+
+records = st.lists(
+    st.lists(st.integers(0, 7), min_size=1, max_size=4), min_size=1, max_size=12
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(records)
+def test_transitive_closure_recovers_full_relation(recs):
+    """Property: closing the reduced edges transitively gives exactly the
+    proper-containment relation over distinct sets."""
+    c = SetCollection(recs)
+    h = build_hierarchy(c)
+    by_id = {n.node_id: frozenset(n.record) for n in h.nodes}
+    for node in h.nodes:
+        closure = {by_id[a] for a in h.ancestors(node.node_id)}
+        expected = {
+            s for s in by_id.values()
+            if by_id[node.node_id] < s
+        }
+        assert closure == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(records)
+def test_edges_are_irreducible(recs):
+    """Property: no direct edge is implied by two others (true reduction)."""
+    c = SetCollection(recs)
+    h = build_hierarchy(c)
+    parent_sets = {n.node_id: set(n.parents) for n in h.nodes}
+    for node in h.nodes:
+        for p in node.parents:
+            # p must not be an ancestor of any *other* parent of node.
+            for q in node.parents:
+                if q != p:
+                    assert p not in h.ancestors(q)

@@ -1,0 +1,100 @@
+"""Tests for the incremental growth paths (append to collection/index/order)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.order import build_order
+from repro.data.collection import SetCollection
+from repro.errors import DatasetError
+from repro.index.inverted import InvertedIndex
+from repro.index.search import is_sorted_strict
+
+
+class TestCollectionAppend:
+    def test_append_returns_new_id(self):
+        c = SetCollection([[0]])
+        assert c.append([1, 2]) == 1
+        assert c[1] == (1, 2)
+
+    def test_append_dedupes_and_sorts(self):
+        c = SetCollection([[0]])
+        c.append([5, 3, 5])
+        assert c[1] == (3, 5)
+
+    def test_append_through_dictionary(self):
+        c = SetCollection.from_iterable([{"x"}])
+        c.append({"y", "x"})
+        y = c.dictionary.encode_existing("y")
+        assert y in c[1]
+
+    def test_append_validation(self):
+        c = SetCollection([[0]])
+        with pytest.raises(DatasetError):
+            c.append([])
+        with pytest.raises(DatasetError):
+            c.append([-3])
+
+
+class TestIndexAppend:
+    def test_append_keeps_lists_sorted(self):
+        data = SetCollection([[0, 1], [1]])
+        index = InvertedIndex.build(data)
+        sid = index.append_set((0, 2))
+        assert sid == 2
+        assert index.inf_sid == 3
+        assert list(index.universe) == [0, 1, 2]
+        for lst in index.lists.values():
+            assert is_sorted_strict(lst)
+        assert list(index[0]) == [0, 2]
+        assert list(index[2]) == [2]
+
+    def test_append_rejected_on_local_index(self):
+        data = SetCollection([[0, 1], [1]])
+        index = InvertedIndex.build(data)
+        local = index.build_local(index[1], data)
+        with pytest.raises(ValueError, match="local"):
+            local.append_set((1,))
+
+    def test_construction_cost_grows(self):
+        data = SetCollection([[0]])
+        index = InvertedIndex.build(data)
+        before = index.construction_cost
+        index.append_set((0, 1, 2))
+        assert index.construction_cost == before + 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.lists(st.integers(0, 10), min_size=1, max_size=4),
+                    min_size=2, max_size=15))
+    def test_incremental_equals_bulk(self, recs):
+        bulk = InvertedIndex.build(SetCollection(recs))
+        grown = InvertedIndex.build(SetCollection(recs[:1]))
+        for rec in recs[1:]:
+            grown.append_set(tuple(sorted(set(rec))))
+        assert grown.inf_sid == bulk.inf_sid
+        assert {e: list(v) for e, v in grown.lists.items()} == {
+            e: list(v) for e, v in bulk.lists.items()
+        }
+
+
+class TestOrderExtend:
+    def test_extend_appends_after_existing(self):
+        c = SetCollection([[0, 1, 2]])
+        order = build_order(c)
+        order.extend_to(6)
+        assert len(order.rank) == 6
+        assert sorted(order.rank) == list(range(6))
+        # New ids rank after every known element, in id order.
+        assert order.rank[4] < order.rank[5]
+        assert max(order.rank[:3]) < order.rank[4]
+
+    def test_extend_is_idempotent(self):
+        c = SetCollection([[0]])
+        order = build_order(c)
+        order.extend_to(3)
+        snapshot = list(order.rank)
+        order.extend_to(3)
+        order.extend_to(2)
+        assert order.rank == snapshot

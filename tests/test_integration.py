@@ -1,0 +1,131 @@
+"""End-to-end integration: the full user workflow across subsystems.
+
+One scenario per test, each chaining several components the way a real
+deployment would — generation → persistence → indexing → joining →
+analytics — asserting consistency at every hand-off point.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import (
+    ContainmentIndex,
+    JoinStats,
+    SetCollection,
+    parallel_join,
+    set_containment_join,
+)
+from repro.bench.runner import run_experiment
+from repro.core.analytics import containment_counts, containment_ratio
+from repro.core.blocked import blocked_join
+from repro.core.hierarchy import build_hierarchy
+from repro.core.tolerant import tolerant_containment_join
+from repro.data import generate_zipf, load_collection, save_collection
+from repro.data.transforms import deduplicate, expand_deduplicated_pairs
+from repro.index.inverted import InvertedIndex
+from repro.index.storage import (
+    load_collection_binary,
+    load_index,
+    save_collection_binary,
+    save_index,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_zipf(
+        cardinality=600, avg_set_size=6, num_elements=90, z=0.6, seed=77
+    )
+
+
+def test_generate_persist_reload_join(workload, tmp_path):
+    """Text and binary persistence round-trips feed identical joins."""
+    text_path = str(tmp_path / "data.txt")
+    bin_path = str(tmp_path / "data.bin")
+    save_collection(workload, text_path)
+    save_collection_binary(workload, bin_path)
+
+    from_text = load_collection(text_path)
+    from_binary = load_collection_binary(bin_path)
+    assert from_text == from_binary == workload
+
+    expected = set_containment_join(workload, workload, collect="count")
+    assert set_containment_join(from_text, from_text, collect="count") == expected
+    assert (
+        set_containment_join(from_binary, from_binary, collect="count")
+        == expected
+    )
+
+
+def test_index_persistence_then_queries(workload, tmp_path):
+    """A persisted inverted index serves framework joins and the query API."""
+    path = str(tmp_path / "index.bin")
+    save_index(InvertedIndex.build(workload), path)
+    loaded = load_index(path)
+
+    expected = sorted(set_containment_join(workload, workload))
+    got = sorted(
+        set_containment_join(workload, workload, method="framework_et",
+                             index=loaded)
+    )
+    assert got == expected
+
+    # The query API agrees with the join, row by row.
+    index = ContainmentIndex(workload)
+    for rid in range(0, len(workload), 97):
+        sids = index.supersets_of(workload[rid])
+        assert sids == [s for r, s in expected if r == rid]
+
+
+def test_dedup_pipeline_preserves_join(workload):
+    """Deduplicate -> join -> expand equals the direct join, cheaper."""
+    unique, groups = deduplicate(workload)
+    direct_stats, dedup_stats = JoinStats(), JoinStats()
+    direct = sorted(
+        set_containment_join(workload, workload, stats=direct_stats)
+    )
+    dedup_pairs = set_containment_join(unique, unique, stats=dedup_stats)
+    expanded = sorted(expand_deduplicated_pairs(dedup_pairs, groups, groups))
+    assert expanded == direct
+    assert len(unique) <= len(workload)
+
+
+def test_scaleout_drivers_agree(workload):
+    expected = sorted(set_containment_join(workload, workload))
+    assert sorted(parallel_join(workload, workload, workers=2)) == expected
+    assert (
+        sorted(blocked_join(workload, workload.records, block_size=150))
+        == expected
+    )
+
+
+def test_analytics_and_hierarchy_are_consistent(workload):
+    counts = containment_counts(workload)
+    ratio = containment_ratio(workload)
+    assert counts.total_pairs == pytest.approx(ratio * len(workload) ** 2)
+
+    hierarchy = build_hierarchy(workload)
+    # Every node's transitive ancestors+self account for that set's
+    # superset count in the (deduplicated) relation.
+    unique, groups = deduplicate(workload)
+    dedup_counts = containment_counts(unique)
+    for node in hierarchy.nodes:
+        expected = 1 + len(hierarchy.ancestors(node.node_id))
+        assert dedup_counts.supersets_per_r[node.node_id] == expected
+
+
+def test_tolerant_extends_exact(workload):
+    exact = set(set_containment_join(workload, workload))
+    tolerant = set(tolerant_containment_join(workload, workload, missing=1))
+    assert exact <= tolerant
+
+
+def test_measurement_harness_end_to_end(workload):
+    m = run_experiment("lcjoin", workload, workload, workload="integration",
+                       measure_memory=True)
+    assert m.results == set_containment_join(workload, workload, collect="count")
+    assert m.peak_memory_bytes > 0
+    assert m.abstract_cost > 0

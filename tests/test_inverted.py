@@ -1,0 +1,126 @@
+"""Tests for the inverted index and local (partition) index construction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.collection import SetCollection
+from repro.index.inverted import EMPTY_LIST, InvertedIndex
+from repro.index.search import is_sorted_strict
+
+records_strategy = st.lists(
+    st.lists(st.integers(0, 15), min_size=1, max_size=5), min_size=1, max_size=25
+)
+
+
+@pytest.fixture
+def index_and_data():
+    data = SetCollection([[0, 1], [1, 2], [0, 2, 3]])
+    return InvertedIndex.build(data), data
+
+
+class TestBuild:
+    def test_lists(self, index_and_data):
+        index, __ = index_and_data
+        assert list(index[0]) == [0, 2]
+        assert list(index[1]) == [0, 1]
+        assert list(index[2]) == [1, 2]
+        assert list(index[3]) == [2]
+
+    def test_missing_element_is_empty(self, index_and_data):
+        index, __ = index_and_data
+        assert index[99] is EMPTY_LIST
+        assert index.list_length(99) == 0
+        assert 99 not in index and 2 in index
+
+    def test_universe_and_sentinel(self, index_and_data):
+        index, data = index_and_data
+        assert list(index.universe) == [0, 1, 2]
+        assert index.inf_sid == len(data)
+
+    def test_construction_cost_is_total_tokens(self, index_and_data):
+        index, data = index_and_data
+        assert index.construction_cost == data.total_tokens()
+
+    def test_len_is_distinct_elements(self, index_and_data):
+        index, __ = index_and_data
+        assert len(index) == 4
+
+    def test_size_in_entries(self, index_and_data):
+        index, data = index_and_data
+        assert index.size_in_entries() == data.total_tokens()
+
+    def test_get_lists_preserves_record_order(self, index_and_data):
+        index, __ = index_and_data
+        lists = index.get_lists([3, 0, 42])
+        assert [list(lst) for lst in lists] == [[2], [0, 2], []]
+
+    @given(records_strategy)
+    def test_lists_sorted_and_complete(self, records):
+        data = SetCollection(records)
+        index = InvertedIndex.build(data)
+        for e, lst in index.lists.items():
+            assert is_sorted_strict(lst)
+            for sid in lst:
+                assert e in data[sid]
+        # Completeness: every token is indexed.
+        for sid, record in enumerate(data):
+            for e in record:
+                assert sid in index[e]
+
+
+class TestLocalIndex:
+    def test_sublists(self, index_and_data):
+        index, data = index_and_data
+        members = index[0]  # sets containing element 0 -> [0, 2]
+        local = index.build_local(members, data)
+        assert list(local.universe) == [0, 2]
+        assert local.inf_sid == index.inf_sid
+        for e, lst in local.lists.items():
+            assert set(lst) <= set(index[e])
+            assert is_sorted_strict(lst)
+
+    def test_needed_elements_filter(self, index_and_data):
+        index, data = index_and_data
+        local = index.build_local(index[0], data, needed_elements={0, 3})
+        assert set(local.lists) <= {0, 3}
+        assert list(local[0]) == [0, 2]
+        assert list(local[3]) == [2]
+
+    def test_construction_cost_counts_full_sets(self, index_and_data):
+        index, data = index_and_data
+        members = index[0]
+        expected = sum(len(data[sid]) for sid in members)
+        # The cost model (§V-B) charges the full scan even when filtering.
+        assert index.build_local(members, data).construction_cost == expected
+        assert (
+            index.build_local(members, data, needed_elements={0}).construction_cost
+            == expected
+        )
+
+    def test_empty_members(self, index_and_data):
+        index, data = index_and_data
+        local = index.build_local([], data)
+        assert len(local) == 0
+        assert list(local.universe) == []
+
+    @given(records_strategy, st.integers(0, 15))
+    def test_local_lists_are_exact_restrictions(self, records, anchor):
+        data = SetCollection(records)
+        index = InvertedIndex.build(data)
+        members = index[anchor]
+        local = index.build_local(members, data)
+        member_set = set(members)
+        for e in index.lists:
+            expected = [sid for sid in index[e] if sid in member_set]
+            assert list(local[e]) == expected
+
+
+def test_empty_collection_index():
+    data = SetCollection([], validate=False)
+    index = InvertedIndex.build(data)
+    assert len(index) == 0
+    assert len(index.universe) == 0
+    assert index.inf_sid == 0

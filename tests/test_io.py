@@ -1,0 +1,78 @@
+"""Tests for dataset file I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.collection import SetCollection
+from repro.data.io import iter_lines, load_collection, load_tokens, save_collection
+from repro.errors import DatasetError
+
+
+@pytest.fixture
+def sample(tmp_path):
+    path = tmp_path / "data.txt"
+    path.write_text("1 2 3\n4 5\n\n2 2 6\n")
+    return str(path)
+
+
+class TestLoadCollection:
+    def test_roundtrip(self, tmp_path):
+        original = SetCollection([[1, 2], [3], [2, 9]])
+        path = str(tmp_path / "out.txt")
+        save_collection(original, path)
+        assert load_collection(path) == original
+
+    def test_blank_lines_skipped(self, sample):
+        data = load_collection(sample)
+        assert len(data) == 3
+
+    def test_duplicates_within_line_collapse(self, sample):
+        data = load_collection(sample)
+        assert data[2] == (2, 6)
+
+    def test_max_sets(self, sample):
+        assert len(load_collection(sample, max_sets=2)) == 2
+
+    def test_missing_file(self):
+        with pytest.raises(DatasetError, match="not found"):
+            load_collection("/nonexistent/nowhere.txt")
+
+    def test_non_integer_token(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2\n3 oops\n")
+        with pytest.raises(DatasetError, match="bad.txt:2"):
+            load_collection(str(path))
+
+
+class TestLoadTokens:
+    def test_string_tokens(self, tmp_path):
+        path = tmp_path / "words.txt"
+        path.write_text("apple banana\nbanana cherry\n")
+        data, d = load_tokens(str(path))
+        assert len(data) == 2
+        banana = d.encode_existing("banana")
+        assert banana in data[0] and banana in data[1]
+
+    def test_shared_dictionary_across_files(self, tmp_path):
+        p1 = tmp_path / "a.txt"
+        p2 = tmp_path / "b.txt"
+        p1.write_text("x y\n")
+        p2.write_text("y z\n")
+        a, d = load_tokens(str(p1))
+        b, d2 = load_tokens(str(p2), dictionary=d)
+        assert d is d2
+        y = d.encode_existing("y")
+        assert y in a[0] and y in b[0]
+
+    def test_max_sets(self, tmp_path):
+        path = tmp_path / "w.txt"
+        path.write_text("a\nb\nc\n")
+        data, __ = load_tokens(str(path), max_sets=1)
+        assert len(data) == 1
+
+
+def test_iter_lines(tmp_path):
+    path = tmp_path / "raw.txt"
+    path.write_text("  one \n\n two\n")
+    assert list(iter_lines(str(path))) == ["one", "two"]

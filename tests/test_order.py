@@ -1,0 +1,89 @@
+"""Tests for the global element orders."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.order import ORDER_KINDS, GlobalOrder, build_order
+from repro.data.collection import SetCollection
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture
+def skewed():
+    """Element 2 in every set, element 0 in one, element 1 in two."""
+    return SetCollection([[2, 0], [2, 1], [2, 1]])
+
+
+class TestBuildOrder:
+    def test_freq_desc_puts_frequent_first(self, skewed):
+        order = build_order(skewed, "freq_desc")
+        assert order.rank[2] < order.rank[1] < order.rank[0]
+
+    def test_freq_asc_puts_rare_first(self, skewed):
+        order = build_order(skewed, "freq_asc")
+        assert order.rank[0] < order.rank[1] < order.rank[2]
+
+    def test_element_id_is_identity(self, skewed):
+        order = build_order(skewed, "element_id")
+        assert order.rank == [0, 1, 2]
+
+    def test_unknown_kind(self, skewed):
+        with pytest.raises(InvalidParameterError, match="unknown order"):
+            build_order(skewed, "alphabetical")
+
+    def test_ties_break_by_element_id(self):
+        c = SetCollection([[0, 1], [0, 1]])
+        for kind in ORDER_KINDS:
+            order = build_order(c, kind)
+            assert order.rank[0] < order.rank[1]
+
+    def test_universe_extends_rank(self, skewed):
+        order = build_order(skewed, universe=10)
+        assert len(order.rank) == 10
+        # Unseen elements rank after everything in S, in id order.
+        assert order.rank[5] < order.rank[6]
+        assert order.rank[2] < order.rank[5]
+
+    def test_default_is_freq_desc(self, skewed):
+        assert build_order(skewed).kind == "freq_desc"
+
+    def test_frequency_exposed(self, skewed):
+        order = build_order(skewed)
+        assert order.freq(2) == 3
+        assert order.freq(99) == 0
+
+
+class TestGlobalOrderOps:
+    def test_sort_record(self, skewed):
+        order = build_order(skewed, "freq_desc")
+        assert order.sort_record([0, 1, 2]) == [2, 1, 0]
+
+    def test_smallest_is_partition_anchor(self, skewed):
+        order = build_order(skewed, "freq_desc")
+        assert order.smallest([0, 1, 2]) == 2   # the most frequent
+        assert order.smallest([0, 1]) == 1
+
+    def test_largest_suffix_is_signature(self, skewed):
+        order = build_order(skewed, "freq_desc")
+        # The k *least frequent* elements, in global order.
+        assert order.largest_suffix([0, 1, 2], 2) == [1, 0]
+        assert order.largest_suffix([0, 1, 2], 5) == [2, 1, 0]
+
+    def test_largest_suffix_requires_positive_k(self, skewed):
+        order = build_order(skewed)
+        with pytest.raises(InvalidParameterError):
+            order.largest_suffix([0], 0)
+
+    def test_len(self, skewed):
+        assert len(build_order(skewed)) == 3
+
+
+@given(st.lists(st.lists(st.integers(0, 20), min_size=1, max_size=6), min_size=1, max_size=20))
+def test_rank_is_a_permutation(records):
+    c = SetCollection(records)
+    for kind in ORDER_KINDS:
+        order = build_order(c, kind)
+        assert sorted(order.rank) == list(range(len(order.rank)))

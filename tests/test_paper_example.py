@@ -1,0 +1,119 @@
+"""Golden tests: the paper's worked examples, executed.
+
+Table I's join result, Example 2/3's binary-search counts, Example 6's
+partition structure — each is pinned exactly as printed in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import JoinStats, set_containment_join
+from repro.core.framework import framework_join
+from repro.core.order import build_order
+from repro.core.results import PairListSink
+from repro.data import paper_r, paper_s
+from repro.data.collection import SetCollection
+from repro.index.inverted import InvertedIndex
+
+from conftest import ALL_METHODS
+
+
+@pytest.mark.parametrize("method", ALL_METHODS)
+def test_table1_join_result(paper_tables, method):
+    """Example 1: R ⋈⊆ S = {(R1, S3), (R2, S5)} for every method."""
+    r, s, expected = paper_tables
+    assert sorted(set_containment_join(r, s, method=method)) == expected
+
+
+def test_figure2_inverted_index(paper_tables):
+    """Fig 2: the inverted index built for Table I(b)."""
+    __, s, __ = paper_tables
+    index = InvertedIndex.build(s)
+    # Elements e1..e6 are ids 0..5; set S_j is id j-1.
+    expected = {
+        0: [0, 1, 2, 6],          # I[e1] = S1 S2 S3 S7
+        1: [2, 3, 4, 5, 6],       # I[e2] = S3 S4 S5 S6 S7
+        2: [0, 1, 2, 4, 5, 6],    # I[e3] = S1 S2 S3 S5 S6 S7
+        3: [0, 2, 3, 4, 5],       # I[e4] = S1 S3 S4 S5 S6
+        4: [0, 1, 3, 4],          # I[e5] = S1 S2 S4 S5
+        5: [0, 2, 3, 4, 5, 6],    # I[e6] = S1 S3 S4 S5 S6 S7
+    }
+    assert {e: list(index[e]) for e in expected} == expected
+
+
+def _r1_only():
+    """A collection containing just R1 = {e1, e2, e3, e4}."""
+    return SetCollection([[0, 1, 2, 3]])
+
+
+def test_example2_framework_search_count(paper_tables):
+    """Example 2/3: the framework checks S1, S3, S7 over four lists — 12
+    binary searches without early termination."""
+    __, s, __ = paper_tables
+    stats = JoinStats()
+    sink = PairListSink()
+    framework_join(_r1_only(), s, sink, early_termination=False, stats=stats)
+    assert sink.sorted_pairs() == [(0, 2)]
+    assert stats.binary_searches == 12
+    assert stats.rounds == 3
+
+
+def test_example3_early_termination_search_count(paper_tables):
+    """Example 3: early termination performs only 9 binary searches."""
+    __, s, __ = paper_tables
+    stats = JoinStats()
+    sink = PairListSink()
+    framework_join(_r1_only(), s, sink, early_termination=True, stats=stats)
+    assert sink.sorted_pairs() == [(0, 2)]
+    assert stats.binary_searches == 9
+
+
+def test_example3_visit_order(paper_tables):
+    """§III-C: lists are visited in ascending length order —
+    I[e1], I[e2], I[e4], I[e3] for R1."""
+    __, s, __ = paper_tables
+    index = InvertedIndex.build(s)
+    lists = index.get_lists([0, 1, 2, 3])
+    ordered = sorted(lists, key=len)
+    assert [len(lst) for lst in ordered] == [4, 5, 5, 6]
+    assert list(ordered[0]) == list(index[0])   # I[e1]
+    assert list(ordered[3]) == list(index[2])   # I[e3]
+
+
+def test_example6_partitions(paper_tables):
+    """Example 6 (under the paper's subscript order): R splits into
+    partitions anchored at e1 = {R1, R3} and e2 = {R2}; the local index for
+    e1 covers S1, S2, S3, S7 and for e2 covers S3..S7."""
+    r, s, __ = paper_tables
+    order = build_order(s, kind="element_id")
+    from repro.index.prefix_tree import PrefixTree
+
+    tree = PrefixTree.build(r, order)
+    partitions = {anchor: node for anchor, node in tree.partition_roots()}
+    assert set(partitions) == {0, 1}
+
+    index = InvertedIndex.build(s)
+    assert list(index[0]) == [0, 1, 2, 6]       # sets containing e1
+    assert list(index[1]) == [2, 3, 4, 5, 6]    # sets containing e2
+
+    local_e1 = index.build_local(index[0], s)
+    assert list(local_e1.universe) == [0, 1, 2, 6]
+    # Every local list is a sub-list of the corresponding global list.
+    for e, lst in local_e1.lists.items():
+        global_list = list(index[e])
+        assert all(sid in global_list for sid in lst)
+        assert sorted(lst) == list(lst)
+
+
+def test_example6_average_list_length_reduction(paper_tables):
+    """Example 6's arithmetic: for the e1 partition the average inverted
+    list length over R1 ∪ R3's elements drops from 5 to 2.8."""
+    __, s, __ = paper_tables
+    index = InvertedIndex.build(s)
+    elements = [0, 1, 2, 3, 4, 5]  # e1..e6, the left subtree's elements
+    global_avg = sum(index.list_length(e) for e in elements) / len(elements)
+    assert global_avg == pytest.approx(5.0)
+    local = index.build_local(index[0], s)
+    local_avg = sum(local.list_length(e) for e in elements) / len(elements)
+    assert local_avg == pytest.approx(2.8333, abs=1e-3)

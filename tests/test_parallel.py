@@ -1,0 +1,72 @@
+"""Tests for the multiprocess join driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parallel import parallel_join, split_collection
+from repro.core.verify import ground_truth
+from repro.data.collection import SetCollection
+from repro.errors import InvalidParameterError
+
+from conftest import random_instance
+
+
+class TestSplitCollection:
+    def test_covers_everything_in_order(self):
+        c = SetCollection([[i] for i in range(10)])
+        chunks = split_collection(c, 3)
+        rebuilt = []
+        for offset, piece in chunks:
+            assert offset == len(rebuilt)
+            rebuilt.extend(piece.records)
+        assert rebuilt == c.records
+
+    def test_more_chunks_than_records(self):
+        c = SetCollection([[1], [2]])
+        assert len(split_collection(c, 10)) == 2
+
+    def test_empty(self):
+        assert split_collection(SetCollection([], validate=False), 4) == []
+
+    def test_invalid_chunks(self):
+        with pytest.raises(InvalidParameterError):
+            split_collection(SetCollection([[1]]), 0)
+
+
+class TestParallelJoin:
+    def test_single_worker_matches_ground_truth(self):
+        r, s = random_instance(3)
+        got = sorted(parallel_join(r, s, workers=1))
+        assert got == sorted(ground_truth(r, s))
+
+    def test_two_workers_match_ground_truth(self):
+        r, s = random_instance(4)
+        got = sorted(parallel_join(r, s, workers=2))
+        assert got == sorted(ground_truth(r, s))
+
+    def test_rid_remapping(self):
+        r = SetCollection([[0], [1], [0, 1]])
+        s = SetCollection([[0, 1]])
+        got = sorted(parallel_join(r, s, workers=3))
+        assert got == [(0, 0), (1, 0), (2, 0)]
+
+    def test_any_method(self):
+        r, s = random_instance(6)
+        expected = sorted(ground_truth(r, s))
+        for method in ("framework_et", "pretti", "ttjoin"):
+            assert sorted(parallel_join(r, s, method=method, workers=2)) == expected
+
+    def test_empty_r(self):
+        s = SetCollection([[1]])
+        assert parallel_join(SetCollection([], validate=False), s) == []
+
+    def test_invalid_workers(self):
+        r, s = random_instance(1)
+        with pytest.raises(InvalidParameterError):
+            parallel_join(r, s, workers=0)
+
+    def test_kwargs_forwarded(self):
+        r, s = random_instance(8)
+        got = sorted(parallel_join(r, s, method="ttjoin", workers=2, k=1))
+        assert got == sorted(ground_truth(r, s))

@@ -1,0 +1,92 @@
+"""Tests for the PIEJoin baseline and its preorder-interval index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import JoinStats
+from repro.baselines.piejoin import PieIndex, pie_join
+from repro.core.order import build_order
+from repro.core.results import PairListSink
+from repro.core.verify import ground_truth
+from repro.data.collection import SetCollection
+
+from conftest import random_instance
+
+
+@pytest.fixture
+def simple():
+    s = SetCollection([[0, 1], [0, 1, 2], [1, 2], [2]])
+    order = build_order(s, kind="element_id")
+    return s, order, PieIndex(s, order)
+
+
+class TestPieIndex:
+    def test_flat_sids_cover_all_sets(self, simple):
+        s, __, index = simple
+        assert sorted(index.flat_sids) == list(range(len(s)))
+        assert index.root_interval == (0, len(s))
+
+    def test_intervals_are_disjoint_per_element(self, simple):
+        __, __, index = simple
+        for e in index.starts:
+            starts, ends = index.intervals_of(e)
+            for i in range(len(starts) - 1):
+                assert ends[i] <= starts[i + 1]
+                assert starts[i] < ends[i]
+
+    def test_interval_spans_cover_supersets(self, simple):
+        s, __, index = simple
+        # Element 2's intervals must cover exactly the sets containing 2.
+        starts, ends = index.intervals_of(2)
+        covered = sorted(
+            sid for a, b in zip(starts, ends) for sid in index.flat_sids[a:b]
+        )
+        expected = sorted(sid for sid, rec in enumerate(s) if 2 in rec)
+        assert covered == expected
+
+    def test_missing_element(self, simple):
+        __, __, index = simple
+        assert index.intervals_of(99) == ([], [])
+
+
+class TestPieJoin:
+    def test_ground_truth_on_random_instances(self):
+        for seed in range(40):
+            r, s = random_instance(seed)
+            sink = PairListSink()
+            pie_join(r, s, sink)
+            assert sink.sorted_pairs() == sorted(ground_truth(r, s))
+
+    def test_duplicates_and_prefixes(self):
+        r = SetCollection([[0], [0, 1], [0, 1], [1]])
+        s = SetCollection([[0, 1], [0, 1], [1, 2]])
+        sink = PairListSink()
+        pie_join(r, s, sink)
+        assert sink.sorted_pairs() == sorted(ground_truth(r, s))
+
+    def test_element_missing_from_s(self):
+        r = SetCollection([[0, 9]])
+        s = SetCollection([[0, 1]])
+        sink = PairListSink()
+        pie_join(r, s, sink)
+        assert sink.pairs == []
+
+    def test_prebuilt_index_reused(self, simple):
+        s, order, index = simple
+        r = SetCollection([[1, 2]])
+        sink = PairListSink()
+        stats = JoinStats()
+        pie_join(r, s, sink, order=order, index=index, stats=stats)
+        assert sink.sorted_pairs() == [(0, 1), (0, 2)]
+        assert stats.index_build_tokens == 0
+
+    def test_stats_metered(self):
+        # Multi-element R sets force interval-chain searches.
+        r = SetCollection([[0, 1, 2], [1, 2]])
+        s = SetCollection([[0, 1, 2], [1, 2, 3], [0, 2]])
+        stats = JoinStats()
+        pie_join(r, s, PairListSink(), stats=stats)
+        assert stats.binary_searches > 0
+        assert stats.entries_touched > 0
+        assert stats.tree_nodes > 0

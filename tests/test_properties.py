@@ -1,0 +1,132 @@
+"""Property-based tests of join semantics (beyond ground-truth equality).
+
+These pin down *structural* invariants of the containment join that every
+implementation must respect: reflexivity on self joins, monotonicity under
+adding data, invariance under element renaming, and the anti-monotone
+relationship between a set and its subsets.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ContainmentIndex, set_containment_join
+from repro.data.collection import SetCollection
+
+records = st.lists(
+    st.lists(st.integers(0, 9), min_size=1, max_size=5),
+    min_size=1,
+    max_size=12,
+)
+
+METHOD = "lcjoin"  # the full method; equivalence with others is tested elsewhere
+
+
+@settings(max_examples=60, deadline=None)
+@given(records)
+def test_self_join_is_reflexive(recs):
+    data = SetCollection(recs)
+    pairs = set(set_containment_join(data, data, method=METHOD))
+    for i in range(len(data)):
+        assert (i, i) in pairs
+
+
+@settings(max_examples=60, deadline=None)
+@given(records)
+def test_duplicate_records_join_identically(recs):
+    """Duplicating R's records exactly doubles each rid's result set."""
+    data = SetCollection(recs)
+    doubled = SetCollection(list(data.records) + list(data.records), validate=False)
+    base = sorted(set_containment_join(data, data, method=METHOD))
+    twice = set_containment_join(doubled, data, method=METHOD)
+    n = len(data)
+    folded = sorted((rid % n, sid) for rid, sid in twice)
+    assert folded == sorted(base + base)
+
+
+@settings(max_examples=50, deadline=None)
+@given(records, st.lists(st.integers(0, 9), min_size=1, max_size=5))
+def test_adding_a_superset_set_is_monotone(recs, extra):
+    """Appending one set to S never removes result pairs."""
+    r = SetCollection(recs)
+    s_small = SetCollection(recs)
+    s_big = SetCollection(list(recs) + [extra])
+    before = set(set_containment_join(r, s_small, method=METHOD))
+    after = set(set_containment_join(r, s_big, method=METHOD))
+    assert before <= after
+    # And the only new pairs involve the appended set.
+    assert all(sid == len(s_small) for __, sid in after - before)
+
+
+@settings(max_examples=50, deadline=None)
+@given(records, st.randoms(use_true_random=False))
+def test_element_renaming_preserves_results(recs, rnd):
+    """The join depends only on set structure, not on element ids."""
+    data = SetCollection(recs)
+    universe = data.max_element() + 1
+    mapping = list(range(universe * 3))  # spread ids out, then shuffle
+    rnd.shuffle(mapping)
+    renamed = SetCollection(
+        [[mapping[e] for e in rec] for rec in data], validate=False
+    )
+    original = sorted(set_containment_join(data, data, method=METHOD))
+    after = sorted(set_containment_join(renamed, renamed, method=METHOD))
+    assert original == after
+
+
+@settings(max_examples=50, deadline=None)
+@given(records)
+def test_supersets_are_antimonotone_in_the_query(recs):
+    """If A ⊆ B then supersets_of(B) ⊆ supersets_of(A)."""
+    data = SetCollection(recs)
+    index = ContainmentIndex(data)
+    rng = random.Random(len(recs))
+    b = list(data[rng.randrange(len(data))])
+    a = b[: max(1, len(b) // 2)]
+    sup_a = set(index.supersets_of(a))
+    sup_b = set(index.supersets_of(b))
+    assert sup_b <= sup_a
+
+
+@settings(max_examples=50, deadline=None)
+@given(records)
+def test_join_equals_index_queries(recs):
+    """The all-pair join is exactly the union of per-set superset queries."""
+    data = SetCollection(recs)
+    index = ContainmentIndex(data)
+    joined = sorted(set_containment_join(data, data, method=METHOD))
+    queried = sorted(
+        (rid, sid)
+        for rid in range(len(data))
+        for sid in index.supersets_of(data[rid])
+    )
+    assert joined == queried
+
+
+@settings(max_examples=50, deadline=None)
+@given(records)
+def test_subsets_and_supersets_are_dual(recs):
+    """sid ∈ supersets_of(R[j]) iff j ∈ subsets_of(R[sid])."""
+    data = SetCollection(recs)
+    index = ContainmentIndex(data)
+    for j in range(len(data)):
+        for sid in index.supersets_of(data[j]):
+            assert j in index.subsets_of(data[sid])
+
+
+@settings(max_examples=40, deadline=None)
+@given(records)
+def test_result_counts_identical_across_collect_modes(recs):
+    data = SetCollection(recs)
+    pairs = set_containment_join(data, data, method=METHOD)
+    count = set_containment_join(data, data, method=METHOD, collect="count")
+    streamed = []
+    total = set_containment_join(
+        data, data, method=METHOD, collect="callback",
+        callback=lambda r, s: streamed.append((r, s)),
+    )
+    assert len(pairs) == count == total == len(streamed)
+    assert sorted(pairs) == sorted(streamed)

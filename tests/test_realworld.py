@@ -1,0 +1,102 @@
+"""Tests for the real-world dataset surrogates (Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.realworld import (
+    REAL_WORLD_SPECS,
+    aol_like,
+    flickr_like,
+    generate_real_world,
+    orkut_like,
+    table2_row,
+    twitter_like,
+)
+from repro.data.skew import z_value
+from repro.errors import InvalidParameterError
+
+GENERATORS = {
+    "flickr": flickr_like,
+    "aol": aol_like,
+    "orkut": orkut_like,
+    "twitter": twitter_like,
+}
+
+SCALE = 0.0004  # small enough to keep this module fast
+
+
+class TestSpecs:
+    def test_table2_values_pinned(self):
+        """The spec table is Table II verbatim — pin a few cells."""
+        aol = REAL_WORLD_SPECS["aol"]
+        assert aol.cardinality == 36_389_577
+        assert aol.avg_size == 2.5
+        assert aol.z == 0.68
+        orkut = REAL_WORLD_SPECS["orkut"]
+        assert orkut.min_size == 2
+        assert orkut.max_size == 9120
+        assert REAL_WORLD_SPECS["twitter"].num_elements == 13_096_918
+        assert REAL_WORLD_SPECS["flickr"].max_size == 1230
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError, match="unknown dataset"):
+            generate_real_world("orkle")
+
+    def test_scale_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            generate_real_world("aol", scale=0.0)
+        with pytest.raises(InvalidParameterError):
+            generate_real_world("aol", scale=1.5)
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+class TestSurrogateShape:
+    def test_cardinality_scales(self, name):
+        spec = REAL_WORLD_SPECS[name]
+        data = GENERATORS[name](scale=SCALE)
+        assert len(data) == pytest.approx(spec.cardinality * SCALE, rel=0.01)
+
+    def test_min_size_respected(self, name):
+        spec = REAL_WORLD_SPECS[name]
+        data = GENERATORS[name](scale=SCALE)
+        assert data.stats().min_size >= spec.min_size
+
+    def test_avg_size_near_table2(self, name):
+        spec = REAL_WORLD_SPECS[name]
+        data = GENERATORS[name](scale=SCALE)
+        # Dedup within sets pulls the average slightly below nominal.
+        assert data.stats().avg_size == pytest.approx(spec.avg_size, rel=0.35)
+
+    def test_z_value_near_table2(self, name):
+        spec = REAL_WORLD_SPECS[name]
+        data = GENERATORS[name](scale=SCALE, seed=1)
+        assert z_value(data) == pytest.approx(spec.z, abs=0.12)
+
+    def test_deterministic(self, name):
+        a = GENERATORS[name](scale=SCALE, seed=5)
+        b = GENERATORS[name](scale=SCALE, seed=5)
+        assert a == b
+
+
+def test_relative_skew_ordering_matches_fig6():
+    """Fig 6: FLICKR and AOL are far more skewed than ORKUT and TWITTER."""
+    from repro.data.skew import top_k_mass
+
+    masses = {
+        name: top_k_mass(gen(scale=SCALE), 150)
+        for name, gen in GENERATORS.items()
+    }
+    assert masses["aol"] > masses["orkut"]
+    assert masses["aol"] > masses["twitter"]
+    assert masses["flickr"] > masses["orkut"]
+    assert masses["flickr"] > masses["twitter"]
+
+
+def test_table2_row_rendering():
+    data = flickr_like(scale=SCALE)
+    name, num_sets, size_summary, num_elements, z = table2_row("flickr", data)
+    assert name == "FLICKR"
+    assert num_sets == len(data)
+    assert "/" in size_summary
+    assert 0 <= z <= 1

@@ -1,0 +1,112 @@
+"""Tests for the benchmark regression comparator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.regression import compare_runs, parse_results
+from repro.errors import DatasetError
+
+BASELINE = """\
+== fig9 ==
+workload  method  |R|  results  time(s)  abstract_cost  peak_mem(B)
+--------  ------  ---  -------  -------  -------------  -----------
+ aol@100%  lcjoin  100     5000    1.000         400000            0
+ aol@100%  pretti  100     5000    2.000        6000000            0
+"""
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestParse:
+    def test_rows_parsed(self, tmp_path):
+        cells = parse_results(_write(tmp_path, "b.txt", BASELINE))
+        key = ("fig9", "aol@100%", "lcjoin")
+        assert cells[key]["results"] == 5000
+        assert cells[key]["cost"] == 400000
+
+    def test_missing_file(self):
+        with pytest.raises(DatasetError):
+            parse_results("/nope/none.txt")
+
+    def test_no_rows(self, tmp_path):
+        with pytest.raises(DatasetError, match="no measurement rows"):
+            parse_results(_write(tmp_path, "e.txt", "hello\n"))
+
+
+class TestCompare:
+    def test_identical_runs_ok(self, tmp_path):
+        a = _write(tmp_path, "a.txt", BASELINE)
+        b = _write(tmp_path, "b.txt", BASELINE)
+        report = compare_runs(a, b)
+        assert report.ok
+        assert report.compared == 2
+        assert "OK" in report.summary()
+
+    def test_cost_regression_flagged(self, tmp_path):
+        worse = BASELINE.replace(
+            " aol@100%  lcjoin  100     5000    1.000         400000",
+            " aol@100%  lcjoin  100     5000    1.000         800000",
+        )
+        report = compare_runs(
+            _write(tmp_path, "a.txt", BASELINE),
+            _write(tmp_path, "b.txt", worse),
+        )
+        assert not report.ok
+        (diff,) = report.regressions
+        assert diff.method == "lcjoin" and diff.ratio == pytest.approx(2.0)
+        assert "COST" in report.summary()
+
+    def test_within_threshold_ok(self, tmp_path):
+        slightly = BASELINE.replace("400000", "420000")
+        report = compare_runs(
+            _write(tmp_path, "a.txt", BASELINE),
+            _write(tmp_path, "b.txt", slightly),
+            cost_threshold=1.10,
+        )
+        assert report.ok
+
+    def test_answer_change_always_flagged(self, tmp_path):
+        wrong = BASELINE.replace("100     5000    1.000", "100     4999    1.000")
+        report = compare_runs(
+            _write(tmp_path, "a.txt", BASELINE),
+            _write(tmp_path, "b.txt", wrong),
+        )
+        assert report.answer_changes
+        assert "ANSWER" in report.summary()
+
+    def test_elapsed_check_optional(self, tmp_path):
+        slow = BASELINE.replace(
+            " aol@100%  lcjoin  100     5000    1.000",
+            " aol@100%  lcjoin  100     5000    9.000",
+        )
+        a = _write(tmp_path, "a.txt", BASELINE)
+        b = _write(tmp_path, "b.txt", slow)
+        assert compare_runs(a, b).ok                       # disabled by default
+        assert not compare_runs(a, b, elapsed_threshold=2.0).ok
+
+    def test_missing_cells_reported_not_failed(self, tmp_path):
+        shorter = "\n".join(BASELINE.splitlines()[:-1]) + "\n"
+        report = compare_runs(
+            _write(tmp_path, "a.txt", BASELINE),
+            _write(tmp_path, "b.txt", shorter),
+        )
+        assert report.ok
+        assert len(report.missing) == 1
+        assert "only in one run" in report.summary()
+
+    def test_real_results_file_self_compare(self):
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), os.pardir,
+            "benchmarks", "results", "latest.txt",
+        )
+        if not os.path.exists(path):
+            pytest.skip("no benchmark results on disk")
+        report = compare_runs(path, path)
+        assert report.ok and report.compared > 0

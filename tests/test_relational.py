@@ -1,0 +1,192 @@
+"""Tests for the relational layer: tables, CSV I/O, IND discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.relational import (
+    Column,
+    ColumnRef,
+    Table,
+    find_inds,
+    find_nary_inds,
+    load_csv,
+    load_directory,
+)
+
+
+class TestColumn:
+    def test_distinct_drops_nulls(self):
+        c = Column("x", ["a", "", None, "a", "b"])
+        assert c.distinct == frozenset({"a", "b"})
+        assert len(c) == 5
+
+    def test_distinct_cached(self):
+        c = Column("x", ["a"])
+        assert c.distinct is c.distinct
+
+
+class TestTable:
+    def test_basic(self):
+        t = Table.from_dict("t", {"a": [1, 2], "b": [3, 4]})
+        assert t.num_rows == 2
+        assert t["a"].values == [1, 2]
+        assert "b" in t and "zz" not in t
+        assert [str(r) for r in t.column_refs()] == ["t.a", "t.b"]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(DatasetError, match="duplicate"):
+            Table("t", [Column("a", [1]), Column("a", [2])])
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(DatasetError, match="ragged"):
+            Table("t", [Column("a", [1]), Column("b", [1, 2])])
+
+    def test_missing_column_error_names_alternatives(self):
+        t = Table.from_dict("t", {"a": [1]})
+        with pytest.raises(DatasetError, match="columns: \\['a'\\]"):
+            t["b"]
+
+    def test_from_rows_with_casts(self):
+        t = Table.from_rows("t", ["id", "name"], [["1", "x"], ["2", "y"]],
+                            casts={"id": int})
+        assert t["id"].values == [1, 2]
+        assert t["name"].values == ["x", "y"]
+
+    def test_from_rows_short_row_rejected(self):
+        with pytest.raises(DatasetError, match="row 1"):
+            Table.from_rows("t", ["a", "b"], [["1", "2"], ["3"]])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DatasetError):
+            Table("", [])
+
+
+class TestCsvIO:
+    def test_load_csv(self, tmp_path):
+        path = tmp_path / "users.csv"
+        path.write_text("id,country\n1,US\n2,DE\n")
+        t = load_csv(str(path))
+        assert t.name == "users"
+        assert t["country"].values == ["US", "DE"]
+
+    def test_missing_file(self):
+        with pytest.raises(DatasetError, match="not found"):
+            load_csv("/no/such.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError, match="empty CSV"):
+            load_csv(str(path))
+
+    def test_load_directory(self, tmp_path):
+        (tmp_path / "a.csv").write_text("x\n1\n")
+        (tmp_path / "b.csv").write_text("y\n2\n")
+        (tmp_path / "ignore.txt").write_text("nope")
+        tables = load_directory(str(tmp_path))
+        assert [t.name for t in tables] == ["a", "b"]
+
+    def test_load_directory_empty(self, tmp_path):
+        with pytest.raises(DatasetError, match="no .csv"):
+            load_directory(str(tmp_path))
+
+
+@pytest.fixture
+def schema():
+    customers = Table.from_dict("customers", {
+        "id": ["c1", "c2", "c3", "c4"],
+        "country": ["US", "DE", "US", "FR"],
+    })
+    orders = Table.from_dict("orders", {
+        "customer_id": ["c1", "c2", "c2", "c1"],
+        "ship_country": ["US", "DE", "DE", "US"],
+        "amount": ["10", "20", "30", "40"],
+    })
+    return [customers, orders]
+
+
+class TestFindInds:
+    def test_planted_fk_found(self, schema):
+        inds = find_inds(schema)
+        as_strings = {(str(i.dependent), str(i.referenced)) for i in inds}
+        assert ("orders.customer_id", "customers.id") in as_strings
+        assert ("orders.ship_country", "customers.country") in as_strings
+
+    def test_no_reflexive_by_default(self, schema):
+        inds = find_inds(schema)
+        assert all(i.dependent != i.referenced for i in inds)
+        with_self = find_inds(schema, include_self=True)
+        assert len(with_self) > len(inds)
+
+    def test_coverage_filter(self, schema):
+        all_inds = find_inds(schema)
+        strong = find_inds(schema, min_coverage=0.6)
+        assert len(strong) <= len(all_inds)
+        assert all(i.coverage >= 0.6 for i in strong)
+
+    def test_coverage_value(self, schema):
+        inds = {str(i.dependent): i for i in find_inds(schema)}
+        fk = inds["orders.customer_id"]
+        assert fk.coverage == pytest.approx(2 / 4)  # c1, c2 of 4 customers
+
+    def test_every_method_agrees(self, schema):
+        base = {(str(i.dependent), str(i.referenced)) for i in find_inds(schema)}
+        for method in ("naive", "pretti", "framework_et"):
+            got = {
+                (str(i.dependent), str(i.referenced))
+                for i in find_inds(schema, method=method)
+            }
+            assert got == base
+
+    def test_empty_schema(self):
+        assert find_inds([]) == []
+
+    def test_sorted_by_coverage(self, schema):
+        inds = find_inds(schema)
+        coverages = [i.coverage for i in inds]
+        assert coverages == sorted(coverages, reverse=True)
+
+
+class TestFindNaryInds:
+    def test_binary_ind_found(self, schema):
+        """(customer_id, ship_country) ⊆ (id, country): every order's pair
+        exists as a customer row."""
+        inds = find_nary_inds(schema, max_arity=2)
+        strings = {str(i) for i in inds if i.arity == 2}
+        assert (
+            "[orders.customer_id, orders.ship_country] ⊆ "
+            "[customers.id, customers.country]" in strings
+        )
+
+    def test_invalid_binary_rejected(self):
+        """Unary parts hold but the tuple containment does not."""
+        left = Table.from_dict("l", {"a": ["1", "2"], "b": ["x", "y"]})
+        right = Table.from_dict("r", {"a": ["1", "2"], "b": ["y", "x"]})
+        inds = find_nary_inds([left, right], max_arity=2)
+        binary = [i for i in inds if i.arity == 2]
+        # (1,x) is not a row of r, so the pairing must be rejected even
+        # though l.a ⊆ r.a and l.b ⊆ r.b hold.
+        assert not any(
+            str(i) == "[l.a, l.b] ⊆ [r.a, r.b]" for i in binary
+        )
+
+    def test_arity_one_matches_find_inds(self, schema):
+        unary = {
+            (str(i.dependent), str(i.referenced))
+            for i in find_inds(schema)
+            if i.dependent != i.referenced
+        }
+        nary = {
+            (str(i.dependent[0]), str(i.referenced[0]))
+            for i in find_nary_inds(schema, max_arity=1)
+        }
+        assert nary == unary
+
+    def test_nulls_ignored_in_verification(self):
+        dep = Table.from_dict("d", {"a": ["1", ""], "b": ["x", "q"]})
+        ref = Table.from_dict("r", {"a": ["1", "9"], "b": ["x", "q"]})
+        inds = find_nary_inds([dep, ref], max_arity=2)
+        # The row ("", "q") has a null and must not block [d.a, d.b] ⊆ [r.a, r.b].
+        assert any(str(i) == "[d.a, d.b] ⊆ [r.a, r.b]" for i in inds)

@@ -1,0 +1,110 @@
+"""Tests for result sinks and JoinStats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import (
+    CallbackSink,
+    CountSink,
+    PairListSink,
+    make_sink,
+)
+from repro.core.stats import JoinStats, StatsSnapshot
+
+
+class TestPairListSink:
+    def test_add(self):
+        sink = PairListSink()
+        sink.add(1, 2)
+        sink.add(0, 5)
+        assert sink.pairs == [(1, 2), (0, 5)]
+        assert len(sink) == 2
+        assert sink.sorted_pairs() == [(0, 5), (1, 2)]
+
+    def test_bulk_adds(self):
+        sink = PairListSink()
+        sink.add_rids([3, 1], 9)
+        sink.add_sids(7, [2, 4])
+        assert sink.pairs == [(3, 9), (1, 9), (7, 2), (7, 4)]
+
+
+class TestCountSink:
+    def test_counts(self):
+        sink = CountSink()
+        sink.add(0, 0)
+        sink.add_rids(range(5), 1)
+        sink.add_sids(2, [7, 8])
+        assert len(sink) == 8
+        assert sink.count == 8
+
+
+class TestCallbackSink:
+    def test_forwards(self):
+        seen = []
+        sink = CallbackSink(lambda r, s: seen.append((r, s)))
+        sink.add(1, 1)
+        sink.add_rids([2, 3], 9)
+        sink.add_sids(4, [5])
+        assert seen == [(1, 1), (2, 9), (3, 9), (4, 5)]
+        assert len(sink) == 4
+
+
+class TestMakeSink:
+    def test_modes(self):
+        assert isinstance(make_sink("pairs"), PairListSink)
+        assert isinstance(make_sink("count"), CountSink)
+        assert isinstance(make_sink("callback", lambda r, s: None), CallbackSink)
+
+    def test_callback_required(self):
+        with pytest.raises(ValueError):
+            make_sink("callback")
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_sink("parquet")
+
+
+class TestJoinStats:
+    def test_zero_initialised(self):
+        stats = JoinStats()
+        assert all(v == 0 for v in stats.as_dict().values())
+
+    def test_merge_sums_counters(self):
+        a, b = JoinStats(), JoinStats()
+        a.binary_searches = 3
+        b.binary_searches = 4
+        b.results = 2
+        a.merge(b)
+        assert a.binary_searches == 7
+        assert a.results == 2
+
+    def test_merge_takes_max_peak_memory(self):
+        a, b = JoinStats(), JoinStats()
+        a.peak_memory_bytes = 100
+        b.peak_memory_bytes = 40
+        a.merge(b)
+        assert a.peak_memory_bytes == 100
+
+    def test_abstract_cost(self):
+        stats = JoinStats()
+        stats.binary_searches = 5
+        stats.entries_touched = 7
+        stats.index_build_tokens = 11
+        assert stats.abstract_cost() == 23
+
+    def test_repr_shows_nonzero_only(self):
+        stats = JoinStats()
+        stats.rounds = 3
+        assert "rounds=3" in repr(stats)
+        assert "candidates" not in repr(stats)
+
+    def test_snapshot_delta(self):
+        stats = JoinStats()
+        stats.binary_searches = 10
+        snap = StatsSnapshot.of(stats)
+        stats.binary_searches = 25
+        stats.results = 1
+        delta = snap.delta(stats)
+        assert delta["binary_searches"] == 15
+        assert delta["results"] == 1

@@ -1,0 +1,152 @@
+"""Unit and property tests for the sorted-list search primitives."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.search import (
+    contains_sorted,
+    first_geq,
+    first_gt,
+    gallop_geq,
+    intersect_many,
+    intersect_sorted,
+    intersect_sorted_merge,
+    is_sorted_strict,
+    probe,
+)
+
+sorted_lists = st.lists(st.integers(0, 200), max_size=60).map(
+    lambda xs: sorted(set(xs))
+)
+
+
+class TestFirstGeqGt:
+    def test_empty(self):
+        assert first_geq([], 5) == 0
+        assert first_gt([], 5) == 0
+
+    def test_basic(self):
+        lst = [2, 4, 8, 16]
+        assert first_geq(lst, 4) == 1
+        assert first_gt(lst, 4) == 2
+        assert first_geq(lst, 5) == 2
+        assert first_geq(lst, 100) == 4
+        assert first_geq(lst, 0) == 0
+
+    def test_lo_offset(self):
+        lst = [1, 3, 5, 7]
+        assert first_geq(lst, 3, lo=2) == 2
+        assert first_geq(lst, 1, lo=2) == 2  # lo bounds the answer below
+
+
+class TestProbe:
+    INF = 999
+
+    def test_hit_returns_next_entry_as_gap(self):
+        sid, gap, pos = probe([1, 4, 9], 4, self.INF)
+        assert (sid, gap, pos) == (4, 9, 1)
+
+    def test_hit_at_last_entry_gap_is_inf(self):
+        sid, gap, pos = probe([1, 4, 9], 9, self.INF)
+        assert (sid, gap, pos) == (9, self.INF, 2)
+
+    def test_miss_gap_equals_sid(self):
+        sid, gap, pos = probe([1, 4, 9], 5, self.INF)
+        assert (sid, gap, pos) == (9, 9, 2)
+
+    def test_past_end(self):
+        sid, gap, pos = probe([1, 4, 9], 10, self.INF)
+        assert (sid, gap, pos) == (self.INF, self.INF, 3)
+
+    def test_empty_list(self):
+        assert probe([], 0, self.INF) == (self.INF, self.INF, 0)
+
+    @given(sorted_lists, st.integers(0, 220))
+    def test_gap_is_first_strictly_greater(self, lst, target):
+        __, gap, __ = probe(lst, target, self.INF)
+        greater = [x for x in lst if x > target]
+        assert gap == (greater[0] if greater else self.INF)
+
+
+class TestGallop:
+    @given(sorted_lists, st.integers(0, 220))
+    def test_matches_bisect(self, lst, target):
+        assert gallop_geq(lst, target) == first_geq(lst, target)
+
+    @given(sorted_lists, st.integers(0, 220), st.integers(0, 59))
+    def test_matches_bisect_with_lo(self, lst, target, lo):
+        lo = min(lo, len(lst))
+        assert gallop_geq(lst, target, lo) == first_geq(lst, target, lo)
+
+    def test_near_cursor_is_found(self):
+        lst = list(range(0, 1000, 2))
+        pos = gallop_geq(lst, 500, lo=249)
+        assert lst[pos] == 500
+
+
+class TestIntersect:
+    def test_basic(self):
+        assert intersect_sorted([1, 3, 5], [3, 4, 5]) == [3, 5]
+        assert intersect_sorted_merge([1, 3, 5], [3, 4, 5]) == [3, 5]
+
+    def test_disjoint(self):
+        assert intersect_sorted([1, 2], [3, 4]) == []
+        assert intersect_sorted_merge([1, 2], [3, 4]) == []
+
+    def test_empty_operand(self):
+        assert intersect_sorted([], [1, 2]) == []
+        assert intersect_sorted_merge([1, 2], []) == []
+
+    @given(sorted_lists, sorted_lists)
+    def test_gallop_equals_merge_equals_sets(self, a, b):
+        expected = sorted(set(a) & set(b))
+        assert intersect_sorted(a, b) == expected
+        assert intersect_sorted_merge(a, b) == expected
+
+    def test_many_empty_input(self):
+        assert intersect_many([]) == []
+
+    def test_many_single(self):
+        assert intersect_many([[1, 2, 3]]) == [1, 2, 3]
+
+    @given(st.lists(sorted_lists, min_size=1, max_size=5))
+    def test_many_equals_set_intersection(self, lists):
+        expected = set(lists[0])
+        for lst in lists[1:]:
+            expected &= set(lst)
+        assert intersect_many(lists) == sorted(expected)
+
+    def test_many_prefers_shortest_first(self):
+        # Result correctness is unaffected by the heuristic; spot-check a
+        # case where the shortest list empties the result immediately.
+        assert intersect_many([[1, 2, 3, 4], [9], [1, 9]]) == []
+
+
+class TestPredicates:
+    def test_contains_sorted(self):
+        assert contains_sorted([1, 5, 9], 5)
+        assert not contains_sorted([1, 5, 9], 6)
+        assert not contains_sorted([], 0)
+
+    def test_is_sorted_strict(self):
+        assert is_sorted_strict([])
+        assert is_sorted_strict([7])
+        assert is_sorted_strict([1, 2, 9])
+        assert not is_sorted_strict([1, 1, 2])
+        assert not is_sorted_strict([3, 2])
+
+
+@settings(max_examples=50)
+@given(sorted_lists, st.integers(0, 220))
+def test_probe_cursor_reuse_is_consistent(lst, target):
+    """Probing with the returned cursor must equal probing from scratch for
+    any later (larger or equal) target."""
+    inf = 999
+    __, __, pos = probe(lst, target, inf)
+    later = target + random.Random(42).randint(0, 30)
+    assert probe(lst, later, inf, lo=pos) == probe(lst, later, inf)

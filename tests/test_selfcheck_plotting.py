@@ -1,0 +1,85 @@
+"""Tests for the self-check harness and the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plotting import ascii_chart, chart_measurements
+from repro.bench.runner import JoinMeasurement
+from repro.core.selfcheck import Discrepancy, SelfCheckReport, self_check
+from repro.errors import InvalidParameterError
+
+
+class TestSelfCheck:
+    def test_all_methods_pass(self):
+        from repro.core.api import JOIN_METHODS
+
+        report = self_check(trials=12, seed=5)
+        assert report.ok, report.summary()
+        assert report.trials == 12
+        assert report.comparisons == 12 * (len(JOIN_METHODS) - 1)  # sans naive
+
+    def test_selected_methods(self):
+        report = self_check(trials=5, methods=("lcjoin", "ttjoin"), seed=1)
+        assert report.ok
+        assert report.comparisons == 10
+
+    def test_unknown_method(self):
+        with pytest.raises(InvalidParameterError):
+            self_check(trials=1, methods=("quantumjoin",))
+
+    def test_invalid_trials(self):
+        with pytest.raises(InvalidParameterError):
+            self_check(trials=0)
+
+    def test_summary_format(self):
+        report = self_check(trials=3, methods=("lcjoin",), seed=2)
+        assert "OK" in report.summary()
+        assert "3 instances" in report.summary()
+
+    def test_discrepancy_reporting(self):
+        report = SelfCheckReport(trials=1, comparisons=1)
+        report.discrepancies.append(
+            Discrepancy("fake", 7, missing=2, extra=0,
+                        r_records=((1,),), s_records=((1,),))
+        )
+        assert not report.ok
+        assert "fake (seed 7): 2 missing" in report.summary()
+        assert "FAILURES" in report.summary()
+
+    def test_deterministic_by_seed(self):
+        a = self_check(trials=4, methods=("lcjoin",), seed=9)
+        b = self_check(trials=4, methods=("lcjoin",), seed=9)
+        assert a.trials == b.trials and a.ok == b.ok
+
+
+class TestAsciiChart:
+    def test_renders_symbols_and_legend(self):
+        chart = ascii_chart(
+            {"lcjoin": [1.0, 2.0, 4.0], "pretti": [2.0, 8.0, 32.0]},
+            ["a", "b", "c"],
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "legend:" in chart
+        assert "o=lcjoin" in chart and "x=pretti" in chart
+
+    def test_empty(self):
+        assert ascii_chart({}, []) == "(no data)"
+        assert ascii_chart({"m": [0.0]}, ["a"]) == "(no positive data)"
+
+    def test_linear_scale(self):
+        chart = ascii_chart({"m": [1, 5, 10]}, ["1", "2", "3"], log_scale=False)
+        assert "m" in chart
+
+    def test_chart_measurements(self):
+        ms = [
+            JoinMeasurement("lcjoin", "w1", 1, 1, 1, 0.5, 10, 0, 0, 0),
+            JoinMeasurement("lcjoin", "w2", 1, 1, 1, 2.0, 20, 0, 0, 0),
+            JoinMeasurement("pretti", "w1", 1, 1, 1, 1.0, 0, 99, 0, 0),
+            JoinMeasurement("pretti", "w2", 1, 1, 1, 8.0, 0, 400, 0, 0),
+        ]
+        chart = chart_measurements(ms, title="fig")
+        assert "fig" in chart and "w1" in chart and "w2" in chart
+        cost_chart = chart_measurements(ms, value="abstract_cost")
+        assert "legend" in cost_chart

@@ -1,0 +1,83 @@
+"""Tests for the z-value and frequency-mass skew measures."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import pytest
+
+from repro.data.collection import SetCollection
+from repro.data.skew import mass_of_top_fraction, top_k_mass, z_value
+from repro.errors import InvalidParameterError
+
+
+class TestMassOfTopFraction:
+    def test_uniform_counts(self):
+        counts = [10] * 100
+        assert mass_of_top_fraction(counts, 0.2) == pytest.approx(0.2)
+
+    def test_all_mass_in_one_element(self):
+        counts = [1000] + [0] * 99
+        assert mass_of_top_fraction(counts, 0.01) == pytest.approx(1.0)
+
+    def test_accepts_counter_and_collection(self):
+        c = SetCollection([[0, 1], [0]])
+        counter = c.element_frequencies()
+        assert mass_of_top_fraction(c, 0.5) == mass_of_top_fraction(counter, 0.5)
+
+    def test_empty(self):
+        assert mass_of_top_fraction([], 0.2) == 0.0
+
+    def test_fraction_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            mass_of_top_fraction([1], 0.0)
+        with pytest.raises(InvalidParameterError):
+            mass_of_top_fraction([1], 1.01)
+
+
+class TestZValue:
+    def test_paper_80_20_example(self):
+        """§VI-A: a = 80, b = 20 gives z ≈ 0.86."""
+        # 20 elements hold 80 units, the other 80 hold 20 units.
+        counts = [4.0] * 20 + [0.25] * 80
+        z = z_value([int(c * 100) for c in counts])
+        assert z == pytest.approx(1 - math.log(0.8) / math.log(0.2), abs=0.01)
+        assert z == pytest.approx(0.86, abs=0.01)
+
+    def test_paper_uniform_example(self):
+        """§VI-A: a = b gives z = 0 (uniform data)."""
+        assert z_value([7] * 50) == pytest.approx(0.0, abs=1e-9)
+
+    def test_degenerate_inputs(self):
+        assert z_value([]) == 0.0
+        assert z_value([42]) == 1.0  # single element holds all the mass
+
+    def test_b_percent_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            z_value([1, 2], b_percent=0)
+        with pytest.raises(InvalidParameterError):
+            z_value([1, 2], b_percent=100)
+
+    def test_more_skew_more_z(self):
+        mild = [10, 9, 8, 7, 6, 5, 4, 3, 2, 1]
+        wild = [1000, 100, 10, 5, 2, 1, 1, 1, 1, 1]
+        assert z_value(wild) > z_value(mild)
+
+
+class TestTopKMass:
+    def test_basic(self):
+        counts = [5, 3, 2]
+        assert top_k_mass(counts, 1) == pytest.approx(0.5)
+        assert top_k_mass(counts, 2) == pytest.approx(0.8)
+        assert top_k_mass(counts, 10) == pytest.approx(1.0)
+
+    def test_k_positive(self):
+        with pytest.raises(InvalidParameterError):
+            top_k_mass([1], 0)
+
+    def test_empty(self):
+        assert top_k_mass([], 150) == 0.0
+
+    def test_counter_input(self):
+        assert top_k_mass(Counter({"a": 3, "b": 1}), 1) == pytest.approx(0.75)

@@ -1,0 +1,98 @@
+"""Stateful (model-based) property tests.
+
+Hypothesis drives long random interleavings of operations against the
+incremental components — :class:`ContainmentIndex` and the pub/sub
+:class:`Broker` — while a brute-force model predicts every answer. This is
+the strongest correctness net for the mutation paths (append, tombstones,
+lazy rebuilds), which ordinary example-based tests exercise only shallowly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.containment_index import ContainmentIndex
+from repro.data.collection import SetCollection
+from repro.pubsub.broker import Broker
+
+element = st.integers(0, 14)
+record = st.lists(element, min_size=1, max_size=5)
+query = st.lists(element, min_size=0, max_size=8)
+
+
+class ContainmentIndexMachine(RuleBasedStateMachine):
+    """Model: a plain list of frozensets."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.index = ContainmentIndex(SetCollection([[0]]))
+        self.model = [frozenset([0])]
+
+    @rule(rec=record)
+    def add_set(self, rec):
+        sid = self.index.add(rec)
+        assert sid == len(self.model)
+        self.model.append(frozenset(rec))
+
+    @rule(q=query)
+    def query_supersets(self, q):
+        qs = frozenset(q)
+        expected = [i for i, s in enumerate(self.model) if qs <= s]
+        assert self.index.supersets_of(q) == expected
+
+    @rule(q=query)
+    def query_subsets(self, q):
+        qs = frozenset(q)
+        expected = [i for i, s in enumerate(self.model) if s <= qs]
+        assert self.index.subsets_of(q) == expected
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.index) == len(self.model)
+
+
+class BrokerMachine(RuleBasedStateMachine):
+    """Model: a dict of live subscriptions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.broker = Broker(compact_ratio=0.3)
+        self.live = {}
+
+    @rule(kws=st.lists(element, min_size=1, max_size=4))
+    def subscribe(self, kws):
+        sub_id = self.broker.subscribe(kws)
+        self.live[sub_id] = frozenset(kws)
+
+    @rule(pick=st.integers(0, 10**6))
+    def unsubscribe(self, pick):
+        if not self.live:
+            return
+        victim = sorted(self.live)[pick % len(self.live)]
+        self.broker.unsubscribe(victim)
+        del self.live[victim]
+
+    @rule(event=st.lists(element, min_size=0, max_size=10))
+    def publish(self, event):
+        ev = frozenset(event)
+        expected = sorted(
+            sid for sid, kws in self.live.items() if kws <= ev
+        )
+        assert self.broker.publish(ev).matched == expected
+
+    @invariant()
+    def counts_agree(self):
+        assert len(self.broker) == len(self.live)
+
+
+TestContainmentIndexStateful = ContainmentIndexMachine.TestCase
+TestContainmentIndexStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+TestBrokerStateful = BrokerMachine.TestCase
+TestBrokerStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,67 @@
+"""Tests for the dataset profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.collection import SetCollection
+from repro.data.summary import log_histogram, percentile, profile
+
+
+class TestPercentile:
+    def test_empty_and_single(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([7], 0.99) == 7.0
+
+    def test_median_interpolation(self):
+        assert percentile([1, 3], 0.5) == 2.0
+        assert percentile([1, 2, 3], 0.5) == 2.0
+
+    def test_extremes(self):
+        values = list(range(11))
+        assert percentile(values, 0.0) == 0.0
+        assert percentile(values, 1.0) == 10.0
+        assert percentile(values, 0.9) == 9.0
+
+
+class TestLogHistogram:
+    def test_power_of_two_buckets(self):
+        hist = dict(log_histogram([1, 2, 2, 3, 4, 5, 8, 9]))
+        assert hist["1"] == 1
+        assert hist["2"] == 2
+        assert hist["3-4"] == 2
+        assert hist["5-8"] == 2
+        assert hist["9-16"] == 1
+
+    def test_empty(self):
+        assert log_histogram([]) == []
+
+    def test_counts_cover_everything(self):
+        values = list(range(1, 100))
+        hist = log_histogram(values)
+        assert sum(c for __, c in hist) == len(values)
+
+
+class TestProfile:
+    @pytest.fixture
+    def data(self):
+        return SetCollection([[0, 1], [0, 1], [2], [0, 1, 2, 3]])
+
+    def test_counts(self, data):
+        p = profile(data)
+        assert p.num_sets == 4
+        assert p.num_elements == 4
+        assert p.total_tokens == 9
+        assert p.duplicate_sets == 1
+
+    def test_percentile_keys(self, data):
+        p = profile(data)
+        assert set(p.size_percentiles) == {"50", "90", "99", "100"}
+        assert p.size_percentiles["100"] == 4.0
+        assert p.list_percentiles["100"] == 3.0  # element 0 in 3 sets
+
+    def test_render_is_text(self, data):
+        text = profile(data).render()
+        assert "duplicate sets:  1" in text
+        assert "size histogram:" in text
+        assert "#" in text

@@ -1,0 +1,132 @@
+"""Tests for the synthetic Zipf generator (Table III)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.skew import z_value
+from repro.data.synthetic import (
+    DEFAULT_SPEC,
+    SyntheticSpec,
+    generate_zipf,
+    weight_mass_top_fraction,
+    zipf_exponent_for_z,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestSpec:
+    def test_defaults_follow_table3(self):
+        # Table III bold values, scaled by the documented 1/1000.
+        assert DEFAULT_SPEC.cardinality == 10_000
+        assert DEFAULT_SPEC.avg_set_size == 8.0
+        assert DEFAULT_SPEC.num_elements == 1_000
+        assert DEFAULT_SPEC.z == 0.5
+
+    def test_scaled(self):
+        spec = SyntheticSpec(cardinality=1000, num_elements=100).scaled(0.1)
+        assert spec.cardinality == 100
+        assert spec.num_elements == 10
+        assert spec.avg_set_size == DEFAULT_SPEC.avg_set_size
+
+    def test_scaled_floors_at_one(self):
+        spec = SyntheticSpec(cardinality=5, num_elements=5).scaled(0.01)
+        assert spec.cardinality == 1 and spec.num_elements == 1
+
+
+class TestExponentCalibration:
+    def test_z_zero_is_uniform(self):
+        assert zipf_exponent_for_z(0.0, 1000) == 0.0
+
+    def test_monotone_in_z(self):
+        exps = [zipf_exponent_for_z(z, 1000) for z in (0.25, 0.5, 0.75, 1.0)]
+        assert exps == sorted(exps)
+        assert exps[0] > 0
+
+    def test_mass_matches_target(self):
+        for z in (0.25, 0.5, 0.75):
+            s = zipf_exponent_for_z(z, 2000)
+            mass = weight_mass_top_fraction(s, 2000)
+            assert mass == pytest.approx(0.2 ** (1 - z), rel=1e-3)
+
+    def test_invalid_z(self):
+        with pytest.raises(InvalidParameterError):
+            zipf_exponent_for_z(-0.1, 100)
+        with pytest.raises(InvalidParameterError):
+            zipf_exponent_for_z(1.5, 100)
+
+    def test_invalid_universe(self):
+        with pytest.raises(InvalidParameterError):
+            zipf_exponent_for_z(0.5, 0)
+
+    def test_tiny_universe_degenerates(self):
+        assert zipf_exponent_for_z(0.9, 2) == 0.0
+
+
+class TestGeneration:
+    def test_cardinality_exact(self):
+        data = generate_zipf(cardinality=137, num_elements=50, seed=1)
+        assert len(data) == 137
+
+    def test_elements_within_universe(self):
+        data = generate_zipf(cardinality=200, num_elements=30, seed=2)
+        assert 0 <= data.max_element() < 30
+
+    def test_deterministic_by_seed(self):
+        a = generate_zipf(cardinality=100, num_elements=40, seed=5)
+        b = generate_zipf(cardinality=100, num_elements=40, seed=5)
+        c = generate_zipf(cardinality=100, num_elements=40, seed=6)
+        assert a == b
+        assert a != c
+
+    def test_avg_size_near_target(self):
+        data = generate_zipf(
+            cardinality=3000, avg_set_size=8, num_elements=5000, z=0.25, seed=3
+        )
+        realised = data.total_tokens() / len(data)
+        assert realised == pytest.approx(8.0, rel=0.15)
+
+    def test_realised_z_tracks_target(self):
+        low = generate_zipf(cardinality=3000, num_elements=400, z=0.25, seed=4)
+        high = generate_zipf(cardinality=3000, num_elements=400, z=0.9, seed=4)
+        assert z_value(low) < z_value(high)
+        assert z_value(high) == pytest.approx(0.9, abs=0.15)
+
+    def test_records_valid(self):
+        data = generate_zipf(cardinality=300, num_elements=25, z=1.0, seed=7)
+        for record in data:
+            assert len(record) >= 1
+            assert len(set(record)) == len(record)
+            assert list(record) == sorted(record)
+
+    def test_parameter_validation(self):
+        for kwargs in (
+            {"cardinality": 0},
+            {"avg_set_size": 0.5},
+            {"num_elements": 0},
+        ):
+            with pytest.raises(InvalidParameterError):
+                generate_zipf(**kwargs)
+
+    def test_spec_and_overrides_compose(self):
+        spec = SyntheticSpec(cardinality=50, num_elements=20, z=0.5, seed=1)
+        data = generate_zipf(spec, cardinality=75)
+        assert len(data) == 75
+        assert data.max_element() < 20
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(10, 300),
+    st.integers(5, 200),
+    st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]),
+)
+def test_generator_contract(cardinality, universe, z):
+    data = generate_zipf(
+        cardinality=cardinality, avg_set_size=4, num_elements=universe, z=z, seed=11
+    )
+    assert len(data) == cardinality
+    assert data.max_element() < universe
+    assert all(len(rec) >= 1 for rec in data)

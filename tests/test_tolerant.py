@@ -1,0 +1,128 @@
+"""Tests for the error-tolerant (T-occurrence) containment machinery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import JoinStats, set_containment_join
+from repro.core.tolerant import merge_skip, scan_count, tolerant_containment_join
+from repro.data.collection import SetCollection
+from repro.errors import InvalidParameterError
+from repro.index.inverted import InvertedIndex
+
+from conftest import random_instance
+
+
+@pytest.fixture
+def index_data():
+    s = SetCollection([[0, 1, 2], [1, 2], [2, 3], [0, 3], [4]])
+    return InvertedIndex.build(s), s
+
+
+class TestScanCount:
+    def test_thresholds(self, index_data):
+        index, __ = index_data
+        q = [0, 1, 2]
+        assert scan_count(index, q, 3) == [0]
+        assert scan_count(index, q, 2) == [0, 1]
+        assert scan_count(index, q, 1) == [0, 1, 2, 3]
+
+    def test_duplicate_query_elements_count_once(self, index_data):
+        index, __ = index_data
+        assert scan_count(index, [2, 2, 2], 2) == []
+
+    def test_threshold_validation(self, index_data):
+        index, __ = index_data
+        with pytest.raises(InvalidParameterError):
+            scan_count(index, [0], 0)
+
+
+class TestMergeSkip:
+    def test_matches_scan_count(self, index_data):
+        index, __ = index_data
+        for threshold in (1, 2, 3):
+            for q in ([0, 1, 2], [2, 3], [0, 4], [9]):
+                assert merge_skip(index, q, threshold) == \
+                    scan_count(index, q, threshold), (q, threshold)
+
+    def test_too_few_lists(self, index_data):
+        index, __ = index_data
+        assert merge_skip(index, [0], 2) == []
+        assert merge_skip(index, [99], 1) == []
+
+    def test_skips_are_metered(self):
+        # Long lists with one common id at the end force jumps.
+        s_records = [[0] for __ in range(40)] + [[1] for __ in range(40)]
+        s_records.append([0, 1])
+        index = InvertedIndex.build(SetCollection(s_records))
+        stats = JoinStats()
+        got = merge_skip(index, [0, 1], 2, stats=stats)
+        assert got == [80]
+        assert stats.binary_searches > 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.lists(st.integers(0, 9), min_size=1, max_size=5),
+                 min_size=1, max_size=20),
+        st.lists(st.integers(0, 11), min_size=1, max_size=6),
+        st.integers(1, 6),
+    )
+    def test_equivalence_property(self, s_records, query, threshold):
+        index = InvertedIndex.build(SetCollection(s_records))
+        assert merge_skip(index, query, threshold) == \
+            scan_count(index, query, threshold)
+
+
+class TestTolerantJoin:
+    def test_missing_zero_equals_exact_join(self):
+        for seed in range(15):
+            r, s = random_instance(seed)
+            exact = sorted(set_containment_join(r, s))
+            for algorithm in ("merge_skip", "scan_count"):
+                got = sorted(tolerant_containment_join(
+                    r, s, missing=0, algorithm=algorithm))
+                assert got == exact, (seed, algorithm)
+
+    def test_missing_one_bruteforce(self):
+        for seed in range(10):
+            r, s = random_instance(seed)
+            expected = sorted(
+                (rid, sid)
+                for rid, rec in enumerate(r)
+                for sid, srec in enumerate(s)
+                if len(frozenset(rec) - frozenset(srec)) <= 1
+                and frozenset(rec) & frozenset(srec)
+            )
+            got = sorted(tolerant_containment_join(r, s, missing=1))
+            assert got == expected, seed
+
+    def test_monotone_in_missing(self):
+        r, s = random_instance(31)
+        prev: set = set()
+        for missing in (0, 1, 2):
+            cur = set(tolerant_containment_join(r, s, missing=missing))
+            assert prev <= cur
+            prev = cur
+
+    def test_parameter_validation(self):
+        r, s = random_instance(0)
+        with pytest.raises(InvalidParameterError):
+            tolerant_containment_join(r, s, missing=-1)
+        with pytest.raises(InvalidParameterError):
+            tolerant_containment_join(r, s, algorithm="psychic")
+
+    def test_prebuilt_index(self, index_data):
+        index, s = index_data
+        r = SetCollection([[0, 1, 2, 3]])
+        stats = JoinStats()
+        got = tolerant_containment_join(
+            r, s, missing=2, index=index, stats=stats
+        )
+        # Threshold 2: S sets sharing >= 2 elements with {0,1,2,3}.
+        assert got == [(0, 0), (0, 1), (0, 2), (0, 3)]
+        assert stats.index_build_tokens == 0
+        assert stats.results == 4

@@ -1,0 +1,132 @@
+"""Tests for dataset transformations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import set_containment_join
+from repro.data.collection import SetCollection
+from repro.data.transforms import (
+    deduplicate,
+    expand_deduplicated_pairs,
+    filter_by_size,
+    project_elements,
+    relabel_by_frequency,
+)
+from repro.errors import InvalidParameterError
+
+records = st.lists(
+    st.lists(st.integers(0, 9), min_size=1, max_size=5), min_size=1, max_size=15
+)
+
+
+class TestFilterBySize:
+    def test_band(self):
+        c = SetCollection([[1], [1, 2], [1, 2, 3], [1, 2, 3, 4]])
+        filtered, ids = filter_by_size(c, min_size=2, max_size=3)
+        assert [len(r) for r in filtered] == [2, 3]
+        assert ids == [1, 2]
+
+    def test_twitter_preprocessing_shape(self):
+        """The paper's §VI-A TWITTER step: drop sets above a max size."""
+        c = SetCollection([list(range(10)), [1, 2], list(range(6))])
+        filtered, ids = filter_by_size(c, max_size=6)
+        assert ids == [1, 2]
+
+    def test_validation(self):
+        c = SetCollection([[1]])
+        with pytest.raises(InvalidParameterError):
+            filter_by_size(c, min_size=0)
+        with pytest.raises(InvalidParameterError):
+            filter_by_size(c, min_size=5, max_size=2)
+
+    def test_keeps_dictionary(self):
+        c = SetCollection.from_iterable([{"a"}, {"a", "b"}])
+        filtered, __ = filter_by_size(c, min_size=2)
+        assert filtered.dictionary is c.dictionary
+
+
+class TestDeduplicate:
+    def test_groups(self):
+        c = SetCollection([[1, 2], [3], [1, 2], [1, 2], [3]])
+        unique, groups = deduplicate(c)
+        assert len(unique) == 2
+        assert groups == [[0, 2, 3], [1, 4]]
+
+    def test_no_duplicates_is_identity_shape(self):
+        c = SetCollection([[1], [2]])
+        unique, groups = deduplicate(c)
+        assert unique == c
+        assert groups == [[0], [1]]
+
+    def test_expand_pairs_roundtrip(self):
+        c = SetCollection([[0], [0], [0, 1], [0, 1]])
+        unique, groups = deduplicate(c)
+        dedup_pairs = set_containment_join(unique, unique)
+        expanded = sorted(
+            expand_deduplicated_pairs(dedup_pairs, groups, groups)
+        )
+        direct = sorted(set_containment_join(c, c))
+        assert expanded == direct
+
+    def test_expand_one_sided(self):
+        pairs = [(0, 5)]
+        assert expand_deduplicated_pairs(pairs, [[1, 2]], None) == [(1, 5), (2, 5)]
+        assert expand_deduplicated_pairs(pairs, None, None) == [(0, 5)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(records)
+    def test_dedup_join_equals_direct_join(self, recs):
+        c = SetCollection(recs)
+        unique, groups = deduplicate(c)
+        expanded = sorted(
+            expand_deduplicated_pairs(
+                set_containment_join(unique, unique), groups, groups
+            )
+        )
+        assert expanded == sorted(set_containment_join(c, c))
+
+
+class TestRelabelByFrequency:
+    def test_rank_zero_is_most_frequent(self):
+        c = SetCollection([[7, 3], [3], [3, 5]])
+        relabeled, old_of_new = relabel_by_frequency(c)
+        assert old_of_new[0] == 3
+        freq = relabeled.element_frequencies()
+        assert freq[0] == max(freq.values())
+
+    def test_structure_preserved(self):
+        c = SetCollection([[7, 3], [3], [3, 5]])
+        relabeled, old_of_new = relabel_by_frequency(c)
+        for old_rec, new_rec in zip(c, relabeled):
+            assert sorted(old_of_new[e] for e in new_rec) == list(old_rec)
+
+    @settings(max_examples=40, deadline=None)
+    @given(records)
+    def test_join_count_invariant(self, recs):
+        c = SetCollection(recs)
+        relabeled, __ = relabel_by_frequency(c)
+        before = len(set_containment_join(c, c))
+        after = len(set_containment_join(relabeled, relabeled))
+        assert before == after
+
+
+class TestProjectElements:
+    def test_projection(self):
+        c = SetCollection([[0, 1, 2], [3, 4], [0, 3]])
+        projected, ids = project_elements(c, {0, 3})
+        assert projected.records == [(0,), (3,), (0, 3)]
+        assert ids == [0, 1, 2]
+
+    def test_empty_sets_dropped(self):
+        c = SetCollection([[1], [2]])
+        projected, ids = project_elements(c, {1})
+        assert len(projected) == 1 and ids == [0]
+
+    def test_keep_empty(self):
+        c = SetCollection([[1], [2]])
+        projected, ids = project_elements(c, {1}, drop_empty=False)
+        assert len(projected) == 2
+        assert projected[1] == ()

@@ -1,0 +1,127 @@
+"""White-box tests of the postorder traversal's node invariants (§IV-B).
+
+These inspect the tree state *between rounds* of Algorithm 2 and assert
+the definitional invariants of ``MaxSid``, ``NextMax`` and ``RidList`` that
+the paper's correctness argument rests on — catching any future
+optimisation that accidentally breaks the bookkeeping even if the final
+results happen to survive.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.order import build_order
+from repro.core.tree_join import bind_tree, postorder_traverse
+from repro.data.collection import SetCollection
+from repro.index.inverted import InvertedIndex
+from repro.index.prefix_tree import PrefixTree
+
+from conftest import random_collection
+
+
+def _setup(r_records, s_records, kind="element_id"):
+    r = SetCollection(r_records)
+    s = SetCollection(s_records)
+    order = build_order(s, kind=kind,
+                        universe=max(r.max_element(), s.max_element()) + 1)
+    tree = PrefixTree.build(r, order)
+    index = InvertedIndex.build(s)
+    first = bind_tree(tree, index)
+    return r, s, tree, index, first
+
+
+def _walk(node):
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        yield n
+        stack.extend(n.children)
+
+
+def _run_rounds(tree, index, first, rounds, early=False):
+    """Advance the traversal ``rounds`` times, collecting emissions."""
+    emitted = []
+    for __ in range(rounds):
+        if tree.root.max_sid >= index.inf_sid:
+            break
+        postorder_traverse(tree.root, first, index.inf_sid, early)
+        if tree.root.max_sid < index.inf_sid:
+            for rid in tree.root.rid_list:
+                emitted.append((rid, tree.root.max_sid))
+    return emitted
+
+
+@pytest.mark.parametrize("early", [False, True])
+class TestNodeInvariants:
+    def test_inner_max_sid_is_min_of_children(self, early):
+        rng = random.Random(11)
+        r = random_collection(rng, 20, 10)
+        s = random_collection(rng, 20, 10)
+        __, __, tree, index, first = _setup(r.records, s.records)
+        for round_no in range(1, 6):
+            if tree.root.max_sid >= index.inf_sid:
+                break
+            postorder_traverse(tree.root, first, index.inf_sid, early)
+            for node in _walk(tree.root):
+                if node.children:
+                    child_min = min(c.max_sid for c in node.children)
+                    # Saturated (dead) nodes may exceed their children.
+                    if node.max_sid < index.inf_sid:
+                        assert node.max_sid == child_min, round_no
+
+    def test_rid_list_members_have_matching_candidate(self, early):
+        rng = random.Random(13)
+        r = random_collection(rng, 15, 8)
+        s = random_collection(rng, 15, 8)
+        r_coll, s_coll, tree, index, first = _setup(r.records, s.records)
+        postorder_traverse(tree.root, first, index.inf_sid, early)
+        sid = tree.root.max_sid
+        if sid < index.inf_sid:
+            s_set = frozenset(s_coll[sid]) if sid < len(s_coll) else frozenset()
+            for rid in tree.root.rid_list:
+                # Definitional check: the emitted pair is a real containment.
+                assert frozenset(r_coll[rid]) <= s_set
+
+    def test_next_max_exceeds_max_sid_on_live_nodes(self, early):
+        rng = random.Random(17)
+        r = random_collection(rng, 15, 8)
+        s = random_collection(rng, 15, 8)
+        __, __, tree, index, first = _setup(r.records, s.records)
+        for __ in range(3):
+            if tree.root.max_sid >= index.inf_sid:
+                break
+            postorder_traverse(tree.root, first, index.inf_sid, early)
+            for node in _walk(tree.root):
+                if node.max_sid < index.inf_sid and node.max_sid >= 0:
+                    assert node.next_max > node.max_sid
+
+    def test_root_candidate_strictly_increases(self, early):
+        rng = random.Random(19)
+        r = random_collection(rng, 12, 6)
+        s = random_collection(rng, 12, 6)
+        __, __, tree, index, first = _setup(r.records, s.records)
+        seen = []
+        while tree.root.max_sid < index.inf_sid and len(seen) < 50:
+            postorder_traverse(tree.root, first, index.inf_sid, early)
+            seen.append(tree.root.max_sid)
+        assert seen == sorted(set(seen)), "candidates must strictly increase"
+        assert seen[-1] >= index.inf_sid or len(seen) == 50
+
+    def test_partial_run_emissions_are_a_prefix_of_the_join(self, early):
+        """Stopping after k rounds yields the first candidates' results —
+        the traversal enumerates supersets in ascending sid order."""
+        rng = random.Random(23)
+        r = random_collection(rng, 12, 6)
+        s = random_collection(rng, 12, 6)
+        r_coll, s_coll, tree, index, first = _setup(r.records, s.records)
+        emitted = _run_rounds(tree, index, first, rounds=3, early=early)
+        from repro.core.verify import ground_truth
+
+        full = ground_truth(r_coll, s_coll)
+        for pair in emitted:
+            assert pair in full
+        sids = [sid for __, sid in emitted]
+        assert sids == sorted(sids)

@@ -1,0 +1,187 @@
+"""Tests for the tree-based methods (Algorithms 2-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import JoinStats
+from repro.core.order import build_order
+from repro.core.results import PairListSink
+from repro.core.tree_join import bind_tree, run_tree_join, tree_join
+from repro.core.verify import ground_truth
+from repro.data.collection import SetCollection
+from repro.index.inverted import InvertedIndex
+from repro.index.prefix_tree import PrefixTree
+
+from conftest import random_instance
+
+
+@pytest.mark.parametrize("early", [False, True])
+@pytest.mark.parametrize("patricia", [False, True])
+class TestTreeJoin:
+    def test_matches_ground_truth(self, early, patricia):
+        for seed in range(40):
+            r, s = random_instance(seed)
+            sink = PairListSink()
+            tree_join(r, s, sink, early_termination=early, patricia=patricia)
+            assert sink.sorted_pairs() == sorted(ground_truth(r, s))
+
+    def test_duplicates_and_prefixes(self, early, patricia):
+        r = SetCollection([[0], [0], [0, 1], [0, 1, 2], [3]])
+        s = SetCollection([[0, 1, 2, 3], [0]])
+        sink = PairListSink()
+        tree_join(r, s, sink, early_termination=early, patricia=patricia)
+        assert sink.sorted_pairs() == sorted(ground_truth(r, s))
+
+    def test_single_element_universe(self, early, patricia):
+        r = SetCollection([[0], [0]])
+        s = SetCollection([[0]] * 3)
+        sink = PairListSink()
+        tree_join(r, s, sink, early_termination=early, patricia=patricia)
+        assert len(sink.pairs) == 6
+
+    def test_empty_sides(self, early, patricia):
+        empty = SetCollection([], validate=False)
+        data = SetCollection([[1]])
+        for r, s in [(empty, data), (data, empty), (empty, empty)]:
+            sink = PairListSink()
+            tree_join(r, s, sink, early_termination=early, patricia=patricia)
+            assert sink.pairs == []
+
+    def test_no_matches(self, early, patricia):
+        r = SetCollection([[0, 1]])
+        s = SetCollection([[0], [1]])  # contains both elements, never together
+        sink = PairListSink()
+        tree_join(r, s, sink, early_termination=early, patricia=patricia)
+        assert sink.pairs == []
+
+
+class TestSharedComputation:
+    def test_shared_prefix_probes_less_than_framework(self):
+        """The point of §IV: sets sharing prefixes share binary searches."""
+        from repro.core.framework import framework_join
+
+        # 50 sets all sharing a 4-element prefix.
+        records = [[0, 1, 2, 3, 10 + i] for i in range(50)]
+        r = SetCollection(records)
+        s = SetCollection([[0, 1, 2, 3] + list(range(10, 60))] * 5 + [[7]])
+        tree_stats, flat_stats = JoinStats(), JoinStats()
+        sink1, sink2 = PairListSink(), PairListSink()
+        tree_join(r, s, sink1, stats=tree_stats)
+        framework_join(r, s, sink2, stats=flat_stats)
+        assert sink1.sorted_pairs() == sink2.sorted_pairs()
+        assert tree_stats.binary_searches < flat_stats.binary_searches
+
+    def test_early_termination_saves_probes(self):
+        records = [[0, 1, 2, 3, 4, 5, 6, 7]] * 3 + [[0, 1, 2, 3, 4, 5, 6, 8]]
+        r = SetCollection(records)
+        s = SetCollection(
+            [list(range(0, 9)), list(range(0, 7)), [0, 2, 4, 6, 8], [1, 3, 5, 7]] * 3
+        )
+        plain, early = JoinStats(), JoinStats()
+        s1, s2 = PairListSink(), PairListSink()
+        tree_join(r, s, s1, early_termination=False, stats=plain)
+        tree_join(r, s, s2, early_termination=True, stats=early)
+        assert s1.sorted_pairs() == s2.sorted_pairs()
+        assert early.binary_searches <= plain.binary_searches
+
+
+class TestSubtreeRuns:
+    def test_partition_subtree_with_local_index(self):
+        """Running one branch against its local index finds exactly that
+        partition's results (the §V building block)."""
+        r = SetCollection([[0, 1], [0, 2], [1, 2]])
+        s = SetCollection([[0, 1, 2], [1, 2], [0, 2]])
+        order = build_order(s, kind="element_id")
+        tree = PrefixTree.build(r, order)
+        index = InvertedIndex.build(s)
+        partitions = dict((a, n) for a, n in tree.partition_roots())
+
+        sink = PairListSink()
+        local = index.build_local(index[0], s)
+        run_tree_join(tree, local, sink, subtree=partitions[0])
+        expected = [
+            (rid, sid)
+            for rid, sid in ground_truth(r, s)
+            if r[rid][0] == 0  # partition anchored at element 0
+        ]
+        assert sink.sorted_pairs() == sorted(expected)
+
+    def test_bind_tree_returns_first_sid(self):
+        r = SetCollection([[0]])
+        s = SetCollection([[0], [0, 1]])
+        order = build_order(s)
+        tree = PrefixTree.build(r, order)
+        index = InvertedIndex.build(s)
+        assert bind_tree(tree, index) == 0
+        local = index.build_local([1], s)
+        assert bind_tree(tree, local) == 1
+
+    def test_rebinding_resets_state(self):
+        """The same tree joined twice gives the same answer (state reset)."""
+        r = SetCollection([[0, 1], [1]])
+        s = SetCollection([[0, 1], [1, 2]])
+        order = build_order(s)
+        tree = PrefixTree.build(r, order)
+        index = InvertedIndex.build(s)
+        first, second = PairListSink(), PairListSink()
+        run_tree_join(tree, index, first)
+        run_tree_join(tree, index, second)
+        assert first.sorted_pairs() == second.sorted_pairs()
+
+
+def test_tree_nodes_counted_in_stats():
+    r = SetCollection([[0, 1], [0, 2]])
+    s = SetCollection([[0, 1, 2]])
+    stats = JoinStats()
+    tree_join(r, s, PairListSink(), stats=stats)
+    assert stats.tree_nodes == 6
+    assert stats.rounds >= 1
+
+
+def test_deep_sets_do_not_overflow_the_stack():
+    """Sets with thousands of elements must not hit the recursion limit."""
+    big = list(range(3000))
+    r = SetCollection([big, big[:2500]])
+    s = SetCollection([big, big[:2750]])
+    sink = PairListSink()
+    tree_join(r, s, sink)
+    assert sink.sorted_pairs() == [(0, 0), (1, 0), (1, 1)]
+
+
+class TestPatriciaPartitionInterplay:
+    def test_lcjoin_with_prebuilt_patricia_tree(self):
+        """Partitioning must work on a compressed tree: anchors come from
+        the first element of (possibly merged) root children."""
+        from repro.core.partition import lcjoin, all_partition_join
+        from repro.core.order import build_order
+        from repro.index.prefix_tree import PrefixTree
+        from conftest import random_instance
+
+        for seed in (2, 12, 22):
+            r, s = random_instance(seed)
+            universe = max(r.max_element(), s.max_element()) + 1
+            order = build_order(s, universe=universe)
+            tree = PrefixTree.build(r, order, compress=True)
+            for join in (lcjoin, all_partition_join):
+                sink = PairListSink()
+                join(r, s, sink, order=order, tree=tree)
+                assert sink.sorted_pairs() == sorted(ground_truth(r, s)), seed
+
+    def test_insert_after_freeze_rebuilds_child_map(self):
+        from repro.core.order import build_order
+
+        s = SetCollection([[0, 1], [0, 2]])
+        order = build_order(s, universe=4)
+        tree = PrefixTree.build(s, order)     # freeze() ran
+        tree.insert(order.sort_record([0, 1]), 2)
+        tree.insert(order.sort_record([0, 3]), 3)
+        # No duplicate nodes: the two [0,1] sets share one end marker.
+        rid_lists = [
+            n.terminal_rids for n in tree.iter_nodes()
+            if n.terminal_rids is not None
+        ]
+        flattened = sorted(r for rids in rid_lists for r in rids)
+        assert flattened == [0, 1, 2, 3]
+        zero_one_markers = [r for r in rid_lists if set(r) >= {0, 2}]
+        assert len(zero_one_markers) == 1

@@ -1,0 +1,100 @@
+"""Tests for the verifier, memory meter, and error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.verify import check_join_result, ground_truth, is_subset_sorted
+from repro.data.collection import SetCollection
+from repro.errors import (
+    DatasetError,
+    InvalidParameterError,
+    ReproError,
+    UnknownMethodError,
+)
+from repro.index.inverted import InvertedIndex
+from repro.index.prefix_tree import PrefixTree
+from repro.memory.meter import index_footprint, measure_peak, tree_footprint
+
+
+class TestIsSubsetSorted:
+    def test_basic(self):
+        assert is_subset_sorted((1, 3), (0, 1, 2, 3))
+        assert not is_subset_sorted((1, 4), (0, 1, 2, 3))
+        assert is_subset_sorted((), (1,))
+        assert not is_subset_sorted((1, 2), (1,))
+
+    def test_equal_sets(self):
+        assert is_subset_sorted((2, 5), (2, 5))
+
+
+class TestGroundTruth:
+    def test_matches_frozenset_semantics(self):
+        r = SetCollection([[0], [0, 1]])
+        s = SetCollection([[0, 1]])
+        assert ground_truth(r, s) == [(0, 0), (1, 0)]
+
+
+class TestCheckJoinResult:
+    @pytest.fixture
+    def rs(self):
+        r = SetCollection([[0], [1, 2]])
+        s = SetCollection([[0, 1], [1, 2, 3]])
+        return r, s
+
+    def test_accepts_exact_result(self, rs):
+        r, s = rs
+        check_join_result([(0, 0), (1, 1)], r, s)
+
+    def test_rejects_false_positive(self, rs):
+        r, s = rs
+        with pytest.raises(AssertionError, match="false positive"):
+            check_join_result([(0, 0), (1, 1), (0, 1)], r, s)
+
+    def test_rejects_missing_pair(self, rs):
+        r, s = rs
+        with pytest.raises(AssertionError, match="missing pair"):
+            check_join_result([(0, 0)], r, s)
+
+    def test_rejects_duplicates(self, rs):
+        r, s = rs
+        with pytest.raises(AssertionError, match="duplicate"):
+            check_join_result([(0, 0), (0, 0), (1, 1)], r, s)
+
+
+class TestMemoryMeter:
+    def test_measures_allocation(self):
+        result, peak = measure_peak(lambda: [0] * 100_000)
+        assert len(result) == 100_000
+        assert peak > 100_000 * 4  # a list of ints is at least this big
+
+    def test_nested_tracing(self):
+        def inner():
+            return measure_peak(lambda: list(range(1000)))
+
+        (value, inner_peak), outer_peak = measure_peak(inner)
+        assert len(value) == 1000
+        assert inner_peak > 0 and outer_peak > 0
+
+    def test_footprints(self):
+        s = SetCollection([[0, 1], [1, 2]])
+        index = InvertedIndex.build(s)
+        assert index_footprint(index) == 4 + 3  # 4 postings, 3 lists
+        from repro.core.order import build_order
+
+        tree = PrefixTree.build(s, build_order(s))
+        assert tree_footprint(tree) == tree.num_nodes
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(DatasetError, ReproError)
+        assert issubclass(InvalidParameterError, ReproError)
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(UnknownMethodError, ReproError)
+        assert issubclass(UnknownMethodError, KeyError)
+
+    def test_unknown_method_message(self):
+        err = UnknownMethodError("foo", ("a", "b"))
+        assert "foo" in str(err)
+        assert err.known == ("a", "b")

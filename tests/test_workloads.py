@@ -1,0 +1,68 @@
+"""Tests for the named workload registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.workloads import (
+    clear_cache,
+    describe,
+    get_workload,
+    workload_names,
+)
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestRegistry:
+    def test_names_cover_real_and_synthetic(self):
+        names = workload_names()
+        for expected in ("flickr", "aol", "orkut", "twitter", "zipf-default"):
+            assert expected in names
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError, match="unknown workload"):
+            get_workload("netflix")
+        with pytest.raises(InvalidParameterError):
+            describe("netflix")
+
+    def test_describe(self):
+        assert "Table II" in describe("aol")
+        assert "Fig 11" in describe("zipf-dense")
+
+
+class TestMaterialisation:
+    def test_scale_changes_cardinality(self):
+        small = get_workload("zipf-default", scale=0.05)
+        smaller = get_workload("zipf-default", scale=0.02)
+        assert len(small) > len(smaller)
+
+    def test_invalid_scale(self):
+        with pytest.raises(InvalidParameterError):
+            get_workload("aol", scale=0)
+
+    def test_cache_identity(self):
+        a = get_workload("zipf-dense", scale=0.5)
+        b = get_workload("zipf-dense", scale=0.5)
+        assert a is b
+
+    def test_cached_false_rebuilds(self):
+        a = get_workload("zipf-dense", scale=0.5, cached=False)
+        b = get_workload("zipf-dense", scale=0.5, cached=False)
+        assert a is not b
+        assert a == b
+
+    def test_seed_changes_data(self):
+        a = get_workload("zipf-dense", scale=0.5, seed=1)
+        b = get_workload("zipf-dense", scale=0.5, seed=2)
+        assert a != b
+
+    def test_real_workload_scaled(self):
+        data = get_workload("flickr", scale=0.1)
+        assert 500 < len(data) < 1000  # 3.55M * 0.002 * 0.1
