@@ -27,7 +27,6 @@ from typing import Dict, List
 sys.path.insert(0, os.path.dirname(__file__))
 
 from conftest import (  # noqa: E402  (path bootstrap above)
-    BASE_SCALES,
     CARDINALITY_FRACTIONS,
     REAL_DATASETS,
     real_dataset,

@@ -15,14 +15,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.runner import run_experiment
 from repro.core.order import build_order
 from repro.core.results import CountSink
 from repro.core.stats import JoinStats
 from repro.core.tree_join import tree_join
 from repro.index.prefix_tree import PrefixTree
 
-from conftest import measured_run, record, synthetic_dataset
+from conftest import measured_run, synthetic_dataset
 
 PARAMS = dict(cardinality=5_000, avg_set_size=8, num_elements=800, z=0.6, seed=42)
 

@@ -9,7 +9,6 @@ from __future__ import annotations
 import pytest
 
 from repro.data.realworld import REAL_WORLD_SPECS, table2_row
-from repro.data.skew import z_value
 
 from conftest import BASE_SCALES, REAL_DATASETS, bench_scale, real_dataset
 

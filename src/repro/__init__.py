@@ -32,6 +32,7 @@ from .errors import (
 )
 from .index.inverted import InvertedIndex
 from .index.prefix_tree import PrefixTree
+from .index.storage import CSRInvertedIndex
 
 __version__ = "1.0.0"
 
@@ -44,6 +45,7 @@ __all__ = [
     "SetCollection",
     "ElementDictionary",
     "InvertedIndex",
+    "CSRInvertedIndex",
     "PrefixTree",
     "GlobalOrder",
     "build_order",

@@ -21,14 +21,29 @@ from ..baselines.psj import psj_join
 from ..baselines.shj import shj_join
 from ..baselines.ttjoin import tt_join
 from ..data.collection import SetCollection
-from ..errors import UnknownMethodError
+from ..errors import InvalidParameterError, UnknownMethodError
 from .framework import framework_join
 from .partition import all_partition_join, lcjoin
 from .results import make_sink
 from .stats import JoinStats
 from .tree_join import tree_join
 
-__all__ = ["set_containment_join", "join_methods", "JOIN_METHODS"]
+__all__ = [
+    "set_containment_join",
+    "join_methods",
+    "JOIN_METHODS",
+    "BACKENDS",
+    "BACKEND_METHODS",
+]
+
+#: Registered array backends for the index layer.
+BACKENDS = ("python", "csr")
+
+#: Methods that probe through the inverted index and therefore understand
+#: the ``backend=`` parameter. The partitioned methods build *local*
+#: indexes per partition and the baselines use their own structures; they
+#: stay on the Python backend.
+BACKEND_METHODS = frozenset({"framework", "framework_et", "tree", "tree_et"})
 
 # Each adapter takes (R, S, sink, stats=..., **kwargs).
 JOIN_METHODS: Dict[str, Callable] = {
@@ -72,6 +87,7 @@ def set_containment_join(
     collect: str = "pairs",
     callback: Optional[Callable[[int, int], None]] = None,
     stats: Optional[JoinStats] = None,
+    backend: str = "python",
     **kwargs,
 ) -> Union[List[Tuple[int, int]], int]:
     """Compute ``R ⋈⊆ S = {(rid, sid) | R[rid] ⊆ S[sid]}``.
@@ -95,6 +111,13 @@ def set_containment_join(
     stats:
         Optional :class:`~repro.core.stats.JoinStats` to meter the run; the
         wall-clock time is always recorded into ``stats.elapsed_seconds``.
+    backend:
+        ``"python"`` (default — the paper-faithful ``bisect`` loops over
+        Python lists) or ``"csr"`` — the contiguous numpy layout probed by
+        the batched kernels in :mod:`repro.index.kernels`. Both produce the
+        identical pair set; ``"csr"`` is supported by the index-probing
+        methods (``framework``, ``framework_et``, ``tree``, ``tree_et``)
+        and raises :class:`~repro.errors.InvalidParameterError` elsewhere.
     kwargs:
         Method-specific knobs (e.g. ``limit=`` for LIMIT+, ``k=`` for
         TT-Join, ``patience=`` for LCJoin, ``patricia=True`` for the
@@ -114,6 +137,17 @@ def set_containment_join(
         impl = JOIN_METHODS[method]
     except KeyError:
         raise UnknownMethodError(method, join_methods()) from None
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend != "python":
+        if method not in BACKEND_METHODS:
+            raise InvalidParameterError(
+                f"backend={backend!r} is only supported by "
+                f"{sorted(BACKEND_METHODS)}; got method={method!r}"
+            )
+        kwargs["backend"] = backend
     sink = make_sink(collect, callback)
     start = time.perf_counter()
     impl(r_collection, s_collection, sink, stats=stats, **kwargs)

@@ -318,7 +318,9 @@ def run_tree_join(
     while root.max_sid < inf_sid:
         rounds += 1
         postorder_traverse(root, first_sid, inf_sid, early_termination, stats)
-        sid = root.max_sid
+        # int() keeps emitted sids plain Python ints even when the bound
+        # lists are numpy views (CSR backend hands back numpy scalars).
+        sid = int(root.max_sid)
         if sid < inf_sid and root.rid_list:
             sink.add_rids(root.rid_list, sid)
     if stats is not None:
@@ -331,10 +333,11 @@ def tree_join(
     sink,
     early_termination: bool = False,
     order: Optional[GlobalOrder] = None,
-    index: Optional[InvertedIndex] = None,
+    index=None,
     tree: Optional[PrefixTree] = None,
     patricia: bool = False,
     stats: Optional[JoinStats] = None,
+    backend: str = "python",
 ) -> None:
     """The tree-based set containment join (paper's ``TreeBased`` /
     ``TreeBasedET`` methods).
@@ -342,11 +345,27 @@ def tree_join(
     Builds the frequency global order, the inverted index on ``S`` and the
     prefix tree on ``R`` unless prebuilt ones are supplied, then runs
     Algorithm 2. ``patricia=True`` path-compresses the tree first (§IV-A).
+
+    ``backend="csr"`` binds the tree against a
+    :class:`~repro.index.storage.CSRInvertedIndex`: node lists become
+    zero-copy numpy views over one contiguous postings array, which is what
+    allows a parallel driver to share a single index across workers. The
+    traversal itself is unchanged (it is inherently pointer-chasing; the
+    vectorized wins live in the flat framework — see docs/internals.md).
     """
     if index is None:
-        index = InvertedIndex.build(s_collection)
+        if backend == "csr":
+            from ..index.storage import CSRInvertedIndex
+
+            index = CSRInvertedIndex.build(s_collection)
+        else:
+            index = InvertedIndex.build(s_collection)
         if stats is not None:
             stats.index_build_tokens += index.construction_cost
+    elif backend == "csr" and isinstance(index, InvertedIndex):
+        from ..index.storage import CSRInvertedIndex
+
+        index = CSRInvertedIndex.from_index(index)
     if order is None:
         universe = max(r_collection.max_element(), s_collection.max_element()) + 1
         order = build_order(s_collection, universe=universe)

@@ -1,8 +1,17 @@
-"""Index substrates: inverted index, prefix/Patricia tree, search primitives."""
+"""Index substrates: inverted index, CSR array backend, prefix/Patricia tree,
+search primitives and their batched numpy counterparts."""
 
 from .inverted import InvertedIndex
+from .kernels import (
+    batch_first_geq,
+    batch_gap_lookup,
+    cross_cut_collection_csr,
+    cross_cut_record_csr,
+)
 from .prefix_tree import PrefixTree, TreeNode
 from .storage import (
+    CSRInvertedIndex,
+    SharedCSRHandle,
     load_collection_binary,
     load_index,
     save_collection_binary,
@@ -21,6 +30,8 @@ from .search import (
 
 __all__ = [
     "InvertedIndex",
+    "CSRInvertedIndex",
+    "SharedCSRHandle",
     "PrefixTree",
     "TreeNode",
     "save_collection_binary",
@@ -35,4 +46,8 @@ __all__ = [
     "intersect_many",
     "contains_sorted",
     "is_sorted_strict",
+    "batch_first_geq",
+    "batch_gap_lookup",
+    "cross_cut_record_csr",
+    "cross_cut_collection_csr",
 ]

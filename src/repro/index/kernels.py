@@ -1,0 +1,281 @@
+"""Batched numpy kernels for the CSR inverted-index backend.
+
+The pure-Python cross-cutting loop (:func:`repro.core.framework.cross_cut_record`)
+pays interpreter overhead per ``bisect_left`` call — one probe, one Python
+frame. These kernels recover the batching headroom the paper's C++
+implementation gets for free, using the CSR layout of
+:class:`repro.index.storage.CSRInvertedIndex`:
+
+* every inverted list lives in one contiguous ``values`` array, and a
+  *composite-keyed* mirror ``keyed[j] = element(j) * stride + values[j]``
+  (``stride > `` any probed id) is globally sorted. Probing element ``e``
+  for target ``t`` is therefore ``searchsorted(keyed, e * stride + t)`` —
+  which means *any number of (list, target) probes batch into a single*
+  ``np.searchsorted`` *call*;
+* gap lookup (the first entry strictly greater than the candidate) is a
+  vectorized gather at ``pos + hit``, and the next candidate is one
+  ``np.max`` reduction instead of a Python loop.
+
+Three granularities are provided:
+
+``batch_first_geq``
+    One ``searchsorted`` probing all *k* lists of one record at once — the
+    array form of :func:`repro.index.search.first_geq`.
+``cross_cut_record_csr``
+    The cross-cutting loop for a single record; per-list cursors are a
+    numpy array, ``next_max`` is ``gap.max()``.
+``cross_cut_collection_csr``
+    The whole-collection superstep kernel the ``backend="csr"`` framework
+    join runs: every active record advances its own candidate each
+    superstep, so one ``searchsorted`` serves *all* pending probes of all
+    records. Per-record candidate sequences — and therefore the result
+    pairs, the probe count, and the round count — are identical to running
+    :func:`cross_cut_record` record by record.
+
+Early termination (paper §III-C) is a *probe-ordering* refinement: it
+changes which lists are visited, never which pairs are produced. Batched
+probing visits all lists of a round in one call, so the CSR backend has a
+single code path; ``framework_et`` on this backend produces the same pairs
+while metering slightly more probes than the Python ET loop would.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports index)
+    from ..core.stats import JoinStats
+
+__all__ = [
+    "batch_first_geq",
+    "batch_gap_lookup",
+    "cross_cut_record_csr",
+    "cross_cut_collection_csr",
+]
+
+#: Below this many surviving records the superstep overhead (a dozen numpy
+#: calls per round regardless of batch width) exceeds the cost of finishing
+#: the stragglers with the pure-Python loop.
+_STRAGGLER_WIDTH = 16
+#: ... but only bail out on genuinely long tails; short joins never switch.
+_STRAGGLER_SUPERSTEPS = 2048
+
+
+def batch_first_geq(keyed: np.ndarray, bases: np.ndarray, target) -> np.ndarray:
+    """Positions of the first entry ``>= target`` in each probed list.
+
+    ``keyed`` is the composite-keyed CSR array; ``bases[i] = e_i * stride``
+    selects the list of element ``e_i``. ``target`` is a scalar candidate
+    (or a per-list array of candidates, each ``< stride``). The returned
+    positions are *global* indices into ``keyed`` / ``values``; position
+    ``offsets[e_i + 1]`` means every entry of list ``i`` is smaller —
+    exactly ``len(lst)`` in :func:`repro.index.search.first_geq` terms,
+    rebased by the list's start offset.
+
+    All *k* probes are answered by one ``np.searchsorted`` call — the
+    batching primitive everything else in this module builds on.
+    """
+    return np.searchsorted(keyed, bases + target, side="left")
+
+
+def batch_gap_lookup(
+    keyed: np.ndarray,
+    bases: np.ndarray,
+    ends: np.ndarray,
+    pos: np.ndarray,
+    target,
+    inf_sid: int,
+):
+    """Vectorized hit/gap classification for a batch of probes.
+
+    Given the positions returned by :func:`batch_first_geq`, compute per
+    list the paper's probe outcome (see :func:`repro.index.search.probe`):
+
+    * ``hit[i]``  — the candidate appears in list ``i``;
+    * ``gap[i]``  — the next id list ``i`` can justify as a candidate: the
+      entry after the hit, the missed-to entry, or ``inf_sid`` when the
+      list is exhausted.
+
+    Returns ``(hit, gap)`` as a bool array and an int64 array.
+    """
+    n = keyed.shape[0]
+    at_end = pos >= ends
+    safe = np.minimum(pos, max(n - 1, 0))
+    sid = np.where(at_end, inf_sid, keyed[safe] - bases)
+    hit = sid == target
+    pos_next = pos + hit
+    at_end_next = pos_next >= ends
+    safe_next = np.minimum(pos_next, max(n - 1, 0))
+    after = np.where(at_end_next, inf_sid, keyed[safe_next] - bases)
+    # On a hit the gap is the entry after the candidate; on a miss the gap
+    # *is* the missed-to entry (sid), or inf_sid at the end of the list.
+    gap = np.where(hit, after, sid)
+    return hit, gap
+
+
+def cross_cut_record_csr(
+    rid: int,
+    index,
+    record,
+    first_sid: int,
+    inf_sid: int,
+    sink,
+    stats: Optional["JoinStats"] = None,
+) -> None:
+    """Cross-cutting loop for one record over a CSR index.
+
+    Mirrors :func:`repro.core.framework.cross_cut_record` but keeps the
+    per-list cursors as a numpy array, probes all ``k`` lists with one
+    ``searchsorted`` per round, and takes ``next_max`` with ``np.max``.
+    Records containing an element absent from ``S`` are skipped upfront
+    (they can never find a superset), as in the Python loop.
+    """
+    probe = index.record_probe(record)
+    if probe is None:
+        return
+    bases, starts, ends = probe
+    keyed = index.keyed
+    cursors = starts  # per-list cursors, advanced to each round's positions
+    k = bases.shape[0]
+    max_sid = first_sid
+    searches = 0
+    rounds = 0
+    while max_sid < inf_sid:
+        rounds += 1
+        searches += k
+        cursors = batch_first_geq(keyed, bases, max_sid)
+        hit, gap = batch_gap_lookup(keyed, bases, ends, cursors, max_sid, inf_sid)
+        if hit.all():
+            sink.add(rid, max_sid)
+        max_sid = int(gap.max())
+    if stats is not None:
+        stats.binary_searches += searches
+        stats.rounds += rounds
+
+
+def _emit_single_element_records(r_collection, index, sink, rids) -> None:
+    """``{e} ⊆ S[sid]`` iff ``sid ∈ I[e]``: the whole list is the answer.
+
+    Cross-cutting a one-list record degenerates to walking its list one hit
+    at a time (every probe hits and the gap is the very next entry), so the
+    kernel emits the list directly instead of burning one superstep per
+    posting.
+    """
+    for rid in rids:
+        lst = index.get_list(r_collection[rid][0])
+        sink.add_sids(rid, lst.tolist())
+
+
+def cross_cut_collection_csr(
+    r_collection,
+    index,
+    sink,
+    stats: Optional["JoinStats"] = None,
+) -> None:
+    """Cross-cut every record of ``r_collection`` in vectorized supersteps.
+
+    Each superstep advances *every* still-active record by exactly one
+    round of the cross-cutting loop: all pending probes (one per list per
+    active record) go through a single ``searchsorted``, hits and gaps are
+    classified in bulk by :func:`batch_gap_lookup`, and the per-record
+    ``found`` / ``next_max`` reductions run as ``np.add.reduceat`` /
+    ``np.maximum.reduceat`` over the record's slot group. Records whose
+    candidate reaches ``S_∞`` are compacted out. The candidate sequence of
+    each record is exactly the one the scalar loop produces, so the emitted
+    pair set, probe count, and round count match the Python backend
+    (modulo emission order, which is round-major here).
+
+    Two departures from the one-record-at-a-time shape, both exact:
+
+    * single-element records short-circuit to their full inverted list;
+    * once fewer than ``_STRAGGLER_WIDTH`` records survive past
+      ``_STRAGGLER_SUPERSTEPS`` supersteps (a long-tail join), the
+      remaining records finish on the pure-Python loop, where per-round
+      overhead is lower than a fixed-cost numpy superstep.
+    """
+    inf_sid = index.inf_sid
+    universe = index.universe
+    if len(universe) == 0:
+        return
+    first_sid = int(universe[0])
+
+    rec_rids = []
+    rec_lens = []
+    base_parts = []
+    end_parts = []
+    single_rids = []
+    for rid, record in enumerate(r_collection):
+        probe = index.record_probe(record)
+        if probe is None:
+            continue
+        bases, __, ends = probe
+        if bases.shape[0] == 1:
+            single_rids.append(rid)
+            continue
+        rec_rids.append(rid)
+        rec_lens.append(bases.shape[0])
+        base_parts.append(bases)
+        end_parts.append(ends)
+    if single_rids:
+        _emit_single_element_records(r_collection, index, sink, single_rids)
+    if not rec_rids:
+        return
+
+    slot_base = np.concatenate(base_parts)
+    slot_end = np.concatenate(end_parts)
+    rec_rid = np.asarray(rec_rids, dtype=np.int64)
+    rec_k = np.asarray(rec_lens, dtype=np.int64)
+    rec_off = np.zeros(rec_k.shape[0], dtype=np.int64)
+    np.cumsum(rec_k[:-1], out=rec_off[1:])
+    slot_rec = np.repeat(np.arange(rec_k.shape[0]), rec_k)
+    cand = np.full(rec_k.shape[0], first_sid, dtype=np.int64)
+
+    keyed = index.keyed
+    searches = 0
+    rounds = 0
+    supersteps = 0
+    while cand.shape[0]:
+        supersteps += 1
+        rounds += cand.shape[0]
+        slot_cand = cand[slot_rec]
+        pos = batch_first_geq(keyed, slot_base, slot_cand)
+        searches += pos.shape[0]
+        hit, gap = batch_gap_lookup(keyed, slot_base, slot_end, pos, slot_cand, inf_sid)
+        found = np.add.reduceat(hit.astype(np.int64), rec_off) == rec_k
+        next_cand = np.maximum.reduceat(gap, rec_off)
+        if found.any():
+            for i in np.nonzero(found)[0]:
+                sink.add(int(rec_rid[i]), int(cand[i]))
+        cand = next_cand
+        alive = cand < inf_sid
+        n_alive = int(alive.sum())
+        if n_alive == 0:
+            break
+        if n_alive < cand.shape[0]:
+            slot_alive = alive[slot_rec]
+            slot_base = slot_base[slot_alive]
+            slot_end = slot_end[slot_alive]
+            rec_rid = rec_rid[alive]
+            rec_k = rec_k[alive]
+            cand = cand[alive]
+            rec_off = np.zeros(rec_k.shape[0], dtype=np.int64)
+            np.cumsum(rec_k[:-1], out=rec_off[1:])
+            slot_rec = np.repeat(np.arange(rec_k.shape[0]), rec_k)
+        if cand.shape[0] <= _STRAGGLER_WIDTH and supersteps >= _STRAGGLER_SUPERSTEPS:
+            # Long-tail join: finish the survivors on the scalar loop.
+            from ..core.framework import cross_cut_record
+
+            for i in range(cand.shape[0]):
+                rid = int(rec_rid[i])
+                lists = [
+                    index.get_list(e).tolist() for e in r_collection[rid]
+                ]
+                cross_cut_record(
+                    rid, lists, int(cand[i]), inf_sid, sink, False, stats
+                )
+            break
+    if stats is not None:
+        stats.binary_searches += searches
+        stats.rounds += rounds

@@ -1,12 +1,20 @@
-"""Binary persistence for collections and indexes.
+"""Array storage backends and binary persistence for collections/indexes.
 
-Text files (:mod:`repro.data.io`) are the interchange format; this module
-is the *fast path*: a compact little-endian binary layout so a prebuilt
-inverted index (or a big collection) loads in milliseconds instead of being
-re-parsed and re-built per process — the difference between "run one join"
-and "serve queries".
+Two concerns live here, both about *how index data is laid out in memory
+or on disk* rather than what it means:
 
-Layout (all integers little-endian):
+1. **Binary persistence** — text files (:mod:`repro.data.io`) are the
+   interchange format; the ``RSC1``/``RIX1`` binary layouts below are the
+   fast path, so a prebuilt index (or a big collection) loads in
+   milliseconds instead of being re-parsed per process.
+2. **The CSR array backend** — :class:`CSRInvertedIndex` packs *all*
+   inverted lists into two contiguous numpy arrays (``offsets``,
+   ``values``) plus a composite-keyed mirror (``keyed``), the layout the
+   batched kernels in :mod:`repro.index.kernels` run on and the one that
+   can be shared zero-copy with worker processes through
+   ``multiprocessing.shared_memory``.
+
+Persistence layout (all integers little-endian):
 
 * collection file: magic ``RSC1`` · u64 count · per record: u32 length +
   u64 element ids;
@@ -21,15 +29,19 @@ Numpy handles the bulk (de)serialisation, so costs are I/O-bound.
 from __future__ import annotations
 
 import struct
-from typing import BinaryIO, Dict, List, Sequence
+from itertools import chain
+from multiprocessing import shared_memory
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.collection import SetCollection
-from ..errors import DatasetError
-from .inverted import InvertedIndex
+from ..errors import DatasetError, InvalidParameterError
+from .inverted import EMPTY_LIST, InvertedIndex
 
 __all__ = [
+    "CSRInvertedIndex",
+    "SharedCSRHandle",
     "save_collection_binary",
     "load_collection_binary",
     "save_index",
@@ -131,3 +143,389 @@ def load_index(path: str) -> InvertedIndex:
             element, length = struct.unpack("<QI", header)
             lists[element] = _read_ids(handle, length)
     return InvertedIndex(lists, universe, inf_sid)
+
+
+# --------------------------------------------------------------------------
+# CSR array backend
+# --------------------------------------------------------------------------
+
+
+class _CSRListMapping:
+    """Dict-like view over CSR lists, so tree binding works unchanged.
+
+    ``bind_tree`` (and anything else written against ``InvertedIndex.lists``)
+    only needs ``get``; lookups return zero-copy numpy slices of ``values``.
+    """
+
+    __slots__ = ("_index",)
+
+    def __init__(self, index: "CSRInvertedIndex") -> None:
+        self._index = index
+
+    def get(self, element: int, default=EMPTY_LIST):
+        idx = self._index
+        if 0 <= element < idx.num_slots:
+            lo = idx.offsets[element]
+            hi = idx.offsets[element + 1]
+            if lo != hi:
+                return idx.values[lo:hi]
+        return default
+
+    def __getitem__(self, element: int):
+        lst = self.get(element, None)
+        if lst is None:
+            raise KeyError(element)
+        return lst
+
+    def __contains__(self, element: int) -> bool:
+        return self.get(element, None) is not None
+
+    def __len__(self) -> int:
+        counts = np.diff(self._index.offsets)
+        return int(np.count_nonzero(counts))
+
+
+class SharedCSRHandle:
+    """Picklable ticket for attaching a :class:`CSRInvertedIndex` zero-copy.
+
+    The parent process creates the shared-memory segments with
+    :meth:`CSRInvertedIndex.to_shared_memory` and ships this handle (a few
+    strings and ints) to each worker; workers attach the same physical
+    pages via :meth:`CSRInvertedIndex.from_shared_memory`. Lifecycle rules:
+
+    * the **creator** keeps the handle and calls :meth:`cleanup` once all
+      consumers are done — this closes its mappings and unlinks the
+      segments;
+    * **consumers** simply drop their index; the attached segments close
+      with it and are never unlinked from the worker side.
+    """
+
+    __slots__ = ("segments", "inf_sid", "universe_len", "construction_cost", "_shms")
+
+    def __init__(
+        self,
+        segments: Tuple[Tuple[str, str, int], ...],
+        inf_sid: int,
+        universe_len: int,
+        construction_cost: int,
+        shms: Optional[Tuple[shared_memory.SharedMemory, ...]] = None,
+    ) -> None:
+        #: (shm name, dtype string, array length) for offsets, values, keyed.
+        self.segments = segments
+        self.inf_sid = inf_sid
+        self.universe_len = universe_len
+        self.construction_cost = construction_cost
+        self._shms = shms  # creator-side references; never pickled
+
+    def __getstate__(self):
+        return (self.segments, self.inf_sid, self.universe_len, self.construction_cost)
+
+    def __setstate__(self, state) -> None:
+        self.segments, self.inf_sid, self.universe_len, self.construction_cost = state
+        self._shms = None
+
+    def cleanup(self) -> None:
+        """Creator-side teardown: close the mappings and unlink the segments."""
+        if self._shms is None:
+            return
+        for shm in self._shms:
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+        self._shms = None
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    # Attaching re-registers the segment with the resource tracker (Python
+    # <= 3.12 registers unconditionally). That is safe here: pool workers
+    # are always children of the creating process and therefore share its
+    # tracker, so the duplicate registration dedupes and the creator's
+    # ``unlink`` is the single point that unregisters. (An *unrelated*
+    # process attaching by name would need ``resource_tracker.unregister``
+    # to stop its own tracker reclaiming the segment at exit — that pattern
+    # is out of scope for the join drivers.)
+    return shared_memory.SharedMemory(name=name)
+
+
+class CSRInvertedIndex:
+    """All inverted lists of ``S`` packed into contiguous numpy arrays.
+
+    The CSR (compressed sparse row) layout over the dense element domain
+    ``[0, num_slots)``:
+
+    * ``offsets`` — int64, shape ``(num_slots + 1,)``; the list of element
+      ``e`` is ``values[offsets[e]:offsets[e + 1]]`` (empty for elements
+      not in ``S``);
+    * ``values``  — the postings (ascending set ids per list), int32 when
+      ids fit, int64 otherwise;
+    * ``keyed``   — int64 mirror ``element * stride + sid`` with
+      ``stride = max(inf_sid, 1)``; globally sorted, which is what lets
+      :mod:`repro.index.kernels` answer any batch of (list, target) probes
+      with one ``np.searchsorted``.
+
+    The class is API-compatible with :class:`~repro.index.inverted
+    .InvertedIndex` for probing (``lists``/``get_lists``/``universe``/
+    ``inf_sid``), so the tree join binds against it unchanged; it does not
+    support mutation (``append_set``) or local-index construction — those
+    stay on the Python backend.
+    """
+
+    __slots__ = (
+        "offsets",
+        "values",
+        "keyed",
+        "stride",
+        "inf_sid",
+        "universe",
+        "lists",
+        "_construction_cost",
+        "_shms",
+    )
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        values: np.ndarray,
+        keyed: np.ndarray,
+        inf_sid: int,
+        universe: Sequence[int],
+        construction_cost: int = 0,
+        shms: Optional[Tuple[shared_memory.SharedMemory, ...]] = None,
+    ) -> None:
+        self.offsets = offsets
+        self.values = values
+        self.keyed = keyed
+        self.inf_sid = inf_sid
+        self.stride = max(inf_sid, 1)
+        self.universe = universe
+        self.lists = _CSRListMapping(self)
+        self._construction_cost = construction_cost
+        self._shms = shms  # keeps attached segments alive with the arrays
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(cls, s_collection: SetCollection) -> "CSRInvertedIndex":
+        """Build the global CSR index for ``S`` in one vectorized pass.
+
+        Elements are flattened once, postings are grouped per element with
+        a stable argsort (insertion order is ascending set id, so every
+        list comes out sorted without per-list work), and offsets fall out
+        of a ``bincount``/``cumsum``.
+        """
+        n = len(s_collection)
+        records = s_collection.records
+        total = sum(len(rec) for rec in records)
+        elems = np.fromiter(chain.from_iterable(records), dtype=np.int64, count=total)
+        lens = np.fromiter((len(rec) for rec in records), dtype=np.int64, count=n)
+        sid_dtype = np.int32 if n <= np.iinfo(np.int32).max else np.int64
+        sids = np.repeat(np.arange(n, dtype=sid_dtype), lens)
+        order = np.argsort(elems, kind="stable")
+        elems_sorted = elems[order]
+        values = sids[order]
+        num_slots = int(elems_sorted[-1]) + 1 if total else 0
+        stride = max(n, 1)
+        _check_key_space(num_slots, stride)
+        counts = np.bincount(elems, minlength=num_slots)
+        offsets = np.zeros(num_slots + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        keyed = elems_sorted * stride + values
+        return cls(
+            offsets, values, keyed,
+            inf_sid=n, universe=range(n), construction_cost=total,
+        )
+
+    @classmethod
+    def from_index(cls, index: InvertedIndex) -> "CSRInvertedIndex":
+        """Repack an existing :class:`InvertedIndex` (global or local)."""
+        elements = sorted(e for e, lst in index.lists.items() if len(lst))
+        num_slots = (elements[-1] + 1) if elements else 0
+        inf_sid = index.inf_sid
+        stride = max(inf_sid, 1)
+        _check_key_space(num_slots, stride)
+        sid_dtype = np.int32 if inf_sid <= np.iinfo(np.int32).max else np.int64
+        offsets = np.zeros(num_slots + 1, dtype=np.int64)
+        parts = []
+        for e in elements:
+            lst = index.lists[e]
+            offsets[e + 1] = len(lst)
+            parts.append(np.asarray(lst, dtype=sid_dtype))
+        np.cumsum(offsets, out=offsets)
+        values = (
+            np.concatenate(parts) if parts else np.zeros(0, dtype=sid_dtype)
+        )
+        elems = np.repeat(
+            np.asarray(elements, dtype=np.int64),
+            np.diff(offsets)[np.asarray(elements, dtype=np.int64)]
+            if elements else np.zeros(0, dtype=np.int64),
+        )
+        keyed = elems * stride + values
+        return cls(
+            offsets, values, keyed,
+            inf_sid=inf_sid,
+            universe=index.universe,
+            construction_cost=index.construction_cost,
+        )
+
+    # -- pickling (used by the pickle fallback of parallel_join) ----------
+
+    def __getstate__(self):
+        return (
+            np.asarray(self.offsets),
+            np.asarray(self.values),
+            np.asarray(self.keyed),
+            self.inf_sid,
+            self.universe,
+            self._construction_cost,
+        )
+
+    def __setstate__(self, state) -> None:
+        offsets, values, keyed, inf_sid, universe, cost = state
+        self.__init__(offsets, values, keyed, inf_sid, universe, cost)
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def num_slots(self) -> int:
+        """Size of the dense element domain (``max element in S`` + 1)."""
+        return len(self.offsets) - 1
+
+    def __getitem__(self, element: int):
+        return self.lists.get(element, EMPTY_LIST)
+
+    def __contains__(self, element: int) -> bool:
+        return element in self.lists
+
+    def __len__(self) -> int:
+        """Number of distinct elements indexed (non-empty lists)."""
+        return len(self.lists)
+
+    def get_list(self, element: int):
+        """Zero-copy numpy view of element's list (empty view if absent)."""
+        if 0 <= element < self.num_slots:
+            return self.values[self.offsets[element]: self.offsets[element + 1]]
+        return self.values[:0]
+
+    def get_lists(self, elements) -> List:
+        """The inverted lists for a record, empty tuples included."""
+        get = self.lists.get
+        return [get(e, EMPTY_LIST) for e in elements]
+
+    def list_length(self, element: int) -> int:
+        """``|I[e]|`` — 0 for elements not in ``S``."""
+        if 0 <= element < self.num_slots:
+            return int(self.offsets[element + 1] - self.offsets[element])
+        return 0
+
+    def record_probe(
+        self, record: Sequence[int]
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Per-list probe arrays ``(bases, starts, ends)`` for one record.
+
+        ``bases[i] = e_i * stride`` keys the record's i-th list in
+        ``keyed``; ``starts``/``ends`` bound it in ``values``. Returns
+        ``None`` when any element has an empty list (such a record can
+        never find a superset — the caller skips it, as the Python
+        framework does).
+        """
+        elems = np.asarray(record, dtype=np.int64)
+        if elems.shape[0] == 0 or (elems.shape[0] and int(elems[-1]) >= self.num_slots):
+            # Records are stored sorted, so the last element is the max.
+            return None
+        starts = self.offsets[elems]
+        ends = self.offsets[elems + 1]
+        if np.any(starts == ends):
+            return None
+        return elems * self.stride, starts, ends
+
+    @property
+    def construction_cost(self) -> int:
+        """Tokens touched while building — ``Σ|S|`` in the paper's cost model."""
+        return self._construction_cost
+
+    def size_in_entries(self) -> int:
+        """Total number of postings, an analytic memory proxy."""
+        return int(self.values.shape[0])
+
+    def nbytes(self) -> int:
+        """Bytes held by the three arrays (what shared memory would carry)."""
+        return int(self.offsets.nbytes + self.values.nbytes + self.keyed.nbytes)
+
+    # -- zero-copy sharing ------------------------------------------------
+
+    def to_shared_memory(self) -> SharedCSRHandle:
+        """Copy the three arrays into shared memory and return the ticket.
+
+        Only global indexes (contiguous ``range`` universe) are shareable —
+        exactly the ones :func:`repro.core.parallel.parallel_join` builds.
+        The caller owns the returned handle and must call
+        :meth:`SharedCSRHandle.cleanup` after the last consumer detaches.
+        """
+        if not isinstance(self.universe, range):
+            raise InvalidParameterError(
+                "only global CSR indexes (range universe) can be shared"
+            )
+        segments = []
+        shms = []
+        try:
+            for arr in (self.offsets, self.values, self.keyed):
+                arr = np.ascontiguousarray(arr)
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(arr.nbytes, 1)
+                )
+                shms.append(shm)
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[:] = arr
+                segments.append((shm.name, arr.dtype.str, int(arr.shape[0])))
+        except BaseException:
+            for shm in shms:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+            raise
+        return SharedCSRHandle(
+            tuple(segments),
+            inf_sid=self.inf_sid,
+            universe_len=len(self.universe),
+            construction_cost=self._construction_cost,
+            shms=tuple(shms),
+        )
+
+    @classmethod
+    def from_shared_memory(cls, handle: SharedCSRHandle) -> "CSRInvertedIndex":
+        """Attach to segments created by :meth:`to_shared_memory` (zero-copy).
+
+        The returned index keeps the attached segments alive for as long as
+        it lives; dropping it closes them. The worker side never unlinks.
+        """
+        shms = tuple(_attach_segment(name) for name, __, __ in handle.segments)
+        arrays = []
+        for shm, (__, dtype, length) in zip(shms, handle.segments):
+            arr = np.ndarray((length,), dtype=np.dtype(dtype), buffer=shm.buf)
+            arr.flags.writeable = False
+            arrays.append(arr)
+        offsets, values, keyed = arrays
+        return cls(
+            offsets, values, keyed,
+            inf_sid=handle.inf_sid,
+            universe=range(handle.universe_len),
+            construction_cost=handle.construction_cost,
+            shms=shms,
+        )
+
+
+def _check_key_space(num_slots: int, stride: int) -> None:
+    """Composite keys must fit int64 with headroom for the probe targets."""
+    if num_slots and (num_slots + 1) * stride >= 2**63:
+        raise InvalidParameterError(
+            "element universe x set count too large for the CSR composite "
+            f"key space ({num_slots} slots x stride {stride}); use the "
+            "python backend"
+        )

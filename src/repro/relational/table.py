@@ -15,7 +15,7 @@ are kept as strings (CSV semantics) unless a caster is supplied.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import DatasetError

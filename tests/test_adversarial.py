@@ -9,7 +9,6 @@ partition sizes). Sizes are kept small enough for brute-force comparison.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import set_containment_join
 from repro.core.verify import ground_truth

@@ -1,0 +1,295 @@
+"""Python-vs-CSR backend equivalence, and unit tests for the batched kernels.
+
+The CSR backend must be a pure *layout* change: same pair set for every
+method that supports it, on every workload shape — Zipf-skewed synthetics,
+degenerate inputs (empty sides, singleton lists), and records containing
+elements ``S`` has never seen.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import set_containment_join
+from repro.core.framework import cross_cut_record
+from repro.core.results import PairListSink
+from repro.core.verify import ground_truth
+from repro.data.collection import SetCollection
+from repro.data.synthetic import generate_zipf
+from repro.errors import InvalidParameterError
+from repro.index.inverted import InvertedIndex
+from repro.index.kernels import (
+    batch_first_geq,
+    batch_gap_lookup,
+    cross_cut_collection_csr,
+    cross_cut_record_csr,
+)
+from repro.index.search import first_geq, probe
+from repro.index.storage import CSRInvertedIndex
+
+from conftest import random_instance
+
+BACKEND_METHODS = ("framework", "framework_et", "tree", "tree_et")
+
+
+def both_backends(r, s, method):
+    py = sorted(set_containment_join(r, s, method=method, backend="python"))
+    csr = sorted(set_containment_join(r, s, method=method, backend="csr"))
+    return py, csr
+
+
+class TestZipfEquivalence:
+    """Property-style sweep: skewed synthetic workloads, both backends."""
+
+    @pytest.mark.parametrize("method", BACKEND_METHODS)
+    @pytest.mark.parametrize("z", [0.0, 0.5, 1.0])
+    def test_self_join(self, method, z):
+        data = generate_zipf(
+            cardinality=120, avg_set_size=4, num_elements=60, z=z, seed=11
+        )
+        py, csr = both_backends(data, data, method)
+        assert py == csr
+        assert py == sorted(ground_truth(data, data))
+
+    @pytest.mark.parametrize("method", BACKEND_METHODS)
+    def test_rs_join(self, method):
+        r = generate_zipf(
+            cardinality=90, avg_set_size=3, num_elements=45, z=0.7, seed=2
+        )
+        s = generate_zipf(
+            cardinality=110, avg_set_size=5, num_elements=45, z=0.7, seed=3
+        )
+        py, csr = both_backends(r, s, method)
+        assert py == csr
+        assert py == sorted(ground_truth(r, s))
+
+    @pytest.mark.parametrize("method", BACKEND_METHODS)
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_instances(self, method, seed):
+        r, s = random_instance(seed)
+        py, csr = both_backends(r, s, method)
+        assert py == csr
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize("method", BACKEND_METHODS)
+    def test_empty_r(self, method):
+        r = SetCollection([], validate=False)
+        s = SetCollection([[1, 2], [3]])
+        assert set_containment_join(r, s, method=method, backend="csr") == []
+
+    @pytest.mark.parametrize("method", BACKEND_METHODS)
+    def test_empty_s(self, method):
+        r = SetCollection([[1, 2], [3]])
+        s = SetCollection([], validate=False)
+        assert set_containment_join(r, s, method=method, backend="csr") == []
+
+    @pytest.mark.parametrize("method", BACKEND_METHODS)
+    def test_singleton_lists(self, method):
+        # Every S element occurs exactly once: all inverted lists are
+        # singletons, the short-circuit for one-element R records included.
+        r = SetCollection([[0], [1], [0, 1], [2]])
+        s = SetCollection([[0, 1], [2, 3]])
+        py, csr = both_backends(r, s, method)
+        assert py == csr == sorted(ground_truth(r, s))
+
+    @pytest.mark.parametrize("method", BACKEND_METHODS)
+    def test_element_absent_from_s(self, method):
+        # Element 99 never occurs in S (beyond its max element) and element
+        # 4 is within range but unused; both record shapes must be skipped.
+        r = SetCollection([[0, 99], [4], [0, 1]])
+        s = SetCollection([[0, 1, 2], [0, 1], [2, 3, 5]])
+        py, csr = both_backends(r, s, method)
+        assert py == csr == sorted(ground_truth(r, s))
+
+    def test_duplicate_records(self):
+        r = SetCollection([[0, 1], [0, 1], [0, 1]])
+        s = SetCollection([[0, 1, 2], [0, 1]])
+        py, csr = both_backends(r, s, "framework")
+        assert py == csr == sorted(ground_truth(r, s))
+
+    def test_unsupported_method_raises(self):
+        r, s = random_instance(0)
+        for method in ("pretti", "lcjoin", "naive"):
+            with pytest.raises(InvalidParameterError):
+                set_containment_join(r, s, method=method, backend="csr")
+
+    def test_unknown_backend_raises(self):
+        r, s = random_instance(0)
+        with pytest.raises(InvalidParameterError):
+            set_containment_join(r, s, method="framework", backend="gpu")
+
+
+class TestCSRIndexStructure:
+    def test_matches_python_index(self):
+        data = generate_zipf(
+            cardinality=80, avg_set_size=4, num_elements=40, z=0.8, seed=5
+        )
+        py = InvertedIndex.build(data)
+        csr = CSRInvertedIndex.build(data)
+        assert csr.inf_sid == py.inf_sid
+        assert list(csr.universe) == list(py.universe)
+        assert len(csr) == len(py)
+        assert csr.size_in_entries() == py.size_in_entries()
+        assert csr.construction_cost == py.construction_cost
+        for e in range(csr.num_slots + 5):
+            assert csr.get_list(e).tolist() == list(py[e])
+            assert csr.list_length(e) == py.list_length(e)
+
+    def test_from_index_roundtrip(self):
+        data = generate_zipf(
+            cardinality=60, avg_set_size=3, num_elements=30, z=0.4, seed=9
+        )
+        py = InvertedIndex.build(data)
+        csr = CSRInvertedIndex.from_index(py)
+        built = CSRInvertedIndex.build(data)
+        assert csr.offsets.tolist() == built.offsets.tolist()
+        assert csr.values.tolist() == built.values.tolist()
+        assert csr.keyed.tolist() == built.keyed.tolist()
+
+    def test_record_probe_skips_absent(self):
+        s = SetCollection([[0, 2], [2, 3]])
+        csr = CSRInvertedIndex.build(s)
+        assert csr.record_probe(()) is None
+        assert csr.record_probe((0, 99)) is None  # beyond S's element domain
+        assert csr.record_probe((1,)) is None  # in-range but empty list
+        bases, starts, ends = csr.record_probe((0, 2))
+        assert starts.tolist() == csr.offsets[[0, 2]].tolist()
+        assert ends.tolist() == csr.offsets[[1, 3]].tolist()
+
+    def test_shared_memory_roundtrip(self):
+        data = generate_zipf(
+            cardinality=50, avg_set_size=4, num_elements=25, z=0.6, seed=4
+        )
+        csr = CSRInvertedIndex.build(data)
+        handle = csr.to_shared_memory()
+        try:
+            attached = CSRInvertedIndex.from_shared_memory(handle)
+            assert attached.offsets.tolist() == csr.offsets.tolist()
+            assert attached.values.tolist() == csr.values.tolist()
+            assert attached.keyed.tolist() == csr.keyed.tolist()
+            assert attached.inf_sid == csr.inf_sid
+            # The attached view is a borrow: read-only, never unlinked here.
+            with pytest.raises(ValueError):
+                attached.values[0] = 0
+            del attached
+        finally:
+            handle.cleanup()
+        handle.cleanup()  # idempotent
+
+    def test_local_index_not_shareable(self):
+        s = SetCollection([[0, 1], [1, 2]])
+        py = InvertedIndex.build(s)
+        local = py.build_local([0], s)
+        csr = CSRInvertedIndex.from_index(local)
+        with pytest.raises(InvalidParameterError):
+            csr.to_shared_memory()
+
+
+class TestBatchKernels:
+    """The batched primitives agree with their scalar counterparts."""
+
+    def _fixture(self):
+        s = SetCollection(
+            [[0, 1, 4], [1, 2], [0, 4, 5], [1, 4], [2, 5], [0, 1, 2, 4]]
+        )
+        return InvertedIndex.build(s), CSRInvertedIndex.build(s)
+
+    def test_batch_first_geq_matches_first_geq(self):
+        py, csr = self._fixture()
+        record = (0, 1, 2, 4, 5)
+        bases, starts, ends = csr.record_probe(record)
+        for target in range(csr.inf_sid):
+            pos = batch_first_geq(csr.keyed, bases, target)
+            assert pos.tolist() == [
+                int(starts[i]) + first_geq(list(py[e]), target)
+                for i, e in enumerate(record)
+            ]
+
+    def test_batch_gap_lookup_matches_probe(self):
+        py, csr = self._fixture()
+        record = (0, 1, 2, 4, 5)
+        bases, __, ends = csr.record_probe(record)
+        inf = csr.inf_sid
+        for target in range(inf):
+            pos = batch_first_geq(csr.keyed, bases, target)
+            hit, gap = batch_gap_lookup(csr.keyed, bases, ends, pos, target, inf)
+            for i, e in enumerate(record):
+                sid, scalar_gap, __pos = probe(list(py[e]), target, inf)
+                assert bool(hit[i]) == (sid == target)
+                assert int(gap[i]) == scalar_gap
+
+    def test_cross_cut_record_csr_matches_python(self):
+        for seed in range(8):
+            r, s = random_instance(seed)
+            py = InvertedIndex.build(s)
+            csr = CSRInvertedIndex.build(s)
+            if not len(py.universe):
+                continue
+            first = py.universe[0]
+            for rid, record in enumerate(r):
+                lists = py.get_lists(record)
+                if not min(lists, key=len, default=()):
+                    assert csr.record_probe(record) is None
+                    continue
+                a, b = PairListSink(), PairListSink()
+                cross_cut_record(rid, lists, first, py.inf_sid, a, False, None)
+                cross_cut_record_csr(rid, csr, record, first, csr.inf_sid, b)
+                assert sorted(a.pairs) == sorted(b.pairs)
+
+    def test_collection_kernel_on_empty_universe(self):
+        r = SetCollection([[0]])
+        csr = CSRInvertedIndex.build(SetCollection([], validate=False))
+        sink = PairListSink()
+        cross_cut_collection_csr(r, csr, sink)
+        assert sink.pairs == []
+
+    def test_collection_kernel_emits_int_pairs(self):
+        r = SetCollection([[0], [0, 1]])
+        s = SetCollection([[0, 1]])
+        csr = CSRInvertedIndex.build(s)
+        sink = PairListSink()
+        cross_cut_collection_csr(r, csr, sink)
+        for rid, sid in sink.pairs:
+            assert type(rid) is int and type(sid) is int
+
+
+class TestStragglerFallback:
+    def test_long_tail_switches_to_scalar_loop(self, monkeypatch):
+        # Force the fallback threshold down so a small workload triggers it.
+        import repro.index.kernels as kernels
+
+        monkeypatch.setattr(kernels, "_STRAGGLER_SUPERSTEPS", 1)
+        data = generate_zipf(
+            cardinality=100, avg_set_size=4, num_elements=30, z=0.9, seed=13
+        )
+        csr = CSRInvertedIndex.build(data)
+        sink = PairListSink()
+        cross_cut_collection_csr(data, csr, sink)
+        assert sorted(sink.pairs) == sorted(ground_truth(data, data))
+
+
+class TestStatsParity:
+    def test_framework_counters_match(self):
+        """The batch kernel meters the same probes/rounds as the scalar loop
+        (single-element records excepted — they short-circuit, so compare on
+        a workload without them)."""
+        from repro.core.stats import JoinStats
+
+        rng_data = generate_zipf(
+            cardinality=80, avg_set_size=5, num_elements=40, z=0.5, seed=21
+        )
+        data = SetCollection(
+            [rec for rec in rng_data if len(rec) >= 2], validate=False
+        )
+        py_stats, csr_stats = JoinStats(), JoinStats()
+        set_containment_join(
+            data, data, method="framework", stats=py_stats, collect="count"
+        )
+        set_containment_join(
+            data, data, method="framework", backend="csr",
+            stats=csr_stats, collect="count",
+        )
+        assert py_stats.binary_searches == csr_stats.binary_searches
+        assert py_stats.rounds == csr_stats.rounds
+        assert py_stats.results == csr_stats.results

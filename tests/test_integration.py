@@ -7,14 +7,12 @@ analytics — asserting consistency at every hand-off point.
 
 from __future__ import annotations
 
-import os
 
 import pytest
 
 from repro import (
     ContainmentIndex,
     JoinStats,
-    SetCollection,
     parallel_join,
     set_containment_join,
 )

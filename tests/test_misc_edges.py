@@ -5,7 +5,6 @@ from __future__ import annotations
 import subprocess
 import sys
 
-import pytest
 
 from repro import SetCollection, set_containment_join
 from repro.baselines.piejoin import PieIndex

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.order import ORDER_KINDS, GlobalOrder, build_order
+from repro.core.order import ORDER_KINDS, build_order
 from repro.data.collection import SetCollection
 from repro.errors import InvalidParameterError
 

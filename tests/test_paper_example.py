@@ -12,7 +12,6 @@ from repro import JoinStats, set_containment_join
 from repro.core.framework import framework_join
 from repro.core.order import build_order
 from repro.core.results import PairListSink
-from repro.data import paper_r, paper_s
 from repro.data.collection import SetCollection
 from repro.index.inverted import InvertedIndex
 

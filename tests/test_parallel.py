@@ -2,14 +2,24 @@
 
 from __future__ import annotations
 
+import multiprocessing
+
 import pytest
 
+from repro.core.api import set_containment_join
 from repro.core.parallel import parallel_join, split_collection
 from repro.core.verify import ground_truth
 from repro.data.collection import SetCollection
 from repro.errors import InvalidParameterError
+from repro.index.inverted import InvertedIndex
+from repro.index.storage import CSRInvertedIndex
 
 from conftest import random_instance
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="poisoned-classmethod inheritance requires fork start method",
+)
 
 
 class TestSplitCollection:
@@ -33,6 +43,40 @@ class TestSplitCollection:
         with pytest.raises(InvalidParameterError):
             split_collection(SetCollection([[1]]), 0)
 
+    def test_round_robin_covers_everything(self):
+        c = SetCollection([[i] for i in range(11)])
+        chunks = split_collection(c, 3, strategy="round_robin")
+        seen = {}
+        for rids, piece in chunks:
+            assert len(rids) == len(piece)
+            for rid, record in zip(rids, piece.records):
+                seen[rid] = record
+        assert seen == {i: c.records[i] for i in range(11)}
+
+    def test_round_robin_deals_modulo(self):
+        c = SetCollection([[i] for i in range(7)])
+        chunks = split_collection(c, 3, strategy="round_robin")
+        assert [rids for rids, __ in chunks] == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_round_robin_balances_sorted_sizes(self):
+        # Records sorted by size: contiguous chunking puts all the large
+        # sets in the last chunk; round-robin keeps postings balanced.
+        c = SetCollection([list(range(n + 1)) for n in range(12)])
+        def spread(chunks):
+            loads = [
+                sum(len(rec) for rec in piece.records) for __, piece in chunks
+            ]
+            return max(loads) - min(loads)
+
+        rr = spread(split_collection(c, 4, strategy="round_robin"))
+        contiguous = spread(split_collection(c, 4, strategy="contiguous"))
+        assert rr < contiguous  # 9 vs 27 on this workload
+        assert rr <= 3 * (4 - 1)  # bounded by chunks × max size step
+
+    def test_unknown_strategy(self):
+        with pytest.raises(InvalidParameterError):
+            split_collection(SetCollection([[1]]), 2, strategy="hash")
+
 
 class TestParallelJoin:
     def test_single_worker_matches_ground_truth(self):
@@ -50,6 +94,12 @@ class TestParallelJoin:
         s = SetCollection([[0, 1]])
         got = sorted(parallel_join(r, s, workers=3))
         assert got == [(0, 0), (1, 0), (2, 0)]
+
+    @pytest.mark.parametrize("strategy", ["contiguous", "round_robin"])
+    def test_strategies_equivalent(self, strategy):
+        r, s = random_instance(5)
+        got = sorted(parallel_join(r, s, workers=3, strategy=strategy))
+        assert got == sorted(ground_truth(r, s))
 
     def test_any_method(self):
         r, s = random_instance(6)
@@ -70,3 +120,108 @@ class TestParallelJoin:
         r, s = random_instance(8)
         got = sorted(parallel_join(r, s, method="ttjoin", workers=2, k=1))
         assert got == sorted(ground_truth(r, s))
+
+
+class TestParallelCSR:
+    @pytest.mark.parametrize("method", ["framework", "framework_et", "tree", "tree_et"])
+    def test_matches_ground_truth(self, method):
+        r, s = random_instance(9)
+        got = sorted(
+            parallel_join(r, s, method=method, workers=2, backend="csr")
+        )
+        assert got == sorted(ground_truth(r, s))
+
+    def test_backend_validation(self):
+        r, s = random_instance(2)
+        with pytest.raises(InvalidParameterError):
+            parallel_join(r, s, workers=1, backend="gpu")
+        with pytest.raises(InvalidParameterError):
+            parallel_join(r, s, method="pretti", workers=1, backend="csr")
+
+
+class TestSharedIndexBuildOnce:
+    """``parallel_join`` must build the superset-side index once in the
+    parent — never once per worker."""
+
+    def test_in_process_builds_exactly_once(self, monkeypatch):
+        r, s = random_instance(7)
+        calls = []
+        real_build = CSRInvertedIndex.build.__func__
+
+        def counting_build(cls, collection, **kw):
+            calls.append(len(collection))
+            return real_build(cls, collection, **kw)
+
+        monkeypatch.setattr(
+            CSRInvertedIndex, "build", classmethod(counting_build)
+        )
+        got = sorted(
+            parallel_join(r, s, method="framework", workers=1, backend="csr")
+        )
+        assert got == sorted(ground_truth(r, s))
+        assert calls == [len(s)]
+
+    def test_python_backend_builds_exactly_once(self, monkeypatch):
+        r, s = random_instance(7)
+        calls = []
+        real_build = InvertedIndex.build.__func__
+
+        def counting_build(cls, collection, **kw):
+            calls.append(len(collection))
+            return real_build(cls, collection, **kw)
+
+        monkeypatch.setattr(InvertedIndex, "build", classmethod(counting_build))
+        got = sorted(
+            parallel_join(r, s, method="framework", workers=1)
+        )
+        assert got == sorted(ground_truth(r, s))
+        assert calls == [len(s)]
+
+    @fork_only
+    @pytest.mark.parametrize("backend", ["python", "csr"])
+    def test_workers_never_build(self, monkeypatch, backend):
+        # Prebuild the index, then poison both build classmethods. Forked
+        # workers inherit the poisoned classes, so a clean run proves no
+        # per-worker (re)build of the shared S-side index happened anywhere.
+        r, s = random_instance(10)
+        expected = sorted(ground_truth(r, s))
+        prebuilt = (
+            CSRInvertedIndex.build(s)
+            if backend == "csr"
+            else InvertedIndex.build(s)
+        )
+
+        def boom(cls, *a, **kw):
+            raise AssertionError("index rebuilt inside a worker")
+
+        monkeypatch.setattr(InvertedIndex, "build", classmethod(boom))
+        monkeypatch.setattr(CSRInvertedIndex, "build", classmethod(boom))
+        got = sorted(
+            parallel_join(
+                r, s, method="framework", workers=2,
+                backend=backend, index=prebuilt,
+            )
+        )
+        assert got == expected
+
+    def test_prebuilt_index_through_api(self):
+        # Satellite check: set_containment_join accepts a prebuilt index=,
+        # on both backends, and a python-side index upgrades to CSR.
+        r, s = random_instance(11)
+        expected = sorted(ground_truth(r, s))
+        py_index = InvertedIndex.build(s)
+        csr_index = CSRInvertedIndex.build(s)
+        for method in ("framework", "framework_et", "tree", "tree_et"):
+            assert sorted(
+                set_containment_join(r, s, method=method, index=py_index)
+            ) == expected
+            assert sorted(
+                set_containment_join(
+                    r, s, method=method, index=csr_index, backend="csr"
+                )
+            ) == expected
+            assert sorted(
+                set_containment_join(
+                    r, s, method=method, index=py_index, backend="csr"
+                )
+            ) == expected

@@ -7,7 +7,6 @@ import pytest
 from repro.errors import DatasetError
 from repro.relational import (
     Column,
-    ColumnRef,
     Table,
     find_inds,
     find_nary_inds,
