@@ -151,16 +151,17 @@ def _cmd_join(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    if args.kind == "zipf":
-        data = generate_zipf(
+    data = (
+        generate_zipf(
             cardinality=args.cardinality,
             avg_set_size=args.avg_set_size,
             num_elements=args.num_elements,
             z=args.z,
             seed=args.seed,
         )
-    else:
-        data = generate_real_world(args.kind, scale=args.scale, seed=args.seed)
+        if args.kind == "zipf"
+        else generate_real_world(args.kind, scale=args.scale, seed=args.seed)
+    )
     save_collection(data, args.output)
     stats = data.stats()
     print(f"wrote {stats.num_sets} sets to {args.output} "

@@ -8,6 +8,7 @@ benchmark harness, so adding a method in one place surfaces it everywhere.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -155,6 +156,17 @@ def set_containment_join(
     if stats is not None:
         stats.elapsed_seconds += elapsed
         stats.results += len(sink)
+    if (
+        backend == "csr"
+        and collect == "pairs"
+        and os.environ.get("REPRO_CHECK", "") not in ("", "0")
+    ):
+        # REPRO_CHECK=1 sanitizer: spot-check the CSR pair set against the
+        # Python backend (size-capped inside). The rerun uses the default
+        # backend, so it cannot recurse.
+        from .selfcheck import crosscheck_backends
+
+        crosscheck_backends(r_collection, s_collection, sink.pairs, method)
     if collect == "pairs":
         return sink.pairs
     return len(sink)

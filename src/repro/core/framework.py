@@ -20,11 +20,18 @@ so each binary search can start from the previous hit position.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from ..data.collection import SetCollection
 from ..index.inverted import InvertedIndex
 from .stats import JoinStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only (storage imports lazily)
+    from ..index.storage import CSRInvertedIndex
+    from .results import PairSink
+
+#: What the probing methods accept as a prebuilt superset-side index.
+IndexLike = Union[InvertedIndex, "CSRInvertedIndex"]
 
 __all__ = ["framework_join", "cross_cut_record"]
 
@@ -34,7 +41,7 @@ def cross_cut_record(
     lists: Sequence[Sequence[int]],
     first_sid: int,
     inf_sid: int,
-    sink,
+    sink: "PairSink",
     early_termination: bool,
     stats: Optional[JoinStats],
 ) -> None:
@@ -88,9 +95,9 @@ def cross_cut_record(
 def framework_join(
     r_collection: SetCollection,
     s_collection: SetCollection,
-    sink,
+    sink: "PairSink",
     early_termination: bool = False,
-    index=None,
+    index: Optional[IndexLike] = None,
     stats: Optional[JoinStats] = None,
     backend: str = "python",
 ) -> None:

@@ -36,7 +36,7 @@ input while preserving exact rid remapping.
 from __future__ import annotations
 
 import multiprocessing
-from typing import List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..data.collection import SetCollection
 from ..errors import InvalidParameterError
@@ -46,6 +46,11 @@ from .api import BACKEND_METHODS, BACKENDS, set_containment_join
 from .order import build_order
 
 __all__ = ["parallel_join", "split_collection"]
+
+#: How the superset-side index ships to a worker: tagged payload resolved
+#: by :func:`_resolve_index` — ("direct"|"pickle", index), ("shm", handle),
+#: or ("fork", token).
+_IndexPayload = Tuple[str, Any]
 
 #: Methods that accept a prebuilt global ``index=`` (superset side).
 _INDEX_METHODS = frozenset(
@@ -58,7 +63,7 @@ _ORDER_METHODS = frozenset({"tree", "tree_et", "all_partition", "lcjoin"})
 #: pool forks, read by workers through copy-on-write memory, and dropped in
 #: the parent's ``finally``. Keyed by id so nested/concurrent joins cannot
 #: collide.
-_FORK_SHARED: dict = {}
+_FORK_SHARED: Dict[int, CSRInvertedIndex] = {}
 
 
 def split_collection(
@@ -103,7 +108,9 @@ def split_collection(
     return out
 
 
-def _resolve_index(payload):
+def _resolve_index(
+    payload: Optional[_IndexPayload],
+) -> Optional[Union[InvertedIndex, CSRInvertedIndex]]:
     """Turn a shipped index payload back into a probe-ready index."""
     if payload is None:
         return None
@@ -117,19 +124,30 @@ def _resolve_index(payload):
     raise InvalidParameterError(f"unknown index payload {kind!r}")
 
 
-def _join_chunk(args) -> List[Tuple[int, int]]:
+def _join_chunk(args: Tuple[Any, ...]) -> List[Tuple[int, int]]:
     rid_map, r_chunk, s_collection, method, backend, payload, extra, kwargs = args
     kw = dict(kwargs)
     kw.update(extra)
     index = _resolve_index(payload)
-    if index is not None:
-        kw["index"] = index
-    if backend != "python":
-        kw["backend"] = backend
-    pairs = set_containment_join(r_chunk, s_collection, method=method, **kw)
-    if isinstance(rid_map, int):
-        return [(rid_map + rid, sid) for rid, sid in pairs]
-    return [(rid_map[rid], sid) for rid, sid in pairs]
+    # Segments attached from shared memory must be detached even when the
+    # join raises: pool workers are long-lived, so an exception that leaves
+    # the attachment open pins the mapping (and, pre-3.13, keeps the
+    # resource tracker believing the worker still uses it) until the whole
+    # pool shuts down. The creator's unlink in parallel_join's ``finally``
+    # does not release *this worker's* mapping — only close() does.
+    attached = payload is not None and payload[0] == "shm"
+    try:
+        if index is not None:
+            kw["index"] = index
+        if backend != "python":
+            kw["backend"] = backend
+        pairs = set_containment_join(r_chunk, s_collection, method=method, **kw)
+        if isinstance(rid_map, int):
+            return [(rid_map + rid, sid) for rid, sid in pairs]
+        return [(rid_map[rid], sid) for rid, sid in pairs]
+    finally:
+        if attached and isinstance(index, CSRInvertedIndex):
+            index.close()
 
 
 def parallel_join(
@@ -139,8 +157,8 @@ def parallel_join(
     workers: Optional[int] = None,
     backend: str = "python",
     strategy: str = "round_robin",
-    index=None,
-    **kwargs,
+    index: Optional[Union[InvertedIndex, CSRInvertedIndex]] = None,
+    **kwargs: Any,
 ) -> List[Tuple[int, int]]:
     """Join with ``workers`` processes (defaults to the CPU count).
 
@@ -173,7 +191,7 @@ def parallel_join(
     if not chunks:
         return []
 
-    extra = {}
+    extra: Dict[str, Any] = {}
     if method in _ORDER_METHODS and "order" not in kwargs:
         universe = max(
             r_collection.max_element(), s_collection.max_element()
@@ -190,9 +208,9 @@ def parallel_join(
         shared_index = InvertedIndex.build(s_collection)
 
     in_process = len(chunks) == 1 or workers == 1
-    payload = None
+    payload: Optional[_IndexPayload] = None
     handle: Optional[SharedCSRHandle] = None
-    fork_token = None
+    fork_token: Optional[int] = None
     if shared_index is not None:
         if in_process:
             payload = ("direct", shared_index)

@@ -13,9 +13,33 @@ three implementations cover the practical cases.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, Collection, Iterable, List, Optional, Protocol, Tuple, Union
 
-__all__ = ["PairListSink", "CountSink", "CallbackSink", "make_sink"]
+__all__ = [
+    "PairSink",
+    "PairListSink",
+    "CountSink",
+    "CallbackSink",
+    "make_sink",
+]
+
+
+class PairSink(Protocol):
+    """Structural type of a result sink — what every join method emits into.
+
+    Exists so the strict-typed modules (kernels, framework, parallel) can
+    annotate their ``sink`` parameters without coupling to one concrete
+    class; anything with these four methods qualifies, including test
+    doubles.
+    """
+
+    def add(self, rid: int, sid: int) -> None: ...
+
+    def add_rids(self, rids: Collection[int], sid: int) -> None: ...
+
+    def add_sids(self, rid: int, sids: Collection[int]) -> None: ...
+
+    def __len__(self) -> int: ...
 
 
 class PairListSink:
@@ -36,11 +60,11 @@ class PairListSink:
     def add(self, rid: int, sid: int) -> None:
         self.pairs.append((rid, sid))
 
-    def add_rids(self, rids, sid: int) -> None:
+    def add_rids(self, rids: Iterable[int], sid: int) -> None:
         """Emit ``(rid, sid)`` for every rid in ``rids``."""
         self.pairs.extend((rid, sid) for rid in rids)
 
-    def add_sids(self, rid: int, sids) -> None:
+    def add_sids(self, rid: int, sids: Iterable[int]) -> None:
         """Emit ``(rid, sid)`` for every sid in ``sids``."""
         self.pairs.extend((rid, sid) for sid in sids)
 
@@ -63,10 +87,10 @@ class CountSink:
     def add(self, rid: int, sid: int) -> None:
         self.count += 1
 
-    def add_rids(self, rids, sid: int) -> None:
+    def add_rids(self, rids: Collection[int], sid: int) -> None:
         self.count += len(rids)
 
-    def add_sids(self, rid: int, sids) -> None:
+    def add_sids(self, rid: int, sids: Collection[int]) -> None:
         self.count += len(sids)
 
     def __len__(self) -> int:
@@ -86,11 +110,11 @@ class CallbackSink:
         self.count += 1
         self.callback(rid, sid)
 
-    def add_rids(self, rids, sid: int) -> None:
+    def add_rids(self, rids: Collection[int], sid: int) -> None:
         for rid in rids:
             self.add(rid, sid)
 
-    def add_sids(self, rid: int, sids) -> None:
+    def add_sids(self, rid: int, sids: Collection[int]) -> None:
         for sid in sids:
             self.add(rid, sid)
 
@@ -98,7 +122,10 @@ class CallbackSink:
         return self.count
 
 
-def make_sink(collect: str = "pairs", callback: Callable[[int, int], None] = None):
+def make_sink(
+    collect: str = "pairs",
+    callback: Optional[Callable[[int, int], None]] = None,
+) -> Union[PairListSink, CountSink, CallbackSink]:
     """Factory used by the public API: ``"pairs"``, ``"count"`` or ``"callback"``."""
     if collect == "pairs":
         return PairListSink()

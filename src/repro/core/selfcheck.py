@@ -1,4 +1,4 @@
-"""Differential self-checking.
+"""Differential self-checking and the ``REPRO_CHECK=1`` debug sanitizer.
 
 A library whose core value is "the fast algorithm returns exactly what
 brute force would" should be able to demonstrate that on demand, on the
@@ -11,20 +11,147 @@ CLI exposes it as ``lcjoin selftest``.
 This is the same discipline as the test suite's equivalence module, but
 packaged as a runtime facility with a structured report — usable in CI
 pipelines of downstream projects or after local modifications.
+
+Debug sanitizer (``REPRO_CHECK=1``)
+-----------------------------------
+The static analyzer (``python -m tools.lint``) proves invariants about the
+*source*; the sanitizer is its dynamic counterpart, checking the *data* at
+runtime. Setting the environment variable ``REPRO_CHECK=1`` turns on cheap
+asserts at the structural seams:
+
+* every inverted list is strictly ascending and bounded by ``inf_sid``
+  after a build (:func:`check_sorted_lists`);
+* the CSR arrays are monotone and mutually consistent after a build or a
+  shared-memory attach (:func:`check_csr_layout`);
+* ``backend="csr"`` joins on small instances are spot-checked against the
+  Python backend pair set (:func:`crosscheck_backends`).
+
+Violations raise :class:`~repro.errors.InvariantViolation`. The checks are
+read-only and O(index size) at worst, so the mode is suitable for CI smoke
+runs and for debugging; it is **off** by default and costs one environment
+lookup per build when disabled.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..data.collection import SetCollection
-from ..errors import InvalidParameterError
+from ..errors import InvalidParameterError, InvariantViolation
 from .api import JOIN_METHODS, set_containment_join
 from .verify import ground_truth
 
-__all__ = ["SelfCheckReport", "Discrepancy", "self_check"]
+__all__ = [
+    "SelfCheckReport",
+    "Discrepancy",
+    "self_check",
+    "repro_check_enabled",
+    "check_sorted_lists",
+    "check_csr_layout",
+    "crosscheck_backends",
+]
+
+#: Above this many (|R| x |S|) cells the cross-backend spot check is skipped
+#: — the sanitizer must stay cheap enough to leave on for a whole test run.
+_CROSSCHECK_CELLS = 250_000
+
+
+def repro_check_enabled() -> bool:
+    """True when the ``REPRO_CHECK`` debug-sanitizer mode is on.
+
+    Read dynamically (not cached at import) so tests and embedding
+    processes can toggle the mode per call site.
+    """
+    return os.environ.get("REPRO_CHECK", "") not in ("", "0")
+
+
+def check_sorted_lists(index) -> None:
+    """Assert every inverted list is strictly ascending and id-bounded.
+
+    Applies to :class:`~repro.index.inverted.InvertedIndex` (global or
+    local). Gap-skipping probes (paper §IV) are only sound on sorted lists,
+    so this is the single most load-bearing invariant in the library.
+    """
+    inf_sid = index.inf_sid
+    for element, lst in index.lists.items():
+        previous = -1
+        for sid in lst:
+            if sid <= previous:
+                raise InvariantViolation(
+                    f"inverted list of element {element} is not strictly "
+                    f"ascending: ...{previous}, {sid}..."
+                )
+            previous = sid
+        if previous >= inf_sid:
+            raise InvariantViolation(
+                f"inverted list of element {element} contains id {previous} "
+                f">= inf_sid {inf_sid}"
+            )
+    universe = index.universe
+    if not isinstance(universe, range):
+        if any(b <= a for a, b in zip(universe, universe[1:])):
+            raise InvariantViolation("index universe is not strictly ascending")
+
+
+def check_csr_layout(index) -> None:
+    """Assert the CSR arrays of a ``CSRInvertedIndex`` are consistent.
+
+    Checks: ``offsets`` monotone nondecreasing from 0 to ``len(values)``;
+    ``keyed`` globally nondecreasing (which implies every per-list slice of
+    ``values`` is sorted, since lists occupy disjoint key ranges); postings
+    within ``[0, stride)`` so composite keys cannot collide across lists.
+    """
+    import numpy as np
+
+    offsets, values, keyed = index.offsets, index.values, index.keyed
+    if offsets.shape[0] == 0 or offsets[0] != 0:
+        raise InvariantViolation("CSR offsets must start at 0")
+    if int(offsets[-1]) != values.shape[0]:
+        raise InvariantViolation(
+            f"CSR offsets end ({int(offsets[-1])}) != len(values) "
+            f"({values.shape[0]})"
+        )
+    if np.any(np.diff(offsets) < 0):
+        raise InvariantViolation("CSR offsets are not monotone nondecreasing")
+    if keyed.shape[0] != values.shape[0]:
+        raise InvariantViolation("CSR keyed/values length mismatch")
+    if keyed.shape[0]:
+        if np.any(np.diff(keyed) < 0):
+            raise InvariantViolation(
+                "CSR composite keys are not globally sorted — an inverted "
+                "list was mutated after freeze"
+            )
+        if int(values.min()) < 0 or int(values.max()) >= index.stride:
+            raise InvariantViolation(
+                "CSR postings fall outside [0, stride); composite keys "
+                "would collide across lists"
+            )
+
+
+def crosscheck_backends(r_collection, s_collection, pairs, method: str) -> None:
+    """Spot-check a CSR-backend pair set against the Python backend.
+
+    Skipped on instances larger than the ``_CROSSCHECK_CELLS`` budget so the
+    sanitizer stays affordable; small instances are where shape edge cases
+    live anyway (the differential campaign below leans on the same insight).
+    """
+    if len(r_collection) * max(len(s_collection), 1) > _CROSSCHECK_CELLS:
+        return
+    expected = set(
+        set_containment_join(r_collection, s_collection, method=method)
+    )
+    got = set(pairs)
+    if got != expected:
+        missing = len(expected - got)
+        extra = len(got - expected)
+        raise InvariantViolation(
+            f"backend='csr' pair set diverges from backend='python' for "
+            f"method={method!r}: {missing} missing, {extra} extra of "
+            f"{len(expected)} expected"
+        )
 
 
 @dataclass(frozen=True)

@@ -148,10 +148,11 @@ def tolerant_containment_join(
     out: List[Tuple[int, int]] = []
     for rid, record in enumerate(r_collection):
         threshold = max(len(record) - missing, 1)
-        if algorithm == "scan_count":
-            sids = scan_count(index, record, threshold)
-        else:
-            sids = merge_skip(index, record, threshold, stats=stats)
+        sids = (
+            scan_count(index, record, threshold)
+            if algorithm == "scan_count"
+            else merge_skip(index, record, threshold, stats=stats)
+        )
         for sid in sids:
             out.append((rid, sid))
     if stats is not None:

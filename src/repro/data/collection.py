@@ -144,10 +144,11 @@ class SetCollection:
         the growth path for streaming workloads (see
         :meth:`repro.core.containment_index.ContainmentIndex.add`).
         """
-        if self._dictionary is not None:
-            encoded = [self._dictionary.encode(v) for v in record]
-        else:
-            encoded = list(record)  # type: ignore[arg-type]
+        encoded = (
+            [self._dictionary.encode(v) for v in record]
+            if self._dictionary is not None
+            else list(record)  # type: ignore[arg-type]
+        )
         tup = tuple(sorted(set(encoded)))
         if not tup:
             raise DatasetError("cannot append an empty set")

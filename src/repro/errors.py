@@ -13,6 +13,7 @@ __all__ = [
     "DatasetError",
     "InvalidParameterError",
     "UnknownMethodError",
+    "InvariantViolation",
 ]
 
 
@@ -26,6 +27,15 @@ class DatasetError(ReproError):
 
 class InvalidParameterError(ReproError, ValueError):
     """An algorithm or generator parameter is out of its valid range."""
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A ``REPRO_CHECK=1`` runtime sanitizer assert failed.
+
+    Derives from :class:`AssertionError` because these are debug asserts —
+    they indicate a bug in the library (or a caller mutating frozen index
+    storage), never a recoverable user input condition.
+    """
 
 
 class UnknownMethodError(ReproError, KeyError):

@@ -13,6 +13,7 @@ restricted to the elements a partition actually probes.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..data.collection import SetCollection
@@ -21,6 +22,20 @@ __all__ = ["InvertedIndex", "EMPTY_LIST"]
 
 #: Shared immutable stand-in for "element not in S"; keeps probe code branchless.
 EMPTY_LIST: Tuple[int, ...] = ()
+
+
+def _debug_check(index: "InvertedIndex") -> None:
+    """REPRO_CHECK=1 hook: validate sortedness after a build.
+
+    The environment test runs first so the disabled path costs one dict
+    lookup and never imports :mod:`repro.core.selfcheck` (which would pull
+    the whole core package into index-only consumers).
+    """
+    if os.environ.get("REPRO_CHECK", "") in ("", "0"):
+        return
+    from ..core.selfcheck import check_sorted_lists
+
+    check_sorted_lists(index)
 
 
 class InvertedIndex:
@@ -71,7 +86,9 @@ class InvertedIndex:
                 else:
                     bucket.append(sid)
         n = len(s_collection)
-        return cls(lists, range(n), inf_sid=n, construction_cost=cost)
+        index = cls(lists, range(n), inf_sid=n, construction_cost=cost)
+        _debug_check(index)
+        return index
 
     def build_local(
         self,
@@ -114,12 +131,14 @@ class InvertedIndex:
                             lists[e] = [sid]
                         else:
                             bucket.append(sid)
-        return InvertedIndex(
+        local = InvertedIndex(
             lists,
             list(member_sids),
             inf_sid=self.inf_sid,
             construction_cost=cost,
         )
+        _debug_check(local)
+        return local
 
     def append_set(self, record: Sequence[int]) -> int:
         """Append one set to a *global* index, returning its new id.
@@ -141,6 +160,19 @@ class InvertedIndex:
         self.inf_sid = sid + 1
         self.universe = range(self.inf_sid)
         self._construction_cost += len(record)
+        if os.environ.get("REPRO_CHECK", "") not in ("", "0"):
+            # Incremental form of _debug_check: a full O(index) validation
+            # per append would swamp streaming workloads, but monotone ids
+            # only need the last two entries of each touched bucket.
+            from ..errors import InvariantViolation
+
+            for e in set(record):
+                bucket = self.lists[e]
+                if len(bucket) >= 2 and bucket[-2] >= bucket[-1]:
+                    raise InvariantViolation(
+                        f"append_set broke sortedness of list {e}: "
+                        f"...{bucket[-2]}, {bucket[-1]}"
+                    )
         return sid
 
     # -- accessors ----------------------------------------------------------

@@ -41,12 +41,18 @@ while metering slightly more probes than the Python ET loop would.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports index)
+    from ..core.results import PairSink
     from ..core.stats import JoinStats
+    from ..data.collection import SetCollection
+    from .storage import CSRInvertedIndex
+
+#: A probe target: one scalar candidate, or one candidate per probed list.
+Target = Union[int, "np.ndarray"]
 
 __all__ = [
     "batch_first_geq",
@@ -63,7 +69,9 @@ _STRAGGLER_WIDTH = 16
 _STRAGGLER_SUPERSTEPS = 2048
 
 
-def batch_first_geq(keyed: np.ndarray, bases: np.ndarray, target) -> np.ndarray:
+def batch_first_geq(
+    keyed: np.ndarray, bases: np.ndarray, target: Target
+) -> np.ndarray:
     """Positions of the first entry ``>= target`` in each probed list.
 
     ``keyed`` is the composite-keyed CSR array; ``bases[i] = e_i * stride``
@@ -85,9 +93,9 @@ def batch_gap_lookup(
     bases: np.ndarray,
     ends: np.ndarray,
     pos: np.ndarray,
-    target,
+    target: Target,
     inf_sid: int,
-):
+) -> "tuple[np.ndarray, np.ndarray]":
     """Vectorized hit/gap classification for a batch of probes.
 
     Given the positions returned by :func:`batch_first_geq`, compute per
@@ -117,11 +125,11 @@ def batch_gap_lookup(
 
 def cross_cut_record_csr(
     rid: int,
-    index,
-    record,
+    index: "CSRInvertedIndex",
+    record: Sequence[int],
     first_sid: int,
     inf_sid: int,
-    sink,
+    sink: "PairSink",
     stats: Optional["JoinStats"] = None,
 ) -> None:
     """Cross-cutting loop for one record over a CSR index.
@@ -142,6 +150,8 @@ def cross_cut_record_csr(
     max_sid = first_sid
     searches = 0
     rounds = 0
+    # lint: scalar-fallback (one iteration per cross-cut round; the k probes
+    # inside each round are a single batched searchsorted)
     while max_sid < inf_sid:
         rounds += 1
         searches += k
@@ -155,7 +165,12 @@ def cross_cut_record_csr(
         stats.rounds += rounds
 
 
-def _emit_single_element_records(r_collection, index, sink, rids) -> None:
+def _emit_single_element_records(
+    r_collection: "SetCollection",
+    index: "CSRInvertedIndex",
+    sink: "PairSink",
+    rids: Sequence[int],
+) -> None:
     """``{e} ⊆ S[sid]`` iff ``sid ∈ I[e]``: the whole list is the answer.
 
     Cross-cutting a one-list record degenerates to walking its list one hit
@@ -163,15 +178,16 @@ def _emit_single_element_records(r_collection, index, sink, rids) -> None:
     kernel emits the list directly instead of burning one superstep per
     posting.
     """
+    # lint: scalar-fallback (one bulk add_sids emission per record)
     for rid in rids:
         lst = index.get_list(r_collection[rid][0])
         sink.add_sids(rid, lst.tolist())
 
 
 def cross_cut_collection_csr(
-    r_collection,
-    index,
-    sink,
+    r_collection: "SetCollection",
+    index: "CSRInvertedIndex",
+    sink: "PairSink",
     stats: Optional["JoinStats"] = None,
 ) -> None:
     """Cross-cut every record of ``r_collection`` in vectorized supersteps.
@@ -206,6 +222,7 @@ def cross_cut_collection_csr(
     base_parts = []
     end_parts = []
     single_rids = []
+    # lint: scalar-fallback (one-time setup pass over R records, not probe work)
     for rid, record in enumerate(r_collection):
         probe = index.record_probe(record)
         if probe is None:
@@ -236,6 +253,8 @@ def cross_cut_collection_csr(
     searches = 0
     rounds = 0
     supersteps = 0
+    # lint: scalar-fallback (superstep driver: one iteration advances every
+    # alive record by a whole round through batched numpy calls)
     while cand.shape[0]:
         supersteps += 1
         rounds += cand.shape[0]
@@ -246,6 +265,8 @@ def cross_cut_collection_csr(
         found = np.add.reduceat(hit.astype(np.int64), rec_off) == rec_k
         next_cand = np.maximum.reduceat(gap, rec_off)
         if found.any():
+            # lint: scalar-fallback (found records per superstep are few;
+            # each emits a distinct (rid, sid) pair, no bulk sink form fits)
             for i in np.nonzero(found)[0]:
                 sink.add(int(rec_rid[i]), int(cand[i]))
         cand = next_cand
@@ -267,6 +288,9 @@ def cross_cut_collection_csr(
             # Long-tail join: finish the survivors on the scalar loop.
             from ..core.framework import cross_cut_record
 
+            # lint: scalar-fallback (deliberate straggler tail: <=
+            # _STRAGGLER_WIDTH survivors finish on the scalar loop where
+            # per-round numpy call overhead would dominate)
             for i in range(cand.shape[0]):
                 rid = int(rec_rid[i])
                 lists = [

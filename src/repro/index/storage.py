@@ -28,10 +28,12 @@ Numpy handles the bulk (de)serialisation, so costs are I/O-bound.
 
 from __future__ import annotations
 
+import contextlib
+import os
 import struct
 from itertools import chain
 from multiprocessing import shared_memory
-from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple
+from typing import Any, BinaryIO, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -150,6 +152,19 @@ def load_index(path: str) -> InvertedIndex:
 # --------------------------------------------------------------------------
 
 
+def _debug_check_csr(index: "CSRInvertedIndex") -> "CSRInvertedIndex":
+    """REPRO_CHECK=1 hook: validate the CSR layout after build/attach.
+
+    The environment test runs first so the disabled path costs one dict
+    lookup and never imports :mod:`repro.core.selfcheck`.
+    """
+    if os.environ.get("REPRO_CHECK", "") not in ("", "0"):
+        from ..core.selfcheck import check_csr_layout
+
+        check_csr_layout(index)
+    return index
+
+
 class _CSRListMapping:
     """Dict-like view over CSR lists, so tree binding works unchanged.
 
@@ -162,7 +177,9 @@ class _CSRListMapping:
     def __init__(self, index: "CSRInvertedIndex") -> None:
         self._index = index
 
-    def get(self, element: int, default=EMPTY_LIST):
+    def get(
+        self, element: int, default: object = EMPTY_LIST
+    ) -> Union[np.ndarray, object]:
         idx = self._index
         if 0 <= element < idx.num_slots:
             lo = idx.offsets[element]
@@ -171,11 +188,11 @@ class _CSRListMapping:
                 return idx.values[lo:hi]
         return default
 
-    def __getitem__(self, element: int):
+    def __getitem__(self, element: int) -> np.ndarray:
         lst = self.get(element, None)
         if lst is None:
             raise KeyError(element)
-        return lst
+        return lst  # type: ignore[return-value]
 
     def __contains__(self, element: int) -> bool:
         return self.get(element, None) is not None
@@ -217,10 +234,14 @@ class SharedCSRHandle:
         self.construction_cost = construction_cost
         self._shms = shms  # creator-side references; never pickled
 
-    def __getstate__(self):
+    def __getstate__(
+        self,
+    ) -> Tuple[Tuple[Tuple[str, str, int], ...], int, int, int]:
         return (self.segments, self.inf_sid, self.universe_len, self.construction_cost)
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(
+        self, state: Tuple[Tuple[Tuple[str, str, int], ...], int, int, int]
+    ) -> None:
         self.segments, self.inf_sid, self.universe_len, self.construction_cost = state
         self._shms = None
 
@@ -229,14 +250,10 @@ class SharedCSRHandle:
         if self._shms is None:
             return
         for shm in self._shms:
-            try:
+            with contextlib.suppress(OSError):  # pragma: no cover - best effort
                 shm.close()
-            except OSError:  # pragma: no cover - best-effort teardown
-                pass
-            try:
+            with contextlib.suppress(FileNotFoundError):  # pragma: no cover
                 shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already reclaimed
-                pass
         self._shms = None
 
 
@@ -335,10 +352,10 @@ class CSRInvertedIndex:
         offsets = np.zeros(num_slots + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
         keyed = elems_sorted * stride + values
-        return cls(
+        return _debug_check_csr(cls(
             offsets, values, keyed,
             inf_sid=n, universe=range(n), construction_cost=total,
-        )
+        ))
 
     @classmethod
     def from_index(cls, index: InvertedIndex) -> "CSRInvertedIndex":
@@ -365,16 +382,18 @@ class CSRInvertedIndex:
             if elements else np.zeros(0, dtype=np.int64),
         )
         keyed = elems * stride + values
-        return cls(
+        return _debug_check_csr(cls(
             offsets, values, keyed,
             inf_sid=inf_sid,
             universe=index.universe,
             construction_cost=index.construction_cost,
-        )
+        ))
 
     # -- pickling (used by the pickle fallback of parallel_join) ----------
 
-    def __getstate__(self):
+    def __getstate__(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, Sequence[int], int]:
         return (
             np.asarray(self.offsets),
             np.asarray(self.values),
@@ -384,9 +403,12 @@ class CSRInvertedIndex:
             self._construction_cost,
         )
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(
+        self,
+        state: Tuple[np.ndarray, np.ndarray, np.ndarray, int, Sequence[int], int],
+    ) -> None:
         offsets, values, keyed, inf_sid, universe, cost = state
-        self.__init__(offsets, values, keyed, inf_sid, universe, cost)
+        self.__init__(offsets, values, keyed, inf_sid, universe, cost)  # type: ignore[misc]
 
     # -- accessors --------------------------------------------------------
 
@@ -395,8 +417,8 @@ class CSRInvertedIndex:
         """Size of the dense element domain (``max element in S`` + 1)."""
         return len(self.offsets) - 1
 
-    def __getitem__(self, element: int):
-        return self.lists.get(element, EMPTY_LIST)
+    def __getitem__(self, element: int) -> Union[np.ndarray, Tuple[int, ...]]:
+        return self.lists.get(element, EMPTY_LIST)  # type: ignore[return-value]
 
     def __contains__(self, element: int) -> bool:
         return element in self.lists
@@ -405,13 +427,13 @@ class CSRInvertedIndex:
         """Number of distinct elements indexed (non-empty lists)."""
         return len(self.lists)
 
-    def get_list(self, element: int):
+    def get_list(self, element: int) -> np.ndarray:
         """Zero-copy numpy view of element's list (empty view if absent)."""
         if 0 <= element < self.num_slots:
             return self.values[self.offsets[element]: self.offsets[element + 1]]
         return self.values[:0]
 
-    def get_lists(self, elements) -> List:
+    def get_lists(self, elements: Sequence[int]) -> List[Any]:
         """The inverted lists for a record, empty tuples included."""
         get = self.lists.get
         return [get(e, EMPTY_LIST) for e in elements]
@@ -456,6 +478,26 @@ class CSRInvertedIndex:
         """Bytes held by the three arrays (what shared memory would carry)."""
         return int(self.offsets.nbytes + self.values.nbytes + self.keyed.nbytes)
 
+    def close(self) -> None:
+        """Release attached shared-memory segments (worker-side teardown).
+
+        Meaningful only for indexes returned by :meth:`from_shared_memory`;
+        a no-op (and idempotent) otherwise. The CSR views are replaced by
+        empty arrays first — ``mmap`` refuses to unmap while buffer exports
+        exist, and the views export ``shm.buf`` — so the index must not be
+        probed afterwards. Never unlinks: the creator owns the segment
+        names and reclaims them via :meth:`SharedCSRHandle.cleanup`.
+        """
+        shms, self._shms = self._shms, None
+        if shms is None:
+            return
+        self.offsets = np.zeros(1, dtype=np.int64)
+        self.values = np.zeros(0, dtype=np.int64)
+        self.keyed = np.zeros(0, dtype=np.int64)
+        for shm in shms:
+            with contextlib.suppress(OSError, BufferError):  # pragma: no cover
+                shm.close()
+
     # -- zero-copy sharing ------------------------------------------------
 
     def to_shared_memory(self) -> SharedCSRHandle:
@@ -485,10 +527,8 @@ class CSRInvertedIndex:
         except BaseException:
             for shm in shms:
                 shm.close()
-                try:
+                with contextlib.suppress(FileNotFoundError):
                     shm.unlink()
-                except FileNotFoundError:
-                    pass
             raise
         return SharedCSRHandle(
             tuple(segments),
@@ -502,23 +542,34 @@ class CSRInvertedIndex:
     def from_shared_memory(cls, handle: SharedCSRHandle) -> "CSRInvertedIndex":
         """Attach to segments created by :meth:`to_shared_memory` (zero-copy).
 
-        The returned index keeps the attached segments alive for as long as
-        it lives; dropping it closes them. The worker side never unlinks.
+        The returned index keeps the attached segments alive until
+        :meth:`close` is called (or the index is dropped). The worker side
+        never unlinks. A partial attach — segment *k* failing after
+        segments ``< k`` mapped — closes the already-attached segments
+        before re-raising, so no mapping outlives the exception.
         """
-        shms = tuple(_attach_segment(name) for name, __, __ in handle.segments)
-        arrays = []
-        for shm, (__, dtype, length) in zip(shms, handle.segments):
-            arr = np.ndarray((length,), dtype=np.dtype(dtype), buffer=shm.buf)
-            arr.flags.writeable = False
-            arrays.append(arr)
+        attached: List[shared_memory.SharedMemory] = []
+        try:
+            for name, __, __ in handle.segments:
+                attached.append(_attach_segment(name))
+            arrays = []
+            for shm, (__, dtype, length) in zip(attached, handle.segments):
+                arr = np.ndarray((length,), dtype=np.dtype(dtype), buffer=shm.buf)
+                arr.flags.writeable = False
+                arrays.append(arr)
+        except BaseException:
+            for shm in attached:
+                shm.close()
+            raise
+        shms = tuple(attached)
         offsets, values, keyed = arrays
-        return cls(
+        return _debug_check_csr(cls(
             offsets, values, keyed,
             inf_sid=handle.inf_sid,
             universe=range(handle.universe_len),
             construction_cost=handle.construction_cost,
             shms=shms,
-        )
+        ))
 
 
 def _check_key_space(num_slots: int, stride: int) -> None:

@@ -1,0 +1,466 @@
+"""Tests for the repro-lint static analyzer (``tools.lint``).
+
+Each checker is exercised against seeded-violation fixtures (must flag)
+and clean variants (must pass), then the whole tool is pointed at the
+real ``src/repro`` tree, which must come back clean — that is the
+invariant the CI lint job enforces.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.lint import ALL_CHECKERS, lint_file, lint_paths  # noqa: E402
+from tools.lint.base import LintedFile, _parse_markers  # noqa: E402
+from tools.lint.cli import main as lint_main  # noqa: E402
+
+
+def _lint_source(
+    tmp_path: Path, source: str, rel: str = "module.py"
+) -> list:
+    """Write ``source`` at ``rel`` under a scratch root and lint it."""
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_file(path, ALL_CHECKERS, root=tmp_path)
+
+
+def _codes(findings) -> list:
+    return [f.code for f in findings]
+
+
+# -- RL101: frozen index storage must not be mutated ----------------------
+
+
+class TestFrozenMutation:
+    def test_store_to_frozen_attr_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def corrupt(index):
+                index.values[0] = 99
+            """,
+        )
+        assert _codes(findings) == ["RL101"]
+
+    def test_mutator_method_call_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def grow(index):
+                index.offsets.sort()
+            """,
+        )
+        assert _codes(findings) == ["RL101"]
+
+    def test_out_kwarg_alias_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def sneaky(index):
+                np.add(index.keyed, 1, out=index.keyed)
+            """,
+        )
+        assert _codes(findings) == ["RL101"]
+
+    def test_augmented_assignment_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def shift(index):
+                index.values += 1
+            """,
+        )
+        assert _codes(findings) == ["RL101"]
+
+    def test_read_only_access_clean(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def probe(index, e):
+                lo = index.offsets[e]
+                hi = index.offsets[e + 1]
+                return index.values[lo:hi]
+            """,
+        )
+        assert findings == []
+
+    def test_builder_module_exempt(self, tmp_path):
+        # The same mutation inside the index builders is the point of
+        # those modules and must not be flagged.
+        findings = _lint_source(
+            tmp_path,
+            """
+            def build(index):
+                index.values[0] = 1
+                index.lists.append([])
+            """,
+            rel="index/storage.py",
+        )
+        assert findings == []
+
+    def test_constructor_self_store_exempt(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            class Thing:
+                def __init__(self, values):
+                    self.values = list(values)
+            """,
+        )
+        assert findings == []
+
+    def test_marker_suppresses(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def patch(index):
+                # lint: frozen-mutation-ok (test fixture)
+                index.values[0] = 1
+            """,
+        )
+        assert findings == []
+
+
+# -- RL201: SharedMemory lifecycle ---------------------------------------
+
+
+class TestShmLifecycle:
+    def test_leaky_create_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            def leak(n):
+                shm = shared_memory.SharedMemory(create=True, size=n)
+                return shm.buf[0]
+            """,
+        )
+        assert _codes(findings) == ["RL201"]
+
+    def test_close_without_unlink_on_create_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            def half(n):
+                shm = shared_memory.SharedMemory(create=True, size=n)
+                try:
+                    return shm.buf[0]
+                finally:
+                    shm.close()
+            """,
+        )
+        assert _codes(findings) == ["RL201"]
+
+    def test_try_finally_cleanup_clean(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            def ok(n):
+                shm = shared_memory.SharedMemory(create=True, size=n)
+                try:
+                    return bytes(shm.buf)
+                finally:
+                    shm.close()
+                    shm.unlink()
+            """,
+        )
+        assert findings == []
+
+    def test_attach_needs_close_only(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                shm = shared_memory.SharedMemory(name=name)
+                try:
+                    return bytes(shm.buf)
+                finally:
+                    shm.close()
+            """,
+        )
+        assert findings == []
+
+    def test_returned_handle_is_callers_problem(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            def make(n):
+                return shared_memory.SharedMemory(create=True, size=n)
+            """,
+        )
+        assert findings == []
+
+    def test_marker_suppresses(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            def custom(n):
+                # lint: shm-external-lifecycle (test fixture)
+                shm = shared_memory.SharedMemory(create=True, size=n)
+                register_for_cleanup(shm)
+            """,
+        )
+        assert findings == []
+
+
+# -- RL301: scalar loops in the batched kernels ---------------------------
+
+
+class TestHotLoops:
+    def test_loop_in_kernels_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def kernel(values):
+                total = 0
+                for v in values:
+                    total += v
+                return total
+            """,
+            rel="index/kernels.py",
+        )
+        assert _codes(findings) == ["RL301"]
+
+    def test_while_loop_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def kernel(n):
+                while n > 0:
+                    n -= 1
+            """,
+            rel="index/kernels.py",
+        )
+        assert _codes(findings) == ["RL301"]
+
+    def test_marker_suppresses(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def kernel(values):
+                # lint: scalar-fallback (test fixture)
+                for v in values:
+                    pass
+            """,
+            rel="index/kernels.py",
+        )
+        assert findings == []
+
+    def test_marker_flows_through_comment_block(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def kernel(values):
+                # lint: scalar-fallback (the rationale for this loop
+                # continues on a second comment line)
+                for v in values:
+                    pass
+            """,
+            rel="index/kernels.py",
+        )
+        assert findings == []
+
+    def test_comprehension_not_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def kernel(values):
+                return [v + 1 for v in values]
+            """,
+            rel="index/kernels.py",
+        )
+        assert findings == []
+
+    def test_other_modules_not_hot(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def helper(values):
+                for v in values:
+                    pass
+            """,
+            rel="core/api.py",
+        )
+        assert findings == []
+
+
+# -- RL401: backend parameter parity --------------------------------------
+
+
+class TestBackendParity:
+    def test_ignored_backend_param_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def join(r, s, backend="python"):
+                return do_python_join(r, s)
+            """,
+        )
+        assert _codes(findings) == ["RL401"]
+
+    def test_dispatch_on_literals_clean(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def join(r, s, backend="python"):
+                if backend == "csr":
+                    return csr_join(r, s)
+                return python_join(r, s)
+            """,
+        )
+        assert findings == []
+
+    def test_forwarding_clean(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def join(r, s, backend="python"):
+                return inner_join(r, s, backend=backend)
+            """,
+        )
+        assert findings == []
+
+    def test_private_function_exempt(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def _helper(r, backend):
+                return r
+            """,
+        )
+        assert findings == []
+
+    def test_marker_suppresses(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            # lint: backend-agnostic (test fixture)
+            def stats(r, backend="python"):
+                return len(r)
+            """,
+        )
+        assert findings == []
+
+
+# -- driver plumbing -------------------------------------------------------
+
+
+class TestDriver:
+    def test_syntax_error_becomes_rl000(self, tmp_path):
+        findings = _lint_source(tmp_path, "def broken(:\n")
+        assert _codes(findings) == ["RL000"]
+
+    def test_lint_paths_sorts_and_recurses(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text(
+            "def f(index):\n    index.values[0] = 1\n", encoding="utf-8"
+        )
+        (tmp_path / "pkg" / "a.py").write_text(
+            "def g(index):\n    index.keyed[0] = 1\n", encoding="utf-8"
+        )
+        findings = lint_paths([tmp_path / "pkg"], ALL_CHECKERS, root=tmp_path)
+        assert [f.path for f in findings] == ["pkg/a.py", "pkg/b.py"]
+
+    def test_pycache_skipped(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("def f(:\n", encoding="utf-8")
+        assert lint_paths([tmp_path], ALL_CHECKERS, root=tmp_path) == []
+
+    def test_marker_parser_multiple_names(self):
+        markers = _parse_markers("x = 1  # lint: scalar-fallback, frozen-mutation-ok\n")
+        assert markers[1] == {"scalar-fallback", "frozen-mutation-ok"}
+
+    def test_suppressed_line_above(self, tmp_path):
+        path = tmp_path / "m.py"
+        source = "# lint: scalar-fallback\nfor i in range(3):\n    pass\n"
+        path.write_text(source, encoding="utf-8")
+        linted = LintedFile(path, source, root=tmp_path)
+        loop = linted.tree.body[0]
+        assert linted.suppressed(loop, "scalar-fallback")
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        assert lint_main([str(tmp_path)]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_findings_exit_one_and_render(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(index):\n    index.values[0] = 1\n", encoding="utf-8")
+        assert lint_main([str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "RL101" in captured.out
+        assert "1 finding(s)" in captured.err
+
+    def test_select_filters_checkers(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(index):\n    index.values[0] = 1\n", encoding="utf-8")
+        # Only the shm checker selected: the frozen mutation is not reported.
+        assert lint_main([str(bad), "--select", "RL201"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_select_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path), "--select", "RL999"]) == 2
+        assert "unknown check" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_checks(self, capsys):
+        assert lint_main(["--list-checks"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL101", "RL201", "RL301", "RL401"):
+            assert code in out
+
+
+# -- the real tree must be clean ------------------------------------------
+
+
+class TestRealTree:
+    def test_src_repro_is_clean(self):
+        findings = lint_paths(
+            [REPO_ROOT / "src" / "repro"], ALL_CHECKERS, root=REPO_ROOT
+        )
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_module_invocation_exits_zero(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.lint", "src/repro", "tools"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

@@ -183,6 +183,10 @@ class TestSharedIndexBuildOnce:
         # Prebuild the index, then poison both build classmethods. Forked
         # workers inherit the poisoned classes, so a clean run proves no
         # per-worker (re)build of the shared S-side index happened anywhere.
+        # The REPRO_CHECK sanitizer deliberately rebuilds an index for
+        # its cross-backend spot check; pin it off so the poisoned
+        # classmethods only see the production join path.
+        monkeypatch.setenv("REPRO_CHECK", "0")
         r, s = random_instance(10)
         expected = sorted(ground_truth(r, s))
         prebuilt = (
@@ -225,3 +229,95 @@ class TestSharedIndexBuildOnce:
                     r, s, method=method, index=py_index, backend="csr"
                 )
             ) == expected
+
+
+class TestWorkerShmCleanup:
+    """Shared-memory attachments must be released on every worker exit path."""
+
+    def test_join_chunk_closes_attachment_on_success(self, monkeypatch):
+        from repro.core.parallel import _join_chunk
+
+        r, s = random_instance(3)
+        handle = CSRInvertedIndex.build(s).to_shared_memory()
+        captured = []
+        orig = CSRInvertedIndex.from_shared_memory.__func__
+
+        def wrapped(cls, h):
+            inst = orig(cls, h)
+            captured.append(inst)
+            return inst
+
+        monkeypatch.setattr(
+            CSRInvertedIndex, "from_shared_memory", classmethod(wrapped)
+        )
+        try:
+            args = (0, r, s, "framework", "csr", ("shm", handle), {}, {})
+            pairs = _join_chunk(args)
+            assert sorted(pairs) == sorted(ground_truth(r, s))
+        finally:
+            handle.cleanup()
+        assert captured, "worker never attached the shared index"
+        assert captured[0]._shms is None, "attachment not closed after join"
+
+    def test_join_chunk_closes_attachment_on_error(self, monkeypatch):
+        from repro.core.parallel import _join_chunk
+
+        r, s = random_instance(4)
+        handle = CSRInvertedIndex.build(s).to_shared_memory()
+        captured = []
+        orig = CSRInvertedIndex.from_shared_memory.__func__
+
+        def wrapped(cls, h):
+            inst = orig(cls, h)
+            captured.append(inst)
+            return inst
+
+        monkeypatch.setattr(
+            CSRInvertedIndex, "from_shared_memory", classmethod(wrapped)
+        )
+        try:
+            args = (
+                0, r, s, "framework", "csr", ("shm", handle), {},
+                {"no_such_keyword_argument": True},
+            )
+            with pytest.raises(TypeError):
+                _join_chunk(args)
+        finally:
+            handle.cleanup()
+        assert captured, "worker never attached the shared index"
+        assert captured[0]._shms is None, "attachment leaked on the error path"
+
+    def test_close_is_idempotent_and_noop_for_owned_arrays(self):
+        s = SetCollection([(0, 1), (1, 2)])
+        index = CSRInvertedIndex.build(s)
+        values_before = index.values
+        index.close()  # built (non-attached) index: nothing to release
+        index.close()
+        assert index.values is values_before
+
+    def test_attached_close_drops_views(self):
+        s = SetCollection([(0, 1), (1, 2), (0, 2)])
+        handle = CSRInvertedIndex.build(s).to_shared_memory()
+        try:
+            attached = CSRInvertedIndex.from_shared_memory(handle)
+            assert attached.values.shape[0] > 0
+            attached.close()
+            attached.close()  # idempotent
+            assert attached.values.shape[0] == 0
+        finally:
+            handle.cleanup()
+
+    def test_worker_exception_propagates_and_cleans_up(self):
+        r, s = random_instance(5)
+        with pytest.raises((TypeError, InvalidParameterError)):
+            parallel_join(
+                r, s, method="framework", workers=2, backend="csr",
+                no_such_keyword_argument=True,
+            )
+        # The creator-side handle is reclaimed in parallel_join's finally;
+        # a second join against the same data must start from scratch and
+        # succeed, which it cannot if segments or names leaked.
+        got = sorted(
+            parallel_join(r, s, method="framework", workers=2, backend="csr")
+        )
+        assert got == sorted(ground_truth(r, s))

@@ -1,0 +1,224 @@
+"""Tests for the ``REPRO_CHECK=1`` debug-sanitizer mode.
+
+Covers the three sanitizer layers: the sorted-list invariant on the
+Python-backend index, the CSR layout invariant on the array backend, and
+the cross-backend pair-set spot check wired into
+:func:`repro.core.api.set_containment_join`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.api import set_containment_join
+from repro.core.selfcheck import (
+    check_csr_layout,
+    check_sorted_lists,
+    crosscheck_backends,
+    repro_check_enabled,
+)
+from repro.data.collection import SetCollection
+from repro.errors import InvariantViolation, ReproError
+from repro.index.inverted import InvertedIndex
+from repro.index.storage import CSRInvertedIndex
+
+
+@pytest.fixture
+def collections():
+    r = SetCollection([(0, 1), (2, 3), (1,)])
+    s = SetCollection([(0, 1, 2), (1, 4), (2, 3, 5), (0, 1)])
+    return r, s
+
+
+def test_repro_check_enabled_reads_env_dynamically(monkeypatch):
+    monkeypatch.delenv("REPRO_CHECK", raising=False)
+    assert not repro_check_enabled()
+    monkeypatch.setenv("REPRO_CHECK", "0")
+    assert not repro_check_enabled()
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    assert repro_check_enabled()
+
+
+def test_invariant_violation_is_repro_and_assertion_error():
+    # Callers catching either the library's error hierarchy or plain
+    # assertion failures must see sanitizer trips.
+    assert issubclass(InvariantViolation, ReproError)
+    assert issubclass(InvariantViolation, AssertionError)
+
+
+# -- check_sorted_lists ----------------------------------------------------
+
+
+def test_sorted_lists_pass(collections):
+    __, s = collections
+    check_sorted_lists(InvertedIndex.build(s))
+
+
+def test_unsorted_list_raises(collections):
+    __, s = collections
+    index = InvertedIndex.build(s)
+    element = next(iter(index.lists))
+    index.lists[element] = [2, 1]  # lint: frozen-mutation-ok (test fixture)
+    with pytest.raises(InvariantViolation, match="not strictly ascending"):
+        check_sorted_lists(index)
+
+
+def test_duplicate_id_raises(collections):
+    __, s = collections
+    index = InvertedIndex.build(s)
+    element = next(iter(index.lists))
+    index.lists[element] = [1, 1]  # lint: frozen-mutation-ok (test fixture)
+    with pytest.raises(InvariantViolation, match="not strictly ascending"):
+        check_sorted_lists(index)
+
+
+def test_id_beyond_inf_sid_raises(collections):
+    __, s = collections
+    index = InvertedIndex.build(s)
+    element = next(iter(index.lists))
+    index.lists[element] = [index.inf_sid]  # lint: frozen-mutation-ok (fixture)
+    with pytest.raises(InvariantViolation, match="inf_sid"):
+        check_sorted_lists(index)
+
+
+def test_build_runs_check_under_repro_check(collections, monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    __, s = collections
+    index = InvertedIndex.build(s)  # must not raise on a clean build
+    assert len(index.lists) > 0
+
+
+def test_append_set_incremental_check(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    s = SetCollection([(0, 1)])
+    index = InvertedIndex.build(s)
+    index.append_set((0, 2))  # clean growth passes
+    assert list(index[0]) == [0, 1]
+
+
+# -- check_csr_layout ------------------------------------------------------
+
+
+def test_csr_layout_pass(collections):
+    __, s = collections
+    check_csr_layout(CSRInvertedIndex.build(s))
+
+
+def test_corrupted_keyed_raises(collections):
+    __, s = collections
+    index = CSRInvertedIndex.build(s)
+    keyed = index.keyed.copy()
+    keyed[0], keyed[-1] = keyed[-1], keyed[0]
+    index.keyed = keyed  # lint: frozen-mutation-ok (test fixture)
+    with pytest.raises(InvariantViolation, match="not globally sorted"):
+        check_csr_layout(index)
+
+
+def test_corrupted_offsets_raise(collections):
+    __, s = collections
+    index = CSRInvertedIndex.build(s)
+    offsets = index.offsets.copy()
+    offsets[0] = 1
+    index.offsets = offsets  # lint: frozen-mutation-ok (test fixture)
+    with pytest.raises(InvariantViolation, match="start at 0"):
+        check_csr_layout(index)
+
+
+def test_truncated_values_raise(collections):
+    __, s = collections
+    index = CSRInvertedIndex.build(s)
+    index.values = index.values[:-1]  # lint: frozen-mutation-ok (fixture)
+    with pytest.raises(InvariantViolation):
+        check_csr_layout(index)
+
+
+def test_nonmonotone_offsets_raise(collections):
+    __, s = collections
+    index = CSRInvertedIndex.build(s)
+    offsets = index.offsets.copy()
+    if offsets.shape[0] > 2:
+        offsets[1] = offsets[-1]
+        offsets[-2] = 0
+    index.offsets = offsets  # lint: frozen-mutation-ok (test fixture)
+    with pytest.raises(InvariantViolation):
+        check_csr_layout(index)
+
+
+def test_csr_build_checked_under_repro_check(collections, monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    __, s = collections
+    index = CSRInvertedIndex.build(s)  # clean build must not raise
+    assert index.values.shape[0] == s.total_tokens()
+
+
+# -- crosscheck_backends ---------------------------------------------------
+
+
+def test_crosscheck_accepts_correct_pairs(collections):
+    r, s = collections
+    pairs = set_containment_join(r, s, method="lcjoin")
+    crosscheck_backends(r, s, pairs, "lcjoin")
+
+
+def test_crosscheck_rejects_missing_pair(collections):
+    r, s = collections
+    pairs = set_containment_join(r, s, method="lcjoin")
+    assert pairs, "fixture must produce at least one pair"
+    with pytest.raises(InvariantViolation, match="diverges"):
+        crosscheck_backends(r, s, pairs[:-1], "lcjoin")
+
+
+def test_crosscheck_rejects_extra_pair(collections):
+    r, s = collections
+    pairs = set_containment_join(r, s, method="lcjoin")
+    with pytest.raises(InvariantViolation, match="diverges"):
+        crosscheck_backends(r, s, pairs + [(10_000, 10_000)], "lcjoin")
+
+
+def test_crosscheck_skips_large_instances(collections, monkeypatch):
+    import repro.core.selfcheck as selfcheck
+
+    r, s = collections
+    monkeypatch.setattr(selfcheck, "_CROSSCHECK_CELLS", 1)
+    # Over budget: even a wrong pair set is waved through (sampled check).
+    crosscheck_backends(r, s, [(10_000, 10_000)], "lcjoin")
+
+
+# -- end-to-end: the api wires the sanitizer in ----------------------------
+
+
+def test_csr_join_crosschecked_end_to_end(collections, monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    r, s = collections
+    pairs = set_containment_join(r, s, method="framework", backend="csr")
+    expected = set_containment_join(r, s, method="framework", backend="python")
+    assert sorted(pairs) == sorted(expected)
+
+
+def test_sanitizer_off_by_default(collections, monkeypatch):
+    monkeypatch.delenv("REPRO_CHECK", raising=False)
+    r, s = collections
+    pairs = set_containment_join(r, s, method="framework", backend="csr")
+    expected = set_containment_join(r, s, method="framework", backend="python")
+    assert sorted(pairs) == sorted(expected)
+
+
+@pytest.mark.parametrize("method", ["framework", "tree"])
+def test_sanitized_joins_match_bruteforce(method, monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    rng = np.random.default_rng(7)
+    records = [
+        tuple(sorted(set(rng.integers(0, 12, size=rng.integers(1, 5)).tolist())))
+        for __ in range(25)
+    ]
+    collection = SetCollection(records)
+    got = set(set_containment_join(collection, collection, method=method,
+                                   backend="csr"))
+    expected = {
+        (rid, sid)
+        for rid, rec in enumerate(records)
+        for sid, sup in enumerate(records)
+        if set(rec) <= set(sup)
+    }
+    assert got == expected

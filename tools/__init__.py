@@ -1,0 +1,6 @@
+"""Repository tooling (not shipped inside the ``repro`` library).
+
+``tools.lint`` is the project-specific static analyzer; run it from the
+repository root as ``python -m tools.lint`` (or the installed
+``repro-lint`` script).
+"""

@@ -1,0 +1,43 @@
+"""repro-lint: AST-based invariant checks for the LCJoin reproduction.
+
+The algorithms in :mod:`repro` are only correct under invariants the code
+cannot express locally — inverted lists stay sorted after freeze, the CSR
+arrays are immutable once built, shared-memory segments are released on
+every path, and the batched kernels never fall back to scalar Python loops
+without saying so. This package walks the source tree with :mod:`ast` and
+enforces those invariants *statically*, so a violation fails CI instead of
+surfacing as a silently-wrong join or a leaked ``/dev/shm`` segment.
+
+Checks (each documented in its module under ``tools/lint/checkers``):
+
+========  ====================  ==============================================
+code      checker               invariant
+========  ====================  ==============================================
+RL101     frozen-mutation       frozen index storage is never mutated outside
+                                the builder modules
+RL201     shm-lifecycle         every ``SharedMemory`` creation is paired with
+                                ``close()``/``unlink()`` on a cleanup path
+RL301     hot-loop              no scalar Python loops in hot-path modules
+                                unless marked ``# lint: scalar-fallback``
+RL401     backend-parity        every public ``backend=`` function dispatches
+                                both ``"python"`` and ``"csr"``
+========  ====================  ==============================================
+
+Findings can be suppressed with a marker comment on the offending line or
+the line directly above it::
+
+    # lint: scalar-fallback (straggler tail; superstep overhead dominates)
+    for i in range(cand.shape[0]):
+        ...
+
+Usage::
+
+    python -m tools.lint [paths ...] [--select RL101,RL201] [--list-checks]
+
+Exit status: 0 — clean; 1 — findings; 2 — usage / parse errors.
+"""
+
+from .base import Finding, LintedFile, lint_file, lint_paths
+from .checkers import ALL_CHECKERS
+
+__all__ = ["Finding", "LintedFile", "lint_file", "lint_paths", "ALL_CHECKERS"]

@@ -1,0 +1,199 @@
+"""Shared infrastructure for the repro-lint checkers.
+
+A checker is a callable ``(LintedFile) -> Iterable[Finding]``. The driver
+parses each file once, precomputes the things every checker needs — the
+AST with parent links, the enclosing-function map, and the ``# lint:``
+marker table — and hands the bundle to each registered checker.
+
+Marker comments
+---------------
+``# lint: <name>`` (optionally followed by free-text in parentheses)
+suppresses findings whose checker honours that marker name, on the same
+line or the line immediately below the comment. Markers are parsed
+textually so they work on comment-only lines, which the AST never sees.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = [
+    "Finding",
+    "LintedFile",
+    "Checker",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+]
+
+#: ``# lint: name`` or ``# lint: name (rationale...)``; several names may be
+#: comma-separated. The rationale is ignored by the parser but encouraged.
+_MARKER_RE = re.compile(r"#\s*lint:\s*([a-z][a-z0-9,\s-]*)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class LintedFile:
+    """One parsed source file plus the precomputed maps checkers share."""
+
+    def __init__(self, path: Path, source: str, root: Optional[Path] = None) -> None:
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=str(path))
+        #: Path relative to the lint root, in posix form — what checkers
+        #: match their module scoping rules against (e.g. builder-module
+        #: exemptions, hot-path module selection).
+        base = root if root is not None else Path.cwd()
+        try:
+            self.rel = path.resolve().relative_to(base.resolve()).as_posix()
+        except ValueError:
+            self.rel = path.as_posix()
+        #: line number -> marker names active on that line.
+        self.markers: Dict[int, Set[str]] = _parse_markers(source)
+        #: child AST node -> parent AST node.
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+
+    # -- queries shared by checkers ---------------------------------------
+
+    def suppressed(self, node: ast.AST, marker: str) -> bool:
+        """True if ``marker`` is active on the node's line or the line above."""
+        line = getattr(node, "lineno", 0)
+        return marker in self.markers.get(line, set()) or marker in self.markers.get(
+            line - 1, set()
+        )
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """The innermost function containing ``node`` (None at module level)."""
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        return Finding(
+            path=self.rel,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+
+def _parse_markers(source: str) -> Dict[int, Set[str]]:
+    lines = source.splitlines()
+    markers: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _MARKER_RE.search(text)
+        if match is None:
+            continue
+        names = {
+            name.strip()
+            for name in match.group(1).split(",")
+            if name.strip()
+        }
+        if not names:
+            continue
+        markers.setdefault(lineno, set()).update(names)
+        # A marker on a comment-only line also covers the statement it
+        # documents: flow it down through any further comment/blank lines
+        # to the first code line (multi-line rationale comments are common).
+        if text.lstrip().startswith("#"):
+            cursor = lineno
+            while cursor < len(lines):
+                nxt = lines[cursor].strip()
+                cursor += 1
+                if nxt == "" or nxt.startswith("#"):
+                    continue
+                markers.setdefault(cursor, set()).update(names)
+                break
+    return markers
+
+
+@dataclass(frozen=True)
+class Checker:
+    """A registered check: stable code prefix, marker name, and the callable."""
+
+    code: str
+    name: str
+    description: str
+    run: Callable[[LintedFile], Iterable[Finding]] = field(compare=False)
+
+
+def lint_file(
+    path: Path,
+    checkers: Sequence[Checker],
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Run ``checkers`` over one file; parse errors become an ``RL000`` finding."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        linted = LintedFile(path, source, root=root)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=exc.lineno or 0,
+                col=(exc.offset or 0),
+                code="RL000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for checker in checkers:
+        findings.extend(checker.run(linted))
+    return findings
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to lint, sorted."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    checkers: Sequence[Checker],
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths``, returning sorted findings."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, checkers, root=root))
+    return sorted(findings)

@@ -1,0 +1,21 @@
+"""Checker registry for repro-lint.
+
+Each module contributes one :class:`~tools.lint.base.Checker`; the CLI and
+tests consume the aggregate ``ALL_CHECKERS`` tuple. Codes are stable — they
+are what ``--select`` filters on and what marker documentation refers to.
+"""
+
+from ..base import Checker
+from .backend_parity import CHECKER as BACKEND_PARITY
+from .frozen_mutation import CHECKER as FROZEN_MUTATION
+from .hot_loops import CHECKER as HOT_LOOPS
+from .shm_lifecycle import CHECKER as SHM_LIFECYCLE
+
+__all__ = ["ALL_CHECKERS"]
+
+ALL_CHECKERS: tuple[Checker, ...] = (
+    FROZEN_MUTATION,
+    SHM_LIFECYCLE,
+    HOT_LOOPS,
+    BACKEND_PARITY,
+)

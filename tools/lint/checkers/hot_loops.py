@@ -1,0 +1,58 @@
+"""RL301 — hot-path modules stay vectorized.
+
+The whole point of :mod:`repro.index.kernels` is that probe work happens
+inside numpy, not the interpreter: one ``searchsorted`` per superstep
+instead of one Python frame per probe. A scalar ``for``/``while`` loop
+slipping into that module usually means someone "fixed" a kernel by
+iterating — a silent 10–100x regression the benchmarks only catch later.
+
+This checker flags every ``for``/``while`` statement in the configured
+hot-path modules unless the loop (or the line above it) carries an explicit
+``# lint: scalar-fallback (why)`` marker. The marker is a *claim reviewers
+can audit*: per-superstep driver loops and deliberate straggler fallbacks
+are fine, undeclared per-element iteration is not. Comprehensions and
+generator expressions are not flagged — they show up in setup code, not in
+the superstep loop, and rewriting them is a judgement call for review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..base import Checker, Finding, LintedFile
+
+CODE = "RL301"
+MARKER = "scalar-fallback"
+
+#: Modules whose loops must be declared; relative-path suffixes.
+HOT_MODULES = ("index/kernels.py",)
+
+
+def check(linted: LintedFile) -> List[Finding]:
+    if not linted.rel.endswith(HOT_MODULES):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(linted.tree):
+        if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            continue
+        if linted.suppressed(node, MARKER):
+            continue
+        kind = "while" if isinstance(node, ast.While) else "for"
+        findings.append(
+            linted.finding(
+                node,
+                CODE,
+                f"scalar `{kind}` loop in hot-path module; vectorise it or "
+                "declare it with `# lint: scalar-fallback (why)`",
+            )
+        )
+    return findings
+
+
+CHECKER = Checker(
+    code=CODE,
+    name="hot-loop",
+    description="no undeclared scalar loops in hot-path (kernel) modules",
+    run=check,
+)

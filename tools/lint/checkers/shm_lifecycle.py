@@ -1,0 +1,126 @@
+"""RL201 — every ``SharedMemory`` call sits on a provable cleanup path.
+
+``multiprocessing.shared_memory`` segments are kernel objects: a created
+segment that is never ``unlink()``-ed outlives the process in ``/dev/shm``,
+and an attached one that is never ``close()``-d pins its pages for the
+worker's whole lifetime (pool workers are long-lived, so "until process
+exit" can be a long leak). The join drivers were bitten by exactly this on
+worker-exception paths; this checker makes the lifecycle rules mechanical.
+
+For each **direct** ``SharedMemory(...)`` constructor call the checker
+accepts exactly one of:
+
+* the call is the immediate ``return`` value — ownership escapes raw and
+  the caller is responsible (there is no code between construction and
+  return for an exception to skip);
+* the call is a ``with`` context manager;
+* the enclosing function contains, inside a ``finally`` block or an
+  ``except`` handler that re-raises, a ``.close()`` call — plus a
+  ``.unlink()`` call when the segment was created with ``create=True``
+  (attach-only segments must not unlink: the creator owns the name);
+* the line carries ``# lint: shm-external-lifecycle (why)``.
+
+Anything else is a creation whose cleanup an exception can skip. Indirect
+factories (helpers that return a fresh segment) are deliberately out of
+scope — the helper itself is checked, its callers own what it returns.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Union
+
+from ..base import Checker, Finding, LintedFile
+
+CODE = "RL201"
+MARKER = "shm-external-lifecycle"
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_shared_memory_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "SharedMemory"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "SharedMemory"
+    return False
+
+
+def _creates_segment(node: ast.Call) -> bool:
+    for kw in node.keywords:
+        if kw.arg == "create":
+            return not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is False
+            )
+    return False
+
+
+def _is_returned_directly(linted: LintedFile, node: ast.Call) -> bool:
+    parent = linted.parent(node)
+    return isinstance(parent, ast.Return) and parent.value is node
+
+
+def _is_with_context(linted: LintedFile, node: ast.Call) -> bool:
+    parent = linted.parent(node)
+    return isinstance(parent, ast.withitem) and parent.context_expr is node
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(stmt, ast.Raise) for stmt in ast.walk(handler) if isinstance(stmt, ast.Raise)
+    )
+
+
+def _cleanup_calls_on_exit_paths(func: Optional[_FunctionNode], linted: LintedFile) -> set:
+    """Method names called inside any finally block / re-raising handler."""
+    if func is None:
+        return set()
+    names: set = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try):
+            continue
+        regions: List[ast.AST] = list(node.finalbody)
+        regions.extend(h for h in node.handlers if _handler_reraises(h))
+        for region in regions:
+            for sub in ast.walk(region):
+                if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                    names.add(sub.func.attr)
+    return names
+
+
+def check(linted: LintedFile) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(linted.tree):
+        if not isinstance(node, ast.Call) or not _is_shared_memory_call(node):
+            continue
+        if linted.suppressed(node, MARKER):
+            continue
+        if _is_returned_directly(linted, node) or _is_with_context(linted, node):
+            continue
+        func = linted.enclosing_function(node)
+        cleanup = _cleanup_calls_on_exit_paths(func, linted)
+        creates = _creates_segment(node)
+        needed = {"close", "unlink"} if creates else {"close"}
+        missing = sorted(needed - cleanup)
+        if missing:
+            kind = "created" if creates else "attached"
+            findings.append(
+                linted.finding(
+                    node,
+                    CODE,
+                    f"SharedMemory {kind} without {'/'.join(missing)}() on a "
+                    "finally/except cleanup path (leaks the segment if an "
+                    "exception interleaves); use try/finally, a context "
+                    "manager, or return it directly",
+                )
+            )
+    return findings
+
+
+CHECKER = Checker(
+    code=CODE,
+    name="shm-lifecycle",
+    description="SharedMemory creations paired with close()/unlink() cleanup",
+    run=check,
+)

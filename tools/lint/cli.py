@@ -1,0 +1,94 @@
+"""Command-line front end: ``python -m tools.lint`` / ``repro-lint``.
+
+Exit status: 0 — clean; 1 — findings; 2 — usage errors (unknown check
+codes, missing paths). Output is one ``path:line:col: CODE message`` line
+per finding, ruff/gcc style, so editors and CI annotate it for free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .base import Checker, lint_paths
+from .checkers import ALL_CHECKERS
+
+
+def _select_checkers(select: Optional[str]) -> List[Checker]:
+    if not select:
+        return list(ALL_CHECKERS)
+    wanted = {token.strip().upper() for token in select.split(",") if token.strip()}
+    by_code = {checker.code: checker for checker in ALL_CHECKERS}
+    by_name = {checker.name: checker for checker in ALL_CHECKERS}
+    chosen: List[Checker] = []
+    for token in sorted(wanted):
+        checker = by_code.get(token) or by_name.get(token.lower())
+        if checker is None:
+            raise SystemExit(
+                f"repro-lint: unknown check {token!r}; known: "
+                + ", ".join(sorted(by_code))
+            )
+        if checker not in chosen:
+            chosen.append(checker)
+    return chosen
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checks for the LCJoin reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated check codes/names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="list registered checks and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for checker in ALL_CHECKERS:
+            print(f"{checker.code}  {checker.name:<16} {checker.description}")
+        return 0
+
+    try:
+        checkers = _select_checkers(args.select)
+    except SystemExit as exc:
+        if isinstance(exc.code, str):
+            print(exc.code, file=sys.stderr)
+            return 2
+        raise
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    findings = lint_paths(paths, checkers, root=Path.cwd())
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"repro-lint: {len(findings)} finding(s) in "
+            f"{len({f.path for f in findings})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())
