@@ -21,15 +21,19 @@ from .core.api import JOIN_METHODS, join_methods, set_containment_join
 from .core.containment_index import ContainmentIndex
 from .core.order import GlobalOrder, build_order
 from .core.parallel import parallel_join
-from .core.results import CallbackSink, CountSink, PairListSink
+from .core.results import CallbackSink, CountSink, JoinReport, PairListSink
 from .core.stats import JoinStats
 from .data.collection import ElementDictionary, SetCollection
 from .errors import (
     DatasetError,
+    DegradedExecutionWarning,
     InvalidParameterError,
+    JoinTimeoutError,
     ReproError,
     UnknownMethodError,
+    WorkerFailedError,
 )
+from .faults import FaultPlan
 from .index.inverted import InvertedIndex
 from .index.prefix_tree import PrefixTree
 from .index.storage import CSRInvertedIndex
@@ -53,9 +57,14 @@ __all__ = [
     "PairListSink",
     "CountSink",
     "CallbackSink",
+    "JoinReport",
+    "FaultPlan",
     "ReproError",
     "DatasetError",
     "InvalidParameterError",
     "UnknownMethodError",
+    "WorkerFailedError",
+    "JoinTimeoutError",
+    "DegradedExecutionWarning",
     "__version__",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from .bench.report import format_measurements
@@ -56,6 +57,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="load at most this many sets per file")
     p_join.add_argument("--output", default=None,
                         help="write result pairs here instead of stdout")
+    p_join.add_argument("--workers", type=int, default=None,
+                        help="run the supervised parallel driver with this "
+                        "many worker processes")
+    p_join.add_argument("--retries", type=int, default=2,
+                        help="re-dispatches per failed chunk (parallel only)")
+    p_join.add_argument("--task-timeout", type=float, default=None,
+                        help="per-chunk worker deadline in seconds; hung "
+                        "workers are killed and retried (parallel only)")
+    p_join.add_argument("--backoff", type=float, default=0.05,
+                        help="base retry delay in seconds, doubled per "
+                        "attempt (parallel only)")
+    p_join.add_argument("--no-fallback", action="store_true",
+                        help="fail instead of degrading to in-process "
+                        "execution when a chunk exhausts its retries")
+    p_join.add_argument("--report", action="store_true",
+                        help="print the supervision report (attempts, "
+                        "retries, degradations) to stderr")
 
     p_gen = sub.add_parser("generate", help="generate a dataset file")
     p_gen.add_argument("output", help="output path")
@@ -125,7 +143,28 @@ def _cmd_join(args: argparse.Namespace) -> int:
     else:
         s_collection, __ = _load(args.s_file, args.tokens, args.max_sets, dictionary)
     stats = JoinStats()
-    if args.count_only:
+    if args.workers is not None:
+        from .core.parallel import parallel_join
+
+        start = time.perf_counter()
+        pairs, report = parallel_join(
+            r_collection, s_collection, method=args.method,
+            workers=args.workers, retries=args.retries,
+            task_timeout=args.task_timeout, backoff=args.backoff,
+            fallback=not args.no_fallback, return_report=True,
+        )
+        stats.elapsed_seconds = time.perf_counter() - start
+        stats.results = len(pairs)
+        if args.report:
+            print(report.summary(), file=sys.stderr)
+        elif report.degradations:
+            for note in report.degradations:
+                print(f"# degraded: {note}", file=sys.stderr)
+        if args.count_only:
+            print(len(pairs))
+        else:
+            _write_pairs(pairs, args.output)
+    elif args.count_only:
         count = set_containment_join(
             r_collection, s_collection, method=args.method,
             collect="count", stats=stats,
@@ -135,19 +174,23 @@ def _cmd_join(args: argparse.Namespace) -> int:
         pairs = set_containment_join(
             r_collection, s_collection, method=args.method, stats=stats
         )
-        out = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
-        try:
-            for rid, sid in pairs:
-                out.write(f"{rid} {sid}\n")
-        finally:
-            if args.output:
-                out.close()
+        _write_pairs(pairs, args.output)
     print(
         f"# method={args.method} results={stats.results} "
         f"time={stats.elapsed_seconds:.3f}s searches={stats.binary_searches}",
         file=sys.stderr,
     )
     return 0
+
+
+def _write_pairs(pairs, output: Optional[str]) -> None:
+    out = open(output, "w", encoding="utf-8") if output else sys.stdout
+    try:
+        for rid, sid in pairs:
+            out.write(f"{rid} {sid}\n")
+    finally:
+        if output:
+            out.close()
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:

@@ -18,7 +18,16 @@ from .tolerant import merge_skip, scan_count, tolerant_containment_join
 from .order import GlobalOrder, build_order
 from .parallel import parallel_join, split_collection
 from .partition import all_partition_join, lcjoin
-from .results import CallbackSink, CountSink, PairListSink, make_sink
+from .results import (
+    AttemptRecord,
+    CallbackSink,
+    ChunkReport,
+    CountSink,
+    JoinReport,
+    PairListSink,
+    make_sink,
+)
+from .supervisor import Supervisor
 from .stats import JoinStats
 from .tree_join import tree_join
 from .verify import check_join_result, ground_truth
@@ -34,6 +43,10 @@ __all__ = [
     "lcjoin",
     "parallel_join",
     "split_collection",
+    "Supervisor",
+    "JoinReport",
+    "ChunkReport",
+    "AttemptRecord",
     "blocked_join",
     "iter_blocks",
     "GlobalOrder",

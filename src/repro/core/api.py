@@ -89,6 +89,10 @@ def set_containment_join(
     callback: Optional[Callable[[int, int], None]] = None,
     stats: Optional[JoinStats] = None,
     backend: str = "python",
+    workers: Optional[int] = None,
+    retries: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    backoff: Optional[float] = None,
     **kwargs,
 ) -> Union[List[Tuple[int, int]], int]:
     """Compute ``R ⋈⊆ S = {(rid, sid) | R[rid] ⊆ S[sid]}``.
@@ -119,6 +123,13 @@ def set_containment_join(
         identical pair set; ``"csr"`` is supported by the index-probing
         methods (``framework``, ``framework_et``, ``tree``, ``tree_et``)
         and raises :class:`~repro.errors.InvalidParameterError` elsewhere.
+    workers:
+        When set, the join runs through the supervised multiprocess driver
+        (:func:`repro.core.parallel.parallel_join`) with that many worker
+        processes; ``retries``, ``task_timeout`` and ``backoff`` then tune
+        its failure policy (per-chunk re-dispatch count, hang deadline in
+        seconds, and base retry delay). Supplying those three without
+        ``workers`` is an error — they have no serial meaning.
     kwargs:
         Method-specific knobs (e.g. ``limit=`` for LIMIT+, ``k=`` for
         TT-Join, ``patience=`` for LCJoin, ``patricia=True`` for the
@@ -128,6 +139,36 @@ def set_containment_join(
     -------
     The pair list (``collect="pairs"``) or the result count.
     """
+    supervision = {
+        "retries": retries, "task_timeout": task_timeout, "backoff": backoff
+    }
+    if workers is None:
+        set_knobs = [name for name, value in supervision.items() if value is not None]
+        if set_knobs:
+            raise InvalidParameterError(
+                f"{', '.join(set_knobs)} only apply to parallel joins; "
+                "pass workers= as well"
+            )
+    else:
+        # Lazy import: parallel_join's workers call back into this function,
+        # so the modules are mutually recursive by design.
+        from .parallel import parallel_join
+
+        knobs = {k: v for k, v in supervision.items() if v is not None}
+        start = time.perf_counter()
+        pairs = parallel_join(
+            r_collection, s_collection, method=method, workers=workers,
+            backend=backend, **knobs, **kwargs,
+        )
+        sink = make_sink(collect, callback)
+        for rid, sid in pairs:
+            sink.add(rid, sid)
+        if stats is not None:
+            stats.elapsed_seconds += time.perf_counter() - start
+            stats.results += len(sink)
+        if collect == "pairs":
+            return sink.pairs
+        return len(sink)
     if method == "auto":
         # Lazy import: the planner's estimator runs joins through this very
         # function, so the modules are mutually recursive by design.

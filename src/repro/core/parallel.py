@@ -31,19 +31,33 @@ skew badly when record sizes are correlated with position — common after
 frequency reordering or sorted data loads — leaving one worker with all the
 big sets; round-robin dealing keeps per-chunk work balanced for any sorted
 input while preserving exact rid remapping.
+
+Since the chunks are independently re-executable, worker failures are
+recoverable: dispatch runs through :class:`~repro.core.supervisor
+.Supervisor`, which detects crashed and hung workers, retries chunks with
+capped exponential backoff (``retries=``, ``task_timeout=``, ``backoff=``),
+downgrades the payload path when shared memory misbehaves, and — after
+exhausting retries — falls back to in-process execution on the python
+backend. ``return_report=True`` returns the structured
+:class:`~repro.core.results.JoinReport` of all that alongside the pairs;
+see the "Failure model" section of ``docs/internals.md``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..data.collection import SetCollection
 from ..errors import InvalidParameterError
+from ..faults import FaultPlan
 from ..index.inverted import InvertedIndex
 from ..index.storage import CSRInvertedIndex, SharedCSRHandle
 from .api import BACKEND_METHODS, BACKENDS, set_containment_join
 from .order import build_order
+from .results import AttemptRecord, ChunkReport, JoinReport
+from .supervisor import Supervisor
 
 __all__ = ["parallel_join", "split_collection"]
 
@@ -60,9 +74,9 @@ _INDEX_METHODS = frozenset(
 _ORDER_METHODS = frozenset({"tree", "tree_et", "all_partition", "lcjoin"})
 
 #: Fork-inherited payloads: populated in the parent immediately before the
-#: pool forks, read by workers through copy-on-write memory, and dropped in
-#: the parent's ``finally``. Keyed by id so nested/concurrent joins cannot
-#: collide.
+#: workers fork, read by workers through copy-on-write memory, and dropped
+#: in the parent's ``finally``. Keyed by id so nested/concurrent joins
+#: cannot collide.
 _FORK_SHARED: Dict[int, CSRInvertedIndex] = {}
 
 
@@ -130,11 +144,11 @@ def _join_chunk(args: Tuple[Any, ...]) -> List[Tuple[int, int]]:
     kw.update(extra)
     index = _resolve_index(payload)
     # Segments attached from shared memory must be detached even when the
-    # join raises: pool workers are long-lived, so an exception that leaves
-    # the attachment open pins the mapping (and, pre-3.13, keeps the
-    # resource tracker believing the worker still uses it) until the whole
-    # pool shuts down. The creator's unlink in parallel_join's ``finally``
-    # does not release *this worker's* mapping — only close() does.
+    # join raises: an exception that leaves the attachment open pins the
+    # mapping (and, pre-3.13, keeps the resource tracker believing the
+    # worker still uses it) for the rest of the worker's lifetime. The
+    # creator's unlink in parallel_join's ``finally`` does not release
+    # *this worker's* mapping — only close() does.
     attached = payload is not None and payload[0] == "shm"
     try:
         if index is not None:
@@ -158,13 +172,21 @@ def parallel_join(
     backend: str = "python",
     strategy: str = "round_robin",
     index: Optional[Union[InvertedIndex, CSRInvertedIndex]] = None,
+    retries: int = 2,
+    task_timeout: Optional[float] = None,
+    backoff: float = 0.05,
+    backoff_cap: float = 2.0,
+    fallback: bool = True,
+    faults: Optional[FaultPlan] = None,
+    return_report: bool = False,
     **kwargs: Any,
-) -> List[Tuple[int, int]]:
+) -> Union[List[Tuple[int, int]], Tuple[List[Tuple[int, int]], JoinReport]]:
     """Join with ``workers`` processes (defaults to the CPU count).
 
-    Returns the pair list (rids refer to ``r_collection``). With one worker
-    (or one chunk) everything runs in-process, so tests and small inputs
-    pay no fork cost.
+    Returns the pair list (rids refer to ``r_collection``), or
+    ``(pairs, report)`` with ``return_report=True``. With one worker (or
+    one chunk) everything runs in-process, so tests and small inputs pay no
+    fork cost.
 
     The superset-side index is built **once** here and shared with every
     worker — via shared memory for ``backend="csr"`` (zero-copy attach),
@@ -174,6 +196,16 @@ def parallel_join(
     the same ``S``. ``strategy`` selects the ``R`` chunking
     (:func:`split_collection`); round-robin is the default because it stays
     balanced on size-sorted inputs.
+
+    Multi-process runs are supervised: each chunk is a tracked task with up
+    to ``retries`` re-dispatches (exponential ``backoff`` capped at
+    ``backoff_cap``) and an optional per-attempt ``task_timeout`` that
+    catches hung workers. A chunk whose retries are exhausted falls back to
+    in-process python-backend execution unless ``fallback=False``, in which
+    case :class:`~repro.errors.WorkerFailedError` /
+    :class:`~repro.errors.JoinTimeoutError` is raised. ``faults`` (or the
+    ``REPRO_FAULTS`` environment variable) injects deterministic worker
+    faults for testing — see :mod:`repro.faults`.
     """
     workers = workers if workers is not None else multiprocessing.cpu_count()
     if workers < 1:
@@ -187,9 +219,12 @@ def parallel_join(
             f"backend={backend!r} is only supported by "
             f"{sorted(BACKEND_METHODS)}; got method={method!r}"
         )
+    if faults is None:
+        faults = FaultPlan.from_env()
     chunks = split_collection(r_collection, workers, strategy=strategy)
     if not chunks:
-        return []
+        report = JoinReport(workers=workers)
+        return ([], report) if return_report else []
 
     extra: Dict[str, Any] = {}
     if method in _ORDER_METHODS and "order" not in kwargs:
@@ -208,40 +243,67 @@ def parallel_join(
         shared_index = InvertedIndex.build(s_collection)
 
     in_process = len(chunks) == 1 or workers == 1
-    payload: Optional[_IndexPayload] = None
     handle: Optional[SharedCSRHandle] = None
     fork_token: Optional[int] = None
-    if shared_index is not None:
-        if in_process:
-            payload = ("direct", shared_index)
-        elif backend == "csr":
-            assert isinstance(shared_index, CSRInvertedIndex)
-            try:
-                handle = shared_index.to_shared_memory()
-                payload = ("shm", handle)
-            except OSError:
-                # No usable /dev/shm (containers with tiny or absent shm
-                # mounts). Fall back to fork-inherited copy-on-write pages,
-                # then to plain pickling.
-                if multiprocessing.get_start_method() == "fork":
-                    fork_token = id(shared_index)
-                    _FORK_SHARED[fork_token] = shared_index
-                    payload = ("fork", fork_token)
-                else:  # pragma: no cover - non-fork platforms only
-                    payload = ("pickle", shared_index)
-        else:
-            payload = ("pickle", shared_index)
-
-    jobs = [
-        (rid_map, piece, s_collection, method, backend, payload, extra, kwargs)
-        for rid_map, piece in chunks
-    ]
     try:
+        primary_mode = "none"
+        payloads: Dict[str, Optional[_IndexPayload]] = {"none": None, "local": None}
+        if shared_index is not None:
+            payloads["pickle"] = ("pickle", shared_index)
+            if in_process:
+                primary_mode = "direct"
+                payloads["direct"] = ("direct", shared_index)
+            elif backend == "csr":
+                assert isinstance(shared_index, CSRInvertedIndex)
+                try:
+                    handle = shared_index.to_shared_memory()
+                    primary_mode = "shm"
+                    payloads["shm"] = ("shm", handle)
+                except OSError:
+                    # No usable /dev/shm (containers with tiny or absent
+                    # shm mounts). Fall back to fork-inherited copy-on-
+                    # write pages, then to plain pickling.
+                    if multiprocessing.get_start_method() == "fork":
+                        fork_token = id(shared_index)
+                        _FORK_SHARED[fork_token] = shared_index
+                        primary_mode = "fork"
+                        payloads["fork"] = ("fork", fork_token)
+                    else:  # pragma: no cover - non-fork platforms only
+                        primary_mode = "pickle"
+            else:
+                primary_mode = "pickle"
+
+        def make_job(chunk_id: int, mode: str) -> Tuple[Any, ...]:
+            rid_map, piece = chunks[chunk_id]
+            if mode == "local":
+                # Degradation terminus: in-process, pure-python backend,
+                # method builds its own chunk-scoped structures. Slowest
+                # path, fewest moving parts.
+                return (rid_map, piece, s_collection, method, "python",
+                        None, extra, kwargs)
+            return (rid_map, piece, s_collection, method, backend,
+                    payloads[mode], extra, kwargs)
+
         if in_process:
-            results = [_join_chunk(job) for job in jobs]
+            results, report = _run_in_process(chunks, make_job, primary_mode)
         else:
-            with multiprocessing.Pool(processes=len(jobs)) as pool:
-                results = pool.map(_join_chunk, jobs)
+            supervisor = Supervisor(
+                num_chunks=len(chunks),
+                make_job=make_job,
+                runner=_join_chunk,
+                primary_mode=primary_mode,
+                workers=workers,
+                retries=retries,
+                task_timeout=task_timeout,
+                backoff=backoff,
+                backoff_cap=backoff_cap,
+                fallback=fallback,
+                plan=faults,
+                chunk_sizes=[len(piece) for __, piece in chunks],
+            )
+            by_chunk = supervisor.run()
+            results = [by_chunk[i] for i in range(len(chunks))]
+            report = supervisor.report
     finally:
         if handle is not None:
             handle.cleanup()
@@ -250,4 +312,34 @@ def parallel_join(
     out: List[Tuple[int, int]] = []
     for part in results:
         out.extend(part)
-    return out
+    return (out, report) if return_report else out
+
+
+def _run_in_process(
+    chunks: List[Tuple[Union[int, List[int]], SetCollection]],
+    make_job: Any,
+    primary_mode: str,
+) -> Tuple[List[List[Tuple[int, int]]], JoinReport]:
+    """The no-fork fast path, reported in the same shape as supervised runs."""
+    report = JoinReport(workers=1)
+    results = []
+    start = time.perf_counter()
+    for chunk_id, (__, piece) in enumerate(chunks):
+        t0 = time.perf_counter()
+        results.append(_join_chunk(make_job(chunk_id, primary_mode)))
+        report.chunks.append(
+            ChunkReport(
+                chunk=chunk_id,
+                size=len(piece),
+                attempts=[
+                    AttemptRecord(
+                        number=1,
+                        mode=primary_mode,
+                        outcome="ok",
+                        duration=time.perf_counter() - t0,
+                    )
+                ],
+            )
+        )
+    report.elapsed_seconds = time.perf_counter() - start
+    return results, report

@@ -13,6 +13,7 @@ three implementations cover the practical cases.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Collection, Iterable, List, Optional, Protocol, Tuple, Union
 
 __all__ = [
@@ -21,6 +22,9 @@ __all__ = [
     "CountSink",
     "CallbackSink",
     "make_sink",
+    "AttemptRecord",
+    "ChunkReport",
+    "JoinReport",
 ]
 
 
@@ -120,6 +124,115 @@ class CallbackSink:
 
     def __len__(self) -> int:
         return self.count
+
+
+# --------------------------------------------------------------------------
+# Execution reports (the supervised parallel join)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One dispatch of one chunk: where it ran and how it ended.
+
+    ``mode`` is the index-payload path the attempt used — ``"shm"``,
+    ``"fork"``, ``"pickle"``, ``"none"`` (no shared index), ``"direct"``
+    (in-process fast path) or ``"local"`` (the in-process degradation
+    fallback). ``outcome`` is ``"ok"``, ``"error"`` (worker raised),
+    ``"crash"`` (worker died without a result) or ``"timeout"`` (killed at
+    the ``task_timeout`` deadline).
+    """
+
+    number: int
+    mode: str
+    outcome: str
+    duration: float
+    error: Optional[str] = None
+
+
+@dataclass
+class ChunkReport:
+    """Everything that happened to one chunk of ``R``."""
+
+    chunk: int
+    size: int
+    attempts: List[AttemptRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.attempts) and self.attempts[-1].outcome == "ok"
+
+    @property
+    def retries(self) -> int:
+        """Dispatches beyond the first (the supervision overhead paid)."""
+        return max(0, len(self.attempts) - 1)
+
+    @property
+    def final_mode(self) -> str:
+        return self.attempts[-1].mode if self.attempts else "none"
+
+    @property
+    def wall_clock(self) -> float:
+        """Seconds spent on this chunk across all attempts (incl. failed)."""
+        return sum(a.duration for a in self.attempts)
+
+
+@dataclass
+class JoinReport:
+    """Structured account of a supervised :func:`parallel_join` run.
+
+    Returned alongside the pairs with ``return_report=True``: per-chunk
+    attempts with outcomes and wall-clock, plus every degradation step the
+    supervisor took (payload downgrades, in-process fallbacks). A report
+    with ``total_retries == 0`` and no ``degradations`` is a clean run.
+    """
+
+    chunks: List[ChunkReport] = field(default_factory=list)
+    degradations: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    workers: int = 1
+    fault_plan: Optional[str] = None
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(len(c.attempts) for c in self.chunks)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(c.retries for c in self.chunks)
+
+    @property
+    def fallbacks(self) -> int:
+        """Chunks that ended on the in-process degradation path."""
+        return sum(1 for c in self.chunks if c.final_mode == "local")
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.chunks)
+
+    def chunk(self, chunk_id: int) -> ChunkReport:
+        """The report for one chunk id (chunks are listed in id order)."""
+        return self.chunks[chunk_id]
+
+    def summary(self) -> str:
+        """Multi-line human-readable rendering (used by the CLI)."""
+        lines = [
+            f"chunks={len(self.chunks)} workers={self.workers} "
+            f"attempts={self.total_attempts} retries={self.total_retries} "
+            f"fallbacks={self.fallbacks} elapsed={self.elapsed_seconds:.3f}s"
+        ]
+        if self.fault_plan:
+            lines.append(f"fault plan: {self.fault_plan}")
+        for c in self.chunks:
+            trail = " -> ".join(
+                f"{a.mode}:{a.outcome}" for a in c.attempts
+            )
+            lines.append(
+                f"  chunk {c.chunk} ({c.size} sets, {c.wall_clock:.3f}s): {trail}"
+            )
+        for note in self.degradations:
+            lines.append(f"  degraded: {note}")
+        return "\n".join(lines)
 
 
 def make_sink(

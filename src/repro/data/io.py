@@ -18,15 +18,26 @@ from .collection import ElementDictionary, SetCollection
 __all__ = ["save_collection", "load_collection", "load_tokens", "iter_lines"]
 
 
-def iter_lines(path: str) -> Iterator[str]:
-    """Yield non-blank lines of a dataset file, stripped."""
+def _iter_numbered_lines(path: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, line)`` for non-blank lines, stripped.
+
+    ``lineno`` is the 1-based *physical* line number in the file — blank
+    lines are skipped but still counted, so error messages point at the
+    line an editor would show, not at the n-th non-blank record.
+    """
     if not os.path.exists(path):
         raise DatasetError(f"dataset file not found: {path}")
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if line:
-                yield line
+                yield lineno, line
+
+
+def iter_lines(path: str) -> Iterator[str]:
+    """Yield non-blank lines of a dataset file, stripped."""
+    for __, line in _iter_numbered_lines(path):
+        yield line
 
 
 def save_collection(collection: SetCollection, path: str) -> None:
@@ -41,20 +52,31 @@ def load_collection(path: str, max_sets: Optional[int] = None) -> SetCollection:
     """Read an integer-token dataset file.
 
     ``max_sets`` truncates the load (handy for quick experiments on big
-    files). Malformed tokens raise :class:`~repro.errors.DatasetError` with
-    the offending line number.
+    files). Any malformed line — a non-integer or negative token — raises
+    :class:`~repro.errors.DatasetError` carrying the file path and the
+    1-based physical line number (blank lines count), so the message
+    points at the exact line to fix. Record validation happens here in the
+    streaming loop rather than inside :class:`SetCollection`, precisely so
+    the error can carry that location context.
     """
 
     def records() -> Iterator[List[int]]:
-        for lineno, line in enumerate(iter_lines(path), start=1):
-            if max_sets is not None and lineno > max_sets:
+        loaded = 0
+        for lineno, line in _iter_numbered_lines(path):
+            if max_sets is not None and loaded >= max_sets:
                 return
             try:
-                yield [int(tok) for tok in line.split()]
+                record = [int(tok) for tok in line.split()]
             except ValueError as exc:
                 raise DatasetError(
                     f"{path}:{lineno}: non-integer token in {line!r}"
                 ) from exc
+            if any(tok < 0 for tok in record):
+                raise DatasetError(
+                    f"{path}:{lineno}: negative element id in {line!r}"
+                )
+            loaded += 1
+            yield record
 
     return SetCollection(records())
 
@@ -72,9 +94,11 @@ def load_tokens(
     d = dictionary if dictionary is not None else ElementDictionary()
 
     def records() -> Iterator[List[int]]:
-        for lineno, line in enumerate(iter_lines(path), start=1):
-            if max_sets is not None and lineno > max_sets:
+        loaded = 0
+        for __, line in _iter_numbered_lines(path):
+            if max_sets is not None and loaded >= max_sets:
                 return
+            loaded += 1
             yield [d.encode(tok) for tok in line.split()]
 
     return SetCollection(records(), dictionary=d), d

@@ -14,6 +14,10 @@ __all__ = [
     "InvalidParameterError",
     "UnknownMethodError",
     "InvariantViolation",
+    "WorkerFailedError",
+    "JoinTimeoutError",
+    "ShmAttachError",
+    "DegradedExecutionWarning",
 ]
 
 
@@ -35,6 +39,52 @@ class InvariantViolation(ReproError, AssertionError):
     Derives from :class:`AssertionError` because these are debug asserts —
     they indicate a bug in the library (or a caller mutating frozen index
     storage), never a recoverable user input condition.
+    """
+
+
+class WorkerFailedError(ReproError, RuntimeError):
+    """A parallel-join chunk failed on every attempt and fallback was off.
+
+    Raised by :mod:`repro.core.supervisor` only when graceful degradation is
+    disabled (``fallback=False``); with the default policy an exhausted
+    chunk re-runs in-process instead of raising.
+    """
+
+    def __init__(self, chunk: int, attempts: int, last_error: str) -> None:
+        self.chunk = chunk
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"chunk {chunk} failed after {attempts} attempt(s): {last_error}"
+        )
+
+
+class JoinTimeoutError(WorkerFailedError):
+    """A chunk's worker exceeded ``task_timeout`` on its final attempt.
+
+    Subclasses :class:`WorkerFailedError` so one ``except`` handles both;
+    the distinct type exists because a hang usually points at a different
+    root cause (lock, I/O stall) than a crash.
+    """
+
+
+class ShmAttachError(ReproError, OSError):
+    """Attaching a shared-memory segment failed in a worker.
+
+    Classified separately from other worker errors because the supervisor
+    reacts differently: repeated attach failures downgrade the payload path
+    from shared memory to pickling instead of burning retries on a segment
+    that will never map.
+    """
+
+
+class DegradedExecutionWarning(UserWarning):
+    """A parallel join completed, but not on the fast path it started on.
+
+    Emitted (via :mod:`warnings`) whenever the supervisor downgrades a
+    chunk — shm → pickle payload, or worker → in-process execution — so
+    callers notice that results were computed correctly but more slowly.
+    Not a :class:`ReproError`: the join still returned the exact pair set.
     """
 
 

@@ -1,0 +1,265 @@
+"""Deterministic fault injection for the supervised parallel join.
+
+The supervisor in :mod:`repro.core.supervisor` is only trustworthy if its
+failure handling is *tested* — and worker crashes, hangs, and shared-memory
+attach failures do not happen on demand. This module makes them happen on
+demand, deterministically: a :class:`FaultPlan` is a list of rules keyed on
+``(chunk, attempt)``, shipped into every worker, and consulted at two well
+defined points of the worker lifecycle:
+
+* **start** — before the chunk join begins, a matching ``crash`` / ``hang``
+  / ``raise`` rule fires (hard ``os._exit``, a long sleep, or a
+  :class:`FaultInjected` exception);
+* **attach** — before a shared-memory payload is resolved, a matching
+  ``shmfail`` rule raises :class:`~repro.errors.ShmAttachError`, exercising
+  the supervisor's payload-downgrade ladder.
+
+Spec grammar (``REPRO_FAULTS`` environment variable or ``FaultPlan.parse``)::
+
+    spec    = rule (";" rule)*          # "," also accepted as a separator
+    rule    = chunk ":" attempt ":" action ["@" prob] ["=" arg]
+    chunk   = int | "*"                 # chunk id (0-based) or any chunk
+    attempt = int | "*"                 # attempt number (1-based) or any
+    action  = "crash" | "hang" | "raise" | "shmfail"
+    arg     = float                     # hang duration seconds (default 3600)
+    prob    = float in (0, 1]           # fire probability (default 1)
+
+Examples: ``*:1:crash`` crashes every worker exactly once (each chunk's
+first attempt); ``0:*:hang=120`` hangs chunk 0 on every attempt;
+``*:1:crash@0.5`` crashes roughly half the chunks' first attempts.
+
+Probabilistic rules stay **reproducible**: whether a rule fires is a pure
+function of ``(seed, chunk, attempt, action)`` hashed through SHA-256 —
+there is no RNG state, so the same plan produces the same faults in every
+process and on every run. The seed comes from ``FaultPlan(seed=...)`` or
+``REPRO_FAULTS_SEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple
+
+from .errors import InvalidParameterError, ReproError, ShmAttachError
+
+__all__ = [
+    "FaultInjected",
+    "FaultRule",
+    "FaultPlan",
+    "ACTIONS",
+    "FAULTS_ENV",
+    "FAULTS_SEED_ENV",
+]
+
+#: Environment variables activating / seeding injection.
+FAULTS_ENV = "REPRO_FAULTS"
+FAULTS_SEED_ENV = "REPRO_FAULTS_SEED"
+
+#: Recognised fault actions. ``crash``/``hang``/``raise`` fire at worker
+#: start; ``shmfail`` fires at shared-memory attach time.
+ACTIONS = ("crash", "hang", "raise", "shmfail")
+
+#: Exit code used by injected crashes, distinctive in worker exit status.
+CRASH_EXIT_CODE = 66
+
+#: Default sleep for ``hang`` — long enough that any sane ``task_timeout``
+#: expires first.
+DEFAULT_HANG_SECONDS = 3600.0
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """The exception raised by a ``raise`` fault rule."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: *on chunk C's attempt A, do ACTION*.
+
+    ``chunk``/``attempt`` of ``None`` are wildcards (the ``*`` spelling in
+    the spec grammar). ``attempt`` numbering is 1-based — attempt 1 is the
+    first dispatch, so ``attempt=1`` rules model transient faults that a
+    single retry absorbs.
+    """
+
+    chunk: Optional[int]
+    attempt: Optional[int]
+    action: str
+    arg: Optional[float] = None
+    prob: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise InvalidParameterError(
+                f"unknown fault action {self.action!r}; expected one of {ACTIONS}"
+            )
+        if not 0.0 < self.prob <= 1.0:
+            raise InvalidParameterError(
+                f"fault probability must be in (0, 1], got {self.prob}"
+            )
+
+    def matches(self, chunk: int, attempt: int) -> bool:
+        return (self.chunk is None or self.chunk == chunk) and (
+            self.attempt is None or self.attempt == attempt
+        )
+
+
+def _parse_part(token: str, what: str) -> Optional[int]:
+    if token == "*":
+        return None
+    try:
+        value = int(token)
+    except ValueError:
+        raise InvalidParameterError(
+            f"bad fault {what} {token!r}: expected an integer or '*'"
+        ) from None
+    if value < 0 or (what == "attempt" and value < 1):
+        raise InvalidParameterError(f"fault {what} out of range: {token!r}")
+    return value
+
+
+def _parse_rule(text: str) -> FaultRule:
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise InvalidParameterError(
+            f"bad fault rule {text!r}: expected 'chunk:attempt:action[@prob][=arg]'"
+        )
+    chunk = _parse_part(parts[0].strip(), "chunk")
+    attempt = _parse_part(parts[1].strip(), "attempt")
+    action = parts[2].strip()
+    arg: Optional[float] = None
+    prob = 1.0
+    if "=" in action:
+        action, arg_text = action.split("=", 1)
+        try:
+            arg = float(arg_text)
+        except ValueError:
+            raise InvalidParameterError(
+                f"bad fault arg {arg_text!r} in rule {text!r}"
+            ) from None
+    if "@" in action:
+        action, prob_text = action.split("@", 1)
+        try:
+            prob = float(prob_text)
+        except ValueError:
+            raise InvalidParameterError(
+                f"bad fault probability {prob_text!r} in rule {text!r}"
+            ) from None
+    return FaultRule(chunk, attempt, action.strip(), arg=arg, prob=prob)
+
+
+class FaultPlan:
+    """A parsed, picklable set of fault rules plus the decision seed.
+
+    Instances are immutable in practice and ship to workers inside the job
+    payload; all decisions are pure functions of the plan, so parent and
+    workers always agree on what fires where.
+    """
+
+    __slots__ = ("rules", "seed")
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0) -> None:
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self.seed = seed
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(rules={list(self.rules)!r}, seed={self.seed})"
+
+    def __getstate__(self) -> Tuple[Tuple[FaultRule, ...], int]:
+        return (self.rules, self.seed)
+
+    def __setstate__(self, state: Tuple[Tuple[FaultRule, ...], int]) -> None:
+        self.rules, self.seed = state
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse the spec grammar documented in the module docstring."""
+        rules = []
+        for chunk_text in spec.replace(",", ";").split(";"):
+            chunk_text = chunk_text.strip()
+            if chunk_text:
+                rules.append(_parse_rule(chunk_text))
+        if not rules:
+            raise InvalidParameterError(f"fault spec {spec!r} contains no rules")
+        return cls(rules, seed=seed)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["FaultPlan"]:
+        """The plan described by ``REPRO_FAULTS``, or ``None`` when unset."""
+        env = os.environ if environ is None else environ
+        spec = env.get(FAULTS_ENV, "").strip()
+        if not spec:
+            return None
+        seed = int(env.get(FAULTS_SEED_ENV, "0"))
+        return cls.parse(spec, seed=seed)
+
+    # -- decisions --------------------------------------------------------
+
+    def _fires(self, rule: FaultRule, chunk: int, attempt: int) -> bool:
+        if rule.prob >= 1.0:
+            return True
+        key = f"{self.seed}:{chunk}:{attempt}:{rule.action}".encode()
+        digest = hashlib.sha256(key).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return fraction < rule.prob
+
+    def rule_for(
+        self, chunk: int, attempt: int, actions: Sequence[str]
+    ) -> Optional[FaultRule]:
+        """First matching-and-firing rule among ``actions``, if any."""
+        for rule in self.rules:
+            if (
+                rule.action in actions
+                and rule.matches(chunk, attempt)
+                and self._fires(rule, chunk, attempt)
+            ):
+                return rule
+        return None
+
+    # -- injection points -------------------------------------------------
+
+    def fire_worker_start(self, chunk: int, attempt: int) -> None:
+        """Apply any start-stage fault for this (chunk, attempt).
+
+        ``crash`` hard-exits the process (no unwinding, no result message —
+        exactly what a segfault or OOM kill looks like from the parent),
+        ``hang`` sleeps past any reasonable deadline, ``raise`` raises
+        :class:`FaultInjected`.
+        """
+        rule = self.rule_for(chunk, attempt, ("crash", "hang", "raise"))
+        if rule is None:
+            return
+        if rule.action == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if rule.action == "hang":
+            time.sleep(rule.arg if rule.arg is not None else DEFAULT_HANG_SECONDS)
+            return
+        raise FaultInjected(
+            f"injected fault: chunk {chunk} attempt {attempt} raises"
+        )
+
+    def fire_attach(self, chunk: int, attempt: int) -> None:
+        """Raise :class:`ShmAttachError` if a ``shmfail`` rule fires."""
+        rule = self.rule_for(chunk, attempt, ("shmfail",))
+        if rule is not None:
+            raise ShmAttachError(
+                f"injected fault: chunk {chunk} attempt {attempt} "
+                "shared-memory attach failure"
+            )
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and reports."""
+
+        def part(rule: FaultRule) -> str:
+            c = "*" if rule.chunk is None else str(rule.chunk)
+            a = "*" if rule.attempt is None else str(rule.attempt)
+            suffix = "" if rule.prob >= 1.0 else f"@{rule.prob}"
+            return f"{c}:{a}:{rule.action}{suffix}"
+
+        return ";".join(part(rule) for rule in self.rules)

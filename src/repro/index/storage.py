@@ -38,7 +38,7 @@ from typing import Any, BinaryIO, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..data.collection import SetCollection
-from ..errors import DatasetError, InvalidParameterError
+from ..errors import DatasetError, InvalidParameterError, ShmAttachError
 from .inverted import EMPTY_LIST, InvertedIndex
 
 __all__ = [
@@ -246,15 +246,23 @@ class SharedCSRHandle:
         self._shms = None
 
     def cleanup(self) -> None:
-        """Creator-side teardown: close the mappings and unlink the segments."""
-        if self._shms is None:
+        """Creator-side teardown: close the mappings and unlink the segments.
+
+        Idempotent and abort-safe by design: the supervisor's failure paths
+        can reach this both from their own unwinding and from the join
+        driver's ``finally``, and a segment may already be gone (e.g. the
+        resource tracker reclaimed it after a worker crash) — a second call,
+        or an unlink racing an external removal, is a no-op rather than a
+        new exception on an already-failing path.
+        """
+        shms, self._shms = self._shms, None
+        if shms is None:
             return
-        for shm in self._shms:
-            with contextlib.suppress(OSError):  # pragma: no cover - best effort
+        for shm in shms:
+            with contextlib.suppress(OSError, BufferError):  # pragma: no cover
                 shm.close()
-            with contextlib.suppress(FileNotFoundError):  # pragma: no cover
+            with contextlib.suppress(OSError):  # pragma: no cover - best effort
                 shm.unlink()
-        self._shms = None
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
@@ -266,7 +274,18 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     # process attaching by name would need ``resource_tracker.unregister``
     # to stop its own tracker reclaiming the segment at exit — that pattern
     # is out of scope for the join drivers.)
-    return shared_memory.SharedMemory(name=name)
+    #
+    # Attach failures are re-raised as ShmAttachError so the supervisor can
+    # classify them: a worker whose /dev/shm mapping fails needs a payload
+    # downgrade (shm -> pickle), not a blind retry against the same broken
+    # segment. ValueError covers the zero-size corruption case the kernel
+    # reports on a truncated segment.
+    try:
+        return shared_memory.SharedMemory(name=name)
+    except (OSError, ValueError) as exc:
+        raise ShmAttachError(
+            f"cannot attach shared-memory segment {name!r}: {exc}"
+        ) from exc
 
 
 class CSRInvertedIndex:

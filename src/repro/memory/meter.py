@@ -14,28 +14,50 @@ Two complementary measurements:
 from __future__ import annotations
 
 import tracemalloc
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, List, Tuple
 
 from ..index.inverted import InvertedIndex
 from ..index.prefix_tree import PrefixTree
 
 __all__ = ["measure_peak", "index_footprint", "tree_footprint"]
 
+#: One slot per live ``measure_peak`` frame. ``tracemalloc.reset_peak`` is
+#: process-global, so a nested measurement silently clobbers the peak every
+#: *enclosing* measurement has accumulated; before resetting, the peak so
+#: far is folded into each enclosing frame's slot, and every frame reports
+#: ``max(its slot, tracemalloc's reading)`` — the reading tracemalloc would
+#: have given had the inner reset never happened.
+_nested_peaks: List[int] = []
+
 
 def measure_peak(func: Callable[[], Any]) -> Tuple[Any, int]:
     """Run ``func`` and return ``(result, peak_bytes)``.
 
-    Nested use is supported: if tracemalloc is already tracing, the existing
-    trace is reused (peaks then include the caller's allocations).
+    Nested use is supported: if tracemalloc is already tracing, the
+    existing trace is reused, so peaks are *absolute* traced sizes and
+    include the caller's live allocations. Nested ``measure_peak`` calls do
+    not clobber each other — an enclosing measurement's peak is preserved
+    across the inner call's ``reset_peak`` (see ``_nested_peaks``). A
+    caller driving ``tracemalloc`` directly, outside ``measure_peak``, has
+    no such frame: its recorded peak *is* reset by this call (the API
+    offers no way to restore it), which is why all metering in this
+    codebase funnels through this function.
     """
     was_tracing = tracemalloc.is_tracing()
     if not was_tracing:
         tracemalloc.start()
+    else:
+        __, peak_so_far = tracemalloc.get_traced_memory()
+        for i in range(len(_nested_peaks)):
+            _nested_peaks[i] = max(_nested_peaks[i], peak_so_far)
+    _nested_peaks.append(0)
     tracemalloc.reset_peak()
     try:
         result = func()
-        _, peak = tracemalloc.get_traced_memory()
+        __, peak = tracemalloc.get_traced_memory()
+        peak = max(peak, _nested_peaks[-1])
     finally:
+        _nested_peaks.pop()
         if not was_tracing:
             tracemalloc.stop()
     return result, peak

@@ -72,6 +72,8 @@ class Broker:
         self._tree_members: Set[int] = set()
         self._tombstones = 0
         self._compact_ratio = compact_ratio
+        self._walking = False
+        self._compact_pending = False
         self.published = 0
         self.delivered = 0
 
@@ -92,13 +94,30 @@ class Broker:
         return sub.sub_id
 
     def unsubscribe(self, sub_id: int) -> None:
-        """Cancel a subscription (idempotent for unknown ids)."""
+        """Cancel a subscription.
+
+        A clean no-op for ids that were never issued or were already
+        cancelled — a second cancel must not double-count a tombstone or
+        trigger a spurious compaction. Safe to call from within a
+        :meth:`publish` delivery (e.g. a handler cancelling itself):
+        compaction triggered mid-walk is deferred until the walk finishes
+        rather than dropping the tree under the traversal.
+        """
         if self._subscriptions.pop(sub_id, None) is None:
             return
         if sub_id in self._tree_members:
             self._tombstones += 1
             if self._tombstones > self._compact_ratio * max(len(self._subscriptions), 1):
-                self._tree = None  # rebuilt lazily, without tombstones
+                self._schedule_compaction()
+
+    def _schedule_compaction(self) -> None:
+        # Dropping the tree (it is rebuilt lazily, without tombstones) is
+        # only safe when no publish is walking it; reentrant cancels mark
+        # it pending instead and publish applies the drop after the walk.
+        if self._walking:
+            self._compact_pending = True
+        else:
+            self._tree = None
 
     def __len__(self) -> int:
         return len(self._subscriptions)
@@ -136,23 +155,36 @@ class Broker:
             eid = self._dictionary.encode_existing(keyword)
             if eid is not None:
                 ids.add(eid)
-        live = self._subscriptions
         matched = delivery.matched
-        stack = [self._tree.root]
-        while stack:
-            node = stack.pop()
-            for child in node.children:
-                if child.terminal_rids is not None:
-                    # Tombstoned ids stay in the tree until compaction;
-                    # filter on delivery.
-                    matched.extend(
-                        sid for sid in child.terminal_rids if sid in live
-                    )
-                elif all(e in ids for e in child.elements):
-                    stack.append(child)
+        self._walking = True
+        try:
+            stack = [self._tree.root]
+            while stack:
+                node = stack.pop()
+                for child in node.children:
+                    if child.terminal_rids is not None:
+                        # Tombstoned ids stay in the tree until compaction;
+                        # filter on delivery.
+                        matched.extend(
+                            sid for sid in child.terminal_rids
+                            if self._is_live(sid)
+                        )
+                    elif all(e in ids for e in child.elements):
+                        stack.append(child)
+        finally:
+            self._walking = False
+            if self._compact_pending:
+                self._compact_pending = False
+                self._tree = None
         matched.sort()
         self.delivered += len(matched)
         return delivery
+
+    def _is_live(self, sub_id: int) -> bool:
+        # The seam the matching walk filters tombstones through; kept as a
+        # method so delivery-time cancellation (tests included) has a
+        # defined interception point.
+        return sub_id in self._subscriptions
 
     def matches(self, keywords: Iterable[Hashable]) -> List[int]:
         """Like :meth:`publish` but without touching the counters."""

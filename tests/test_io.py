@@ -44,6 +44,26 @@ class TestLoadCollection:
         with pytest.raises(DatasetError, match="bad.txt:2"):
             load_collection(str(path))
 
+    def test_error_reports_physical_line_number(self, tmp_path):
+        # Blank lines are skipped as records but still counted, so the
+        # reported location is the one an editor shows.
+        path = tmp_path / "gappy.txt"
+        path.write_text("1 2\n\n\n3 nope\n")
+        with pytest.raises(DatasetError, match=r"gappy\.txt:4: non-integer"):
+            load_collection(str(path))
+
+    def test_negative_id_reports_location(self, tmp_path):
+        path = tmp_path / "neg.txt"
+        path.write_text("1 2\n3 -7\n")
+        with pytest.raises(DatasetError, match=r"neg\.txt:2: negative element id"):
+            load_collection(str(path))
+
+    def test_error_message_quotes_the_line(self, tmp_path):
+        path = tmp_path / "quoted.txt"
+        path.write_text("1 oops 2\n")
+        with pytest.raises(DatasetError, match="'1 oops 2'"):
+            load_collection(str(path))
+
 
 class TestLoadTokens:
     def test_string_tokens(self, tmp_path):

@@ -225,6 +225,70 @@ class TestShmLifecycle:
         )
         assert findings == []
 
+    def test_cleanup_call_satisfies_close_and_unlink(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            from multiprocessing import shared_memory
+
+            def ok(n, handle):
+                shm = shared_memory.SharedMemory(create=True, size=n)
+                handle.adopt(shm)
+                try:
+                    return bytes(shm.buf)
+                finally:
+                    handle.cleanup()
+            """,
+        )
+        assert findings == []
+
+    def test_leaky_to_shared_memory_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def leak(index):
+                handle = index.to_shared_memory()
+                return handle.descriptor()
+            """,
+        )
+        assert _codes(findings) == ["RL201"]
+
+    def test_to_shared_memory_with_cleanup_in_finally_clean(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def ok(index, run):
+                handle = index.to_shared_memory()
+                try:
+                    return run(handle.descriptor())
+                finally:
+                    handle.cleanup()
+            """,
+        )
+        assert findings == []
+
+    def test_to_shared_memory_returned_directly_clean(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def export(index):
+                return index.to_shared_memory()
+            """,
+        )
+        assert findings == []
+
+    def test_to_shared_memory_marker_suppresses(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def custom(index, registry):
+                # lint: shm-external-lifecycle (test fixture)
+                handle = index.to_shared_memory()
+                registry.adopt(handle)
+            """,
+        )
+        assert findings == []
+
 
 # -- RL301: scalar loops in the batched kernels ---------------------------
 

@@ -10,7 +10,7 @@ from repro.core.api import set_containment_join
 from repro.core.parallel import parallel_join, split_collection
 from repro.core.verify import ground_truth
 from repro.data.collection import SetCollection
-from repro.errors import InvalidParameterError
+from repro.errors import DegradedExecutionWarning, InvalidParameterError
 from repro.index.inverted import InvertedIndex
 from repro.index.storage import CSRInvertedIndex
 
@@ -231,6 +231,107 @@ class TestSharedIndexBuildOnce:
             ) == expected
 
 
+class TestPayloadFallbackPaths:
+    """The shm -> fork -> pickle payload ladder in ``parallel_join``.
+
+    When ``to_shared_memory`` fails (no usable /dev/shm), the CSR index
+    must ride fork-inherited copy-on-write pages; when fork is unavailable
+    too, it is pickled into the jobs. Both paths must produce the exact
+    pair set and leave no parent-side residue.
+    """
+
+    @fork_only
+    def test_shm_failure_uses_fork_inherited_buffer(self, monkeypatch):
+        import repro.core.parallel as parallel_mod
+
+        r, s = random_instance(12)
+        expected = sorted(ground_truth(r, s))
+
+        def no_shm(self):
+            raise OSError("injected: /dev/shm unavailable")
+
+        monkeypatch.setattr(CSRInvertedIndex, "to_shared_memory", no_shm)
+
+        stashed = []
+        real_setitem = dict.__setitem__
+
+        class SpyDict(dict):
+            def __setitem__(self, key, value):
+                stashed.append(key)
+                real_setitem(self, key, value)
+
+        spy = SpyDict()
+        monkeypatch.setattr(parallel_mod, "_FORK_SHARED", spy)
+        got = sorted(
+            parallel_join(r, s, method="framework", workers=2, backend="csr")
+        )
+        assert got == expected
+        assert stashed, "fork payload path never engaged"
+        assert spy == {}, "_FORK_SHARED not cleaned up after the join"
+
+    def test_shm_and_fork_failure_pickles_index(self, monkeypatch):
+        import repro.core.parallel as parallel_mod
+
+        r, s = random_instance(13)
+        expected = sorted(ground_truth(r, s))
+
+        def no_shm(self):
+            raise OSError("injected: /dev/shm unavailable")
+
+        monkeypatch.setattr(CSRInvertedIndex, "to_shared_memory", no_shm)
+        # Pretend fork is unavailable; only the start-method *probe* is
+        # patched, the workers themselves still launch via the platform
+        # default context.
+        monkeypatch.setattr(
+            multiprocessing, "get_start_method", lambda allow_none=False: "spawn"
+        )
+        stashed = []
+
+        class SpyDict(dict):
+            def __setitem__(self, key, value):
+                stashed.append(key)
+                dict.__setitem__(self, key, value)
+
+        monkeypatch.setattr(parallel_mod, "_FORK_SHARED", SpyDict())
+        got, report = parallel_join(
+            r, s, method="framework", workers=2, backend="csr",
+            return_report=True,
+        )
+        assert sorted(got) == expected
+        assert not stashed, "fork path used despite spawn start method"
+        assert all(
+            a.mode == "pickle" for c in report.chunks for a in c.attempts
+        )
+
+    def test_resolve_index_fork_tag(self):
+        import repro.core.parallel as parallel_mod
+        from repro.core.parallel import _resolve_index
+
+        s = SetCollection([(0, 1), (1, 2)])
+        index = CSRInvertedIndex.build(s)
+        token = id(index)
+        parallel_mod._FORK_SHARED[token] = index
+        try:
+            assert _resolve_index(("fork", token)) is index
+        finally:
+            del parallel_mod._FORK_SHARED[token]
+
+    def test_resolve_index_pickle_and_direct_tags(self):
+        from repro.core.parallel import _resolve_index
+
+        s = SetCollection([(0, 1), (1, 2)])
+        index = CSRInvertedIndex.build(s)
+        assert _resolve_index(("pickle", index)) is index
+        assert _resolve_index(("direct", index)) is index
+        assert _resolve_index(None) is None
+
+    def test_resolve_index_unknown_tag(self):
+        from repro.core.parallel import _resolve_index
+
+        with pytest.raises(InvalidParameterError):
+            _resolve_index(("carrier-pigeon", None))
+
+
 class TestWorkerShmCleanup:
     """Shared-memory attachments must be released on every worker exit path."""
 
@@ -309,11 +410,15 @@ class TestWorkerShmCleanup:
 
     def test_worker_exception_propagates_and_cleans_up(self):
         r, s = random_instance(5)
-        with pytest.raises((TypeError, InvalidParameterError)):
-            parallel_join(
-                r, s, method="framework", workers=2, backend="csr",
-                no_such_keyword_argument=True,
-            )
+        # A deterministic worker error survives the retries, is reproduced
+        # by the in-process fallback (announced via the degradation
+        # warning), and propagates as the original exception type.
+        with pytest.warns(DegradedExecutionWarning):
+            with pytest.raises((TypeError, InvalidParameterError)):
+                parallel_join(
+                    r, s, method="framework", workers=2, backend="csr",
+                    retries=0, no_such_keyword_argument=True,
+                )
         # The creator-side handle is reclaimed in parallel_join's finally;
         # a second join against the same data must start from scratch and
         # succeed, which it cannot if segments or names leaked.

@@ -91,6 +91,66 @@ class TestUnsubscribe:
         with pytest.raises(InvalidParameterError):
             Broker(compact_ratio=0.0)
 
+    def test_double_cancel_counts_one_tombstone(self, broker):
+        broker.publish({"sports"})  # force tree build
+        broker.unsubscribe(2)
+        tombstones = broker._tombstones
+        broker.unsubscribe(2)
+        broker.unsubscribe(2)
+        assert broker._tombstones == tombstones
+
+    def test_never_issued_id_is_clean_noop(self, broker):
+        broker.publish({"sports"})
+        tombstones = broker._tombstones
+        broker.unsubscribe(10_000)
+        broker.unsubscribe(-1)
+        assert broker._tombstones == tombstones
+        assert len(broker) == 4
+
+    def test_double_cancel_does_not_force_spurious_compaction(self):
+        # One real cancel, then the same id cancelled repeatedly: if every
+        # repeat counted a tombstone, the ratio check would drop the tree.
+        b = Broker(compact_ratio=0.5)
+        ids = [b.subscribe({f"k{i}"}) for i in range(4)]
+        b.publish({"k0"})
+        tree = b._tree
+        b.unsubscribe(ids[0])
+        for __ in range(10):
+            b.unsubscribe(ids[0])
+        assert b._tree is tree, "repeat cancels compacted the live tree"
+
+    def test_cancel_during_publish_defers_compaction(self, monkeypatch):
+        # A delivery handler cancelling subscriptions mid-walk may push
+        # tombstones over the compaction threshold; the tree must not be
+        # dropped under the traversal, only after the walk completes.
+        b = Broker(compact_ratio=0.1)
+        ids = [b.subscribe({"common", f"k{i}"}) for i in range(10)]
+        b.publish({"common", "k0"})  # build the tree
+        tree = b._tree
+        real_is_live = Broker._is_live
+        cancelled = []
+
+        def cancelling_is_live(self, sub_id):
+            if not cancelled:
+                # First delivery check: rip out most of the registry,
+                # reentrantly, exactly as a self-cancelling handler would.
+                for victim in ids[1:]:
+                    self.unsubscribe(victim)
+                    cancelled.append(victim)
+                assert self._tree is tree, "tree dropped mid-walk"
+            return real_is_live(self, sub_id)
+
+        monkeypatch.setattr(Broker, "_is_live", cancelling_is_live)
+        delivery = b.publish({"common"} | {f"k{i}" for i in range(10)})
+        assert cancelled, "reentrant cancellation never triggered"
+        # Matches reflect liveness at delivery time; the walk survived.
+        assert set(delivery.matched) <= set(ids)
+        # The deferred compaction landed once the walk finished.
+        assert b._tree is None
+        # And the broker still works after the rebuild.
+        monkeypatch.setattr(Broker, "_is_live", real_is_live)
+        assert b.publish({"common", "k0"}).matched == [ids[0]]
+
 
 class TestIncrementalConsistency:
     def test_subscribe_after_publish(self, broker):

@@ -76,6 +76,21 @@ class TestMemoryMeter:
         assert len(value) == 1000
         assert inner_peak > 0 and outer_peak > 0
 
+    def test_nested_reset_does_not_clobber_outer_peak(self):
+        # The outer measurement's high-water mark (a transient 8 MB
+        # allocation, freed before the inner call) must survive the inner
+        # measure_peak's global tracemalloc.reset_peak().
+        big = 8_000_000
+
+        def outer():
+            transient = bytearray(big)
+            del transient
+            return measure_peak(lambda: bytearray(1000))
+
+        (__, inner_peak), outer_peak = measure_peak(outer)
+        assert outer_peak >= big
+        assert inner_peak < big
+
     def test_footprints(self):
         s = SetCollection([[0, 1], [1, 2]])
         index = InvertedIndex.build(s)

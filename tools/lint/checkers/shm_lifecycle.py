@@ -20,9 +20,23 @@ accepts exactly one of:
   (attach-only segments must not unlink: the creator owns the name);
 * the line carries ``# lint: shm-external-lifecycle (why)``.
 
+A ``.cleanup()`` call on an exit path counts as close **and** unlink: that
+is the composite creator-side teardown ``SharedCSRHandle`` exposes, and the
+supervised join drivers release their segments exclusively through it.
+
+The same discipline applies one level up: a call to ``.to_shared_memory()``
+is a segment *factory* (it creates one segment per CSR array), so unless
+the fresh handle is returned directly, used as a context manager, or
+marked, the enclosing function must reach a ``cleanup()`` (or
+``close()``+``unlink()``) on a ``finally``/re-raising path — this is what
+keeps the supervisor's abort/unlink paths honest when dispatch fails
+between export and the first worker attach.
+
 Anything else is a creation whose cleanup an exception can skip. Indirect
 factories (helpers that return a fresh segment) are deliberately out of
-scope — the helper itself is checked, its callers own what it returns.
+scope — the helper itself is checked, its callers own what it returns;
+``to_shared_memory`` is the one named factory important enough to check at
+its call sites too.
 """
 
 from __future__ import annotations
@@ -73,7 +87,11 @@ def _handler_reraises(handler: ast.ExceptHandler) -> bool:
 
 
 def _cleanup_calls_on_exit_paths(func: Optional[_FunctionNode], linted: LintedFile) -> set:
-    """Method names called inside any finally block / re-raising handler."""
+    """Method names called inside any finally block / re-raising handler.
+
+    ``cleanup()`` is expanded to ``close`` + ``unlink``: it is the composite
+    teardown of ``SharedCSRHandle`` and satisfies both obligations.
+    """
     if func is None:
         return set()
     names: set = set()
@@ -86,13 +104,24 @@ def _cleanup_calls_on_exit_paths(func: Optional[_FunctionNode], linted: LintedFi
             for sub in ast.walk(region):
                 if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
                     names.add(sub.func.attr)
+    if "cleanup" in names:
+        names.update({"close", "unlink"})
     return names
+
+
+def _is_segment_factory_call(node: ast.Call) -> bool:
+    func = node.func
+    return isinstance(func, ast.Attribute) and func.attr == "to_shared_memory"
 
 
 def check(linted: LintedFile) -> List[Finding]:
     findings: List[Finding] = []
     for node in ast.walk(linted.tree):
-        if not isinstance(node, ast.Call) or not _is_shared_memory_call(node):
+        if not isinstance(node, ast.Call):
+            continue
+        is_ctor = _is_shared_memory_call(node)
+        is_factory = _is_segment_factory_call(node)
+        if not (is_ctor or is_factory):
             continue
         if linted.suppressed(node, MARKER):
             continue
@@ -100,6 +129,23 @@ def check(linted: LintedFile) -> List[Finding]:
             continue
         func = linted.enclosing_function(node)
         cleanup = _cleanup_calls_on_exit_paths(func, linted)
+        if is_factory:
+            # to_shared_memory() creates one segment per CSR array; the
+            # handle's composite cleanup() (or close+unlink) must sit on an
+            # exit path of the enclosing function.
+            if {"close", "unlink"} - cleanup:
+                findings.append(
+                    linted.finding(
+                        node,
+                        CODE,
+                        "to_shared_memory() handle without cleanup() (or "
+                        "close()+unlink()) on a finally/except cleanup path "
+                        "(leaks the segments if an exception interleaves); "
+                        "use try/finally, a context manager, or return it "
+                        "directly",
+                    )
+                )
+            continue
         creates = _creates_segment(node)
         needed = {"close", "unlink"} if creates else {"close"}
         missing = sorted(needed - cleanup)
