@@ -35,6 +35,7 @@ from .errors import (
 )
 from .faults import FaultPlan
 from .index.inverted import InvertedIndex
+from .obs import MetricsRegistry, trace_span, use_registry
 from .index.prefix_tree import PrefixTree
 from .index.storage import CSRInvertedIndex
 
@@ -54,6 +55,9 @@ __all__ = [
     "GlobalOrder",
     "build_order",
     "JoinStats",
+    "MetricsRegistry",
+    "trace_span",
+    "use_registry",
     "PairListSink",
     "CountSink",
     "CallbackSink",

@@ -9,15 +9,31 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from ..errors import InvalidParameterError
 from .runner import JoinMeasurement
 
 __all__ = ["format_table", "format_measurements", "format_series", "speedup_summary"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
-    """Monospace table with right-aligned numeric columns."""
-    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
-    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    """Monospace table with right-aligned numeric columns.
+
+    Rows shorter than the header are padded with empty cells (sparse
+    series tables produce them legitimately); a row *wider* than the
+    header has no sensible rendering and raises
+    :class:`~repro.errors.InvalidParameterError` naming the row.
+    """
+    num_columns = len(headers)
+    padded: List[Sequence] = []
+    for i, row in enumerate(rows):
+        if len(row) > num_columns:
+            raise InvalidParameterError(
+                f"format_table: row {i} has {len(row)} cells but the "
+                f"table has {num_columns} columns"
+            )
+        padded.append(list(row) + [""] * (num_columns - len(row)))
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in padded]
+    widths = [max(len(r[i]) for r in cells) for i in range(num_columns)]
     lines = []
     for idx, row in enumerate(cells):
         line = "  ".join(col.rjust(w) for col, w in zip(row, widths))
@@ -70,19 +86,26 @@ def format_series(
 def speedup_summary(
     measurements: Sequence[JoinMeasurement], reference: str = "lcjoin"
 ) -> str:
-    """Per-workload speedup of ``reference`` over every other method."""
+    """Per-workload speedup of ``reference`` over every other method.
+
+    Workloads where the reference was never measured are omitted; a
+    measured time of 0.0 (sub-resolution runs on tiny workloads) renders
+    the affected ratios as ``n/a`` instead of silently dropping the
+    workload — ``if not base`` used to conflate "missing" with "too fast
+    to time".
+    """
     by_workload: Dict[str, Dict[str, float]] = {}
     for m in measurements:
         by_workload.setdefault(m.workload, {})[m.method] = m.elapsed_seconds
     lines = []
     for workload, times in by_workload.items():
         base = times.get(reference)
-        if not base:
+        if base is None:
             continue
         others = ", ".join(
-            f"{method} {t / base:.1f}x"
+            f"{method} {t / base:.1f}x" if base > 0 and t > 0 else f"{method} n/a"
             for method, t in sorted(times.items())
-            if method != reference and t > 0
+            if method != reference
         )
         lines.append(f"{workload}: {reference} vs " + others)
     return "\n".join(lines)

@@ -74,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_join.add_argument("--report", action="store_true",
                         help="print the supervision report (attempts, "
                         "retries, degradations) to stderr")
+    p_join.add_argument("--metrics", nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="collect tracing spans and counters for the "
+                        "run; prints the phase table to stderr, or writes "
+                        "the JSON report to PATH when one is given")
 
     p_gen = sub.add_parser("generate", help="generate a dataset file")
     p_gen.add_argument("output", help="output path")
@@ -143,18 +148,34 @@ def _cmd_join(args: argparse.Namespace) -> int:
     else:
         s_collection, __ = _load(args.s_file, args.tokens, args.max_sets, dictionary)
     stats = JoinStats()
+    registry = None
+    if args.metrics is not None:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     if args.workers is not None:
+        from contextlib import nullcontext
+
         from .core.parallel import parallel_join
+        from .obs.registry import use_registry
+        from .obs.spans import trace_span
 
         start = time.perf_counter()
-        pairs, report = parallel_join(
-            r_collection, s_collection, method=args.method,
-            workers=args.workers, retries=args.retries,
-            task_timeout=args.task_timeout, backoff=args.backoff,
-            fallback=not args.no_fallback, return_report=True,
-        )
+        scope = use_registry(registry) if registry is not None else nullcontext()
+        with scope, trace_span("join.run"):
+            pairs, report = parallel_join(
+                r_collection, s_collection, method=args.method,
+                workers=args.workers, retries=args.retries,
+                task_timeout=args.task_timeout, backoff=args.backoff,
+                fallback=not args.no_fallback, return_report=True,
+            )
         stats.elapsed_seconds = time.perf_counter() - start
         stats.results = len(pairs)
+        if registry is not None:
+            # This branch bypasses set_containment_join (it needs the
+            # supervision report), so the join.* mirror is flushed here —
+            # the stats object is fresh, making as_dict() the full delta.
+            registry.record_join_stats(stats.as_dict())
         if args.report:
             print(report.summary(), file=sys.stderr)
         elif report.degradations:
@@ -167,12 +188,13 @@ def _cmd_join(args: argparse.Namespace) -> int:
     elif args.count_only:
         count = set_containment_join(
             r_collection, s_collection, method=args.method,
-            collect="count", stats=stats,
+            collect="count", stats=stats, metrics=registry,
         )
         print(count)
     else:
         pairs = set_containment_join(
-            r_collection, s_collection, method=args.method, stats=stats
+            r_collection, s_collection, method=args.method, stats=stats,
+            metrics=registry,
         )
         _write_pairs(pairs, args.output)
     print(
@@ -180,6 +202,14 @@ def _cmd_join(args: argparse.Namespace) -> int:
         f"time={stats.elapsed_seconds:.3f}s searches={stats.binary_searches}",
         file=sys.stderr,
     )
+    if registry is not None:
+        from .obs.export import phase_table, write_json
+
+        if args.metrics:
+            write_json(registry, args.metrics)
+            print(f"# metrics written to {args.metrics}", file=sys.stderr)
+        else:
+            print(phase_table(registry), file=sys.stderr)
     return 0
 
 

@@ -23,10 +23,13 @@ from ..baselines.shj import shj_join
 from ..baselines.ttjoin import tt_join
 from ..data.collection import SetCollection
 from ..errors import InvalidParameterError, UnknownMethodError
+from ..obs import registry as _obs
+from ..obs.registry import MetricsRegistry, use_registry
+from ..obs.spans import trace_span
 from .framework import framework_join
 from .partition import all_partition_join, lcjoin
 from .results import make_sink
-from .stats import JoinStats
+from .stats import JoinStats, StatsSnapshot
 from .tree_join import tree_join
 
 __all__ = [
@@ -93,6 +96,7 @@ def set_containment_join(
     retries: Optional[int] = None,
     task_timeout: Optional[float] = None,
     backoff: Optional[float] = None,
+    metrics: Optional[MetricsRegistry] = None,
     **kwargs,
 ) -> Union[List[Tuple[int, int]], int]:
     """Compute ``R ⋈⊆ S = {(rid, sid) | R[rid] ⊆ S[sid]}``.
@@ -130,6 +134,14 @@ def set_containment_join(
         its failure policy (per-chunk re-dispatch count, hang deadline in
         seconds, and base retry delay). Supplying those three without
         ``workers`` is an error — they have no serial meaning.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` installed
+        for the duration of this call: phase spans (``join.run``,
+        ``index.build``, ``probe.loop``, ...) and counters land in it,
+        and the run's ``JoinStats`` delta is mirrored under its
+        ``join.*`` counters. Equivalent to wrapping the call in
+        :func:`repro.obs.use_registry`; ``REPRO_TRACE=1`` installs a
+        process-wide registry instead.
     kwargs:
         Method-specific knobs (e.g. ``limit=`` for LIMIT+, ``k=`` for
         TT-Join, ``patience=`` for LCJoin, ``patricia=True`` for the
@@ -139,6 +151,23 @@ def set_containment_join(
     -------
     The pair list (``collect="pairs"``) or the result count.
     """
+    if metrics is not None:
+        # Scoped activation: install the caller's registry, then re-enter
+        # with it active so one code path below serves both the kwarg and
+        # the REPRO_TRACE / use_registry activation styles.
+        with use_registry(metrics):
+            return set_containment_join(
+                r_collection, s_collection, method=method, collect=collect,
+                callback=callback, stats=stats, backend=backend,
+                workers=workers, retries=retries, task_timeout=task_timeout,
+                backoff=backoff, **kwargs,
+            )
+    reg = _obs.ACTIVE
+    if reg is not None and stats is None:
+        # Tracing implies metering: the registry's join.* mirror is flushed
+        # from this run's stats delta on the way out.
+        stats = JoinStats()
+    snapshot = StatsSnapshot.of(stats) if reg is not None and stats is not None else None
     supervision = {
         "retries": retries, "task_timeout": task_timeout, "backoff": backoff
     }
@@ -156,16 +185,19 @@ def set_containment_join(
 
         knobs = {k: v for k, v in supervision.items() if v is not None}
         start = time.perf_counter()
-        pairs = parallel_join(
-            r_collection, s_collection, method=method, workers=workers,
-            backend=backend, **knobs, **kwargs,
-        )
+        with trace_span("join.run"):
+            pairs = parallel_join(
+                r_collection, s_collection, method=method, workers=workers,
+                backend=backend, **knobs, **kwargs,
+            )
         sink = make_sink(collect, callback)
         for rid, sid in pairs:
             sink.add(rid, sid)
         if stats is not None:
             stats.elapsed_seconds += time.perf_counter() - start
             stats.results += len(sink)
+        if reg is not None and snapshot is not None and stats is not None:
+            reg.record_join_stats(snapshot.delta(stats))
         if collect == "pairs":
             return sink.pairs
         return len(sink)
@@ -192,11 +224,14 @@ def set_containment_join(
         kwargs["backend"] = backend
     sink = make_sink(collect, callback)
     start = time.perf_counter()
-    impl(r_collection, s_collection, sink, stats=stats, **kwargs)
+    with trace_span("join.run"):
+        impl(r_collection, s_collection, sink, stats=stats, **kwargs)
     elapsed = time.perf_counter() - start
     if stats is not None:
         stats.elapsed_seconds += elapsed
         stats.results += len(sink)
+    if reg is not None and snapshot is not None and stats is not None:
+        reg.record_join_stats(snapshot.delta(stats))
     if (
         backend == "csr"
         and collect == "pairs"

@@ -24,6 +24,8 @@ from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from ..data.collection import SetCollection
 from ..index.inverted import InvertedIndex
+from ..obs import registry as _obs
+from ..obs.spans import trace_span
 from .stats import JoinStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only (storage imports lazily)
@@ -57,6 +59,7 @@ def cross_cut_record(
     max_sid = first_sid
     searches = 0
     rounds = 0
+    matches = 0
     while max_sid < inf_sid:
         rounds += 1
         next_max = -1
@@ -86,10 +89,22 @@ def cross_cut_record(
                 break
         if found:
             sink.add(rid, max_sid)
+            matches += 1
         max_sid = next_max
     if stats is not None:
         stats.binary_searches += searches
         stats.rounds += rounds
+    reg = _obs.ACTIVE
+    if reg is not None:
+        reg.inc("probe.records")
+        reg.inc("probe.binary_searches", searches)
+        reg.inc("probe.rounds", rounds)
+        reg.inc("probe.matches", matches)
+        # Under early termination every round either completes with a match
+        # or breaks out of the list scan, so the break count needs no
+        # per-round accumulation in the hot loop.
+        if early_termination:
+            reg.inc("probe.early_term_breaks", rounds - matches)
 
 
 def framework_join(
@@ -120,31 +135,41 @@ def framework_join(
         from ..index.storage import CSRInvertedIndex
 
         if index is None:
-            index = CSRInvertedIndex.build(s_collection)
+            with trace_span("index.build"):
+                index = CSRInvertedIndex.build(s_collection)
             if stats is not None:
                 stats.index_build_tokens += index.construction_cost
         elif isinstance(index, InvertedIndex):
-            index = CSRInvertedIndex.from_index(index)
-        cross_cut_collection_csr(r_collection, index, sink, stats)
+            with trace_span("index.csr_pack"):
+                index = CSRInvertedIndex.from_index(index)
+        with trace_span("probe.loop"):
+            cross_cut_collection_csr(r_collection, index, sink, stats)
         return
     if index is None:
-        index = InvertedIndex.build(s_collection)
+        with trace_span("index.build"):
+            index = InvertedIndex.build(s_collection)
         if stats is not None:
             stats.index_build_tokens += index.construction_cost
     if not index.universe:
         return
     first_sid = index.universe[0]
     inf_sid = index.inf_sid
-    for rid, record in enumerate(r_collection):
-        lists = index.get_lists(record)
-        # A record with an element absent from S has an empty list and can
-        # never find a superset; skip it before entering the loop.
-        shortest = min(lists, key=len, default=())
-        if not shortest:
-            continue
-        if early_termination:
-            lists = sorted(lists, key=len)
-        cross_cut_record(
-            rid, lists, first_sid, inf_sid, sink, early_termination, stats
-        )
+    skipped = 0
+    with trace_span("probe.loop"):
+        for rid, record in enumerate(r_collection):
+            lists = index.get_lists(record)
+            # A record with an element absent from S has an empty list and can
+            # never find a superset; skip it before entering the loop.
+            shortest = min(lists, key=len, default=())
+            if not shortest:
+                skipped += 1
+                continue
+            if early_termination:
+                lists = sorted(lists, key=len)
+            cross_cut_record(
+                rid, lists, first_sid, inf_sid, sink, early_termination, stats
+            )
+    reg = _obs.ACTIVE
+    if reg is not None and skipped:
+        reg.inc("probe.records_skipped", skipped)
 

@@ -18,14 +18,27 @@ paper's cost model (§III-B):
 Counters are plain ints on ``__slots__`` so incrementing them in hot loops is
 as cheap as Python allows; pass ``stats=None`` to skip metering entirely
 (every algorithm treats the ``None`` case with a dedicated fast path).
+
+When an observability registry (:mod:`repro.obs`) is active, every field
+of a run's ``JoinStats`` is mirrored under the ``join.<field>`` counter
+family by :func:`repro.core.api.set_containment_join` — that flush is the
+*only* writer of those counters, and :meth:`JoinStats.from_registry`
+reads them back as a stats object, so the two counter systems are views
+of one source of truth and cannot drift.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
-__all__ = ["JoinStats"]
+if TYPE_CHECKING:  # pragma: no cover - typing only (obs never imports core)
+    from ..obs.registry import MetricsRegistry
+
+__all__ = ["JoinStats", "REGISTRY_PREFIX"]
+
+#: Namespace of the JoinStats mirror counters in a metrics registry.
+REGISTRY_PREFIX = "join."
 
 
 class JoinStats:
@@ -61,6 +74,23 @@ class JoinStats:
     def as_dict(self) -> Dict[str, float]:
         """All counters as a plain dict (for reports and tests)."""
         return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_registry(cls, registry: "MetricsRegistry") -> "JoinStats":
+        """The thin view over a metrics registry's ``join.*`` family.
+
+        Reconstructs a ``JoinStats`` from the mirrored counters (gauges
+        for ``peak_memory_bytes``), so registry consumers and ``stats=``
+        consumers read the same numbers by construction.
+        """
+        stats = cls()
+        for name in cls.__slots__:
+            value = registry.value(REGISTRY_PREFIX + name)
+            if name == "elapsed_seconds":
+                stats.elapsed_seconds = float(value)
+            else:
+                setattr(stats, name, int(value))
+        return stats
 
     def merge(self, other: "JoinStats") -> None:
         """Accumulate another run's counters into this one."""

@@ -58,9 +58,19 @@ from ..errors import (
     WorkerFailedError,
 )
 from ..faults import FaultPlan
+from ..obs.registry import active_or_null
+from ..obs.spans import trace_span
 from .results import AttemptRecord, ChunkReport, JoinReport
 
 __all__ = ["Supervisor", "SHM_FAILURE_THRESHOLD"]
+
+#: Attempt-outcome label -> counter name (see repro.obs.catalogue).
+_OUTCOME_COUNTERS = {
+    "ok": "supervisor.ok",
+    "error": "supervisor.errors",
+    "crash": "supervisor.crashes",
+    "timeout": "supervisor.timeouts",
+}
 
 #: Attach-classified failures tolerated before the whole run stops using
 #: shared memory. Two distinct failures rule out a one-off racy unlink.
@@ -211,6 +221,9 @@ class Supervisor:
         self._backoff_cap = backoff_cap
         self._fallback = fallback
         self._plan = plan
+        # Captured once: supervision events are rare (per attempt, not per
+        # probe), so the null-registry indirection costs nothing measurable.
+        self._metrics = active_or_null()
         self._mp = multiprocessing.get_context()
         self._tasks = [_Task(chunk_id=i, mode=primary_mode) for i in range(num_chunks)]
         self._running: List[_Attempt] = []
@@ -236,7 +249,8 @@ class Supervisor:
         """
         start = time.perf_counter()
         try:
-            self._loop()
+            with trace_span("parallel.supervise"):
+                self._loop()
         finally:
             self._reap_stragglers()
             self.report.elapsed_seconds += time.perf_counter() - start
@@ -375,6 +389,7 @@ class Supervisor:
         if attach_failed:
             self._note_attach_failure(task)
         if task.attempts <= self._retries:
+            self._metrics.inc("supervisor.retries")
             delay = min(
                 self._backoff * (2 ** (task.attempts - 1)), self._backoff_cap
             )
@@ -388,6 +403,8 @@ class Supervisor:
     def _record(
         self, task: _Task, outcome: str, duration: float, error: Optional[str] = None
     ) -> None:
+        self._metrics.inc("supervisor.attempts")
+        self._metrics.inc(_OUTCOME_COUNTERS[outcome])
         self.report.chunks[task.chunk_id].attempts.append(
             AttemptRecord(
                 number=task.attempts,
@@ -419,6 +436,7 @@ class Supervisor:
                     other.mode = "pickle"
 
     def _degrade(self, note: str) -> None:
+        self._metrics.inc("supervisor.degradations")
         self.report.degradations.append(note)
         warnings.warn(note, DegradedExecutionWarning, stacklevel=2)
 
@@ -432,6 +450,7 @@ class Supervisor:
             f"chunk {task.chunk_id}: {task.attempts} worker attempt(s) failed "
             f"({task.last_error}); falling back to in-process python execution"
         )
+        self._metrics.inc("supervisor.fallbacks")
         task.mode = "local"
         task.attempts += 1
         started = time.monotonic()

@@ -61,6 +61,8 @@ from typing import List, Optional, Tuple
 from ..data.collection import SetCollection
 from ..index.inverted import InvertedIndex
 from ..index.prefix_tree import PrefixTree, TreeNode
+from ..obs import registry as _obs
+from ..obs.spans import trace_span
 from .order import GlobalOrder, build_order
 from .stats import JoinStats
 
@@ -294,6 +296,9 @@ def postorder_traverse(
                 stack.pop()
     if stats is not None:
         stats.binary_searches += searches
+    reg = _obs.ACTIVE
+    if reg is not None:
+        reg.inc("tree.searches", searches)
 
 
 def run_tree_join(
@@ -315,16 +320,20 @@ def run_tree_join(
     if first_sid >= inf_sid or not root.children:
         return
     rounds = 0
-    while root.max_sid < inf_sid:
-        rounds += 1
-        postorder_traverse(root, first_sid, inf_sid, early_termination, stats)
-        # int() keeps emitted sids plain Python ints even when the bound
-        # lists are numpy views (CSR backend hands back numpy scalars).
-        sid = int(root.max_sid)
-        if sid < inf_sid and root.rid_list:
-            sink.add_rids(root.rid_list, sid)
+    with trace_span("tree.traverse"):
+        while root.max_sid < inf_sid:
+            rounds += 1
+            postorder_traverse(root, first_sid, inf_sid, early_termination, stats)
+            # int() keeps emitted sids plain Python ints even when the bound
+            # lists are numpy views (CSR backend hands back numpy scalars).
+            sid = int(root.max_sid)
+            if sid < inf_sid and root.rid_list:
+                sink.add_rids(root.rid_list, sid)
     if stats is not None:
         stats.rounds += rounds
+    reg = _obs.ACTIVE
+    if reg is not None:
+        reg.inc("tree.rounds", rounds)
 
 
 def tree_join(
@@ -354,23 +363,30 @@ def tree_join(
     vectorized wins live in the flat framework — see docs/internals.md).
     """
     if index is None:
-        if backend == "csr":
-            from ..index.storage import CSRInvertedIndex
+        with trace_span("index.build"):
+            if backend == "csr":
+                from ..index.storage import CSRInvertedIndex
 
-            index = CSRInvertedIndex.build(s_collection)
-        else:
-            index = InvertedIndex.build(s_collection)
+                index = CSRInvertedIndex.build(s_collection)
+            else:
+                index = InvertedIndex.build(s_collection)
         if stats is not None:
             stats.index_build_tokens += index.construction_cost
     elif backend == "csr" and isinstance(index, InvertedIndex):
         from ..index.storage import CSRInvertedIndex
 
-        index = CSRInvertedIndex.from_index(index)
+        with trace_span("index.csr_pack"):
+            index = CSRInvertedIndex.from_index(index)
     if order is None:
         universe = max(r_collection.max_element(), s_collection.max_element()) + 1
-        order = build_order(s_collection, universe=universe)
+        with trace_span("order.build"):
+            order = build_order(s_collection, universe=universe)
     if tree is None:
-        tree = PrefixTree.build(r_collection, order, compress=patricia)
+        with trace_span("tree.build"):
+            tree = PrefixTree.build(r_collection, order, compress=patricia)
     if stats is not None:
         stats.tree_nodes += tree.num_nodes
+    reg = _obs.ACTIVE
+    if reg is not None:
+        reg.inc("tree.nodes", tree.num_nodes)
     run_tree_join(tree, index, sink, early_termination=early_termination, stats=stats)

@@ -33,6 +33,7 @@ __all__ = [
     "generate_zipf",
     "zipf_exponent_for_z",
     "weight_mass_top_fraction",
+    "realised_avg_size",
     "DEFAULT_SPEC",
 ]
 
@@ -70,7 +71,11 @@ def weight_mass_top_fraction(exponent: float, universe: int, fraction: float = 0
     """Mass of the top ``fraction`` of elements under ``w_i ∝ (i+1)^-s``."""
     ranks = np.arange(1, universe + 1, dtype=np.float64)
     weights = ranks ** (-exponent)
-    top = max(1, int(universe * fraction))
+    # Nearest-integer (half-up) rounding: truncation made "top 20% of 9
+    # elements" mean the top 1 instead of 2, skewing the calibration hard
+    # on small universes. Half-up rather than round() so .5 never rounds
+    # down (banker's rounding would make 2.5 -> 2).
+    top = min(universe, max(1, int(universe * fraction + 0.5)))
     return float(weights[:top].sum() / weights.sum())
 
 

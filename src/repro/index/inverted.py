@@ -17,6 +17,7 @@ import os
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..data.collection import SetCollection
+from ..obs import registry as _obs
 
 __all__ = ["InvertedIndex", "EMPTY_LIST"]
 
@@ -87,6 +88,10 @@ class InvertedIndex:
                     bucket.append(sid)
         n = len(s_collection)
         index = cls(lists, range(n), inf_sid=n, construction_cost=cost)
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("index.builds")
+            reg.inc("index.tokens", cost)
         _debug_check(index)
         return index
 
@@ -137,6 +142,10 @@ class InvertedIndex:
             inf_sid=self.inf_sid,
             construction_cost=cost,
         )
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("index.local_builds")
+            reg.inc("index.tokens", cost)
         _debug_check(local)
         return local
 

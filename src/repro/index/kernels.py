@@ -45,6 +45,8 @@ from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
+from ..obs import registry as _obs
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports index)
     from ..core.results import PairSink
     from ..core.stats import JoinStats
@@ -163,6 +165,10 @@ def cross_cut_record_csr(
     if stats is not None:
         stats.binary_searches += searches
         stats.rounds += rounds
+    reg = _obs.ACTIVE
+    if reg is not None:
+        reg.inc("kernel.searchsorted_calls", rounds)
+        reg.inc("kernel.probes", searches)
 
 
 def _emit_single_element_records(
@@ -238,6 +244,9 @@ def cross_cut_collection_csr(
     if single_rids:
         _emit_single_element_records(r_collection, index, sink, single_rids)
     if not rec_rids:
+        reg = _obs.ACTIVE
+        if reg is not None and single_rids:
+            reg.inc("kernel.single_element_records", len(single_rids))
         return
 
     slot_base = np.concatenate(base_parts)
@@ -253,6 +262,7 @@ def cross_cut_collection_csr(
     searches = 0
     rounds = 0
     supersteps = 0
+    stragglers = 0
     # lint: scalar-fallback (superstep driver: one iteration advances every
     # alive record by a whole round through batched numpy calls)
     while cand.shape[0]:
@@ -288,6 +298,7 @@ def cross_cut_collection_csr(
             # Long-tail join: finish the survivors on the scalar loop.
             from ..core.framework import cross_cut_record
 
+            stragglers = cand.shape[0]
             # lint: scalar-fallback (deliberate straggler tail: <=
             # _STRAGGLER_WIDTH survivors finish on the scalar loop where
             # per-round numpy call overhead would dominate)
@@ -303,3 +314,10 @@ def cross_cut_collection_csr(
     if stats is not None:
         stats.binary_searches += searches
         stats.rounds += rounds
+    reg = _obs.ACTIVE
+    if reg is not None:
+        reg.inc("kernel.searchsorted_calls", supersteps)
+        reg.inc("kernel.probes", searches)
+        reg.inc("kernel.supersteps", supersteps)
+        reg.inc("kernel.single_element_records", len(single_rids))
+        reg.inc("kernel.straggler_records", stragglers)

@@ -39,6 +39,7 @@ import numpy as np
 
 from ..data.collection import SetCollection
 from ..errors import DatasetError, InvalidParameterError, ShmAttachError
+from ..obs import registry as _obs
 from .inverted import EMPTY_LIST, InvertedIndex
 
 __all__ = [
@@ -371,6 +372,10 @@ class CSRInvertedIndex:
         offsets = np.zeros(num_slots + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
         keyed = elems_sorted * stride + values
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("index.csr_builds")
+            reg.inc("index.csr_postings", total)
         return _debug_check_csr(cls(
             offsets, values, keyed,
             inf_sid=n, universe=range(n), construction_cost=total,
@@ -401,6 +406,10 @@ class CSRInvertedIndex:
             if elements else np.zeros(0, dtype=np.int64),
         )
         keyed = elems * stride + values
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("index.csr_builds")
+            reg.inc("index.csr_postings", int(values.shape[0]))
         return _debug_check_csr(cls(
             offsets, values, keyed,
             inf_sid=inf_sid,

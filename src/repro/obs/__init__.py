@@ -1,0 +1,57 @@
+"""Observability: tracing spans, metrics counters, and join-phase reports.
+
+Zero-dependency and **off by default** — when no registry is installed
+the instrumented hot paths pay one global load per flush point and
+nothing else. Enable with ``REPRO_TRACE=1`` (process-wide), the
+``metrics=`` kwarg on :func:`repro.core.api.set_containment_join`
+(scoped), or :func:`use_registry` directly::
+
+    from repro.obs import MetricsRegistry, use_registry
+    from repro.obs.export import phase_table
+
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        set_containment_join(r, s, method="tree_et")
+    print(phase_table(reg))
+
+See :mod:`repro.obs.catalogue` for the documented span and counter names
+and docs/internals.md ("Observability") for how ``JoinStats`` maps onto
+the ``join.*`` counter family.
+"""
+
+from .catalogue import COUNTER_CATALOGUE, SPAN_CATALOGUE
+from .export import flat_text, phase_table, registry_as_dict, to_json, write_json
+from .registry import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    SpanNode,
+    active_or_null,
+    get_registry,
+    install,
+    uninstall,
+    use_registry,
+)
+from .spans import trace_span
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Histogram",
+    "SpanNode",
+    "trace_span",
+    "get_registry",
+    "active_or_null",
+    "install",
+    "uninstall",
+    "use_registry",
+    "registry_as_dict",
+    "to_json",
+    "write_json",
+    "flat_text",
+    "phase_table",
+    "SPAN_CATALOGUE",
+    "COUNTER_CATALOGUE",
+]

@@ -1,0 +1,92 @@
+"""The documented span and counter catalogue.
+
+Every ``trace_span`` name used anywhere in the library must be a dotted
+lowercase **literal** drawn from :data:`SPAN_CATALOGUE` — dynamic span
+names would fragment the aggregated span tree and break cross-run
+comparisons, so repro-lint's RL501 check enforces both properties
+statically (it parses this file with ``ast``; keep both catalogues as
+pure literals).
+
+Counters are namespaced the same way. The ``join.*`` family mirrors the
+fields of :class:`repro.core.stats.JoinStats` one-to-one and is written at
+exactly one place (:func:`repro.core.api.set_containment_join` flushing
+the run's stats delta), so the two counter systems cannot drift; all the
+other families are native to the registry and measure what ``JoinStats``
+never could — kernel batch shapes, supervisor events, broker traffic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SPAN_CATALOGUE", "COUNTER_CATALOGUE"]
+
+#: Every legal ``trace_span`` name. Dotted lowercase, ``[a-z0-9_]``
+#: segments; the first segment is the subsystem.
+SPAN_CATALOGUE = frozenset(
+    {
+        "join.run",  # one set_containment_join invocation end to end
+        "index.build",  # inverted/CSR index construction on S
+        "index.csr_pack",  # repacking a python-backend index into CSR form
+        "order.build",  # global element order construction
+        "tree.build",  # prefix tree construction on R
+        "tree.traverse",  # Algorithm 2: repeated postorder traversals
+        "probe.loop",  # the cross-cutting probe loop over R's records
+        "parallel.supervise",  # the supervisor's dispatch/retry event loop
+        "pubsub.rebuild",  # broker subscription-tree rebuild (compaction)
+    }
+)
+
+#: Every counter the instrumented paths emit, with its meaning. The
+#: phase-table exporter renders counters in this order; undocumented
+#: counters still render (alphabetically, after these) but adding a name
+#: here is part of adding the instrumentation.
+COUNTER_CATALOGUE = {
+    # -- join.*: one-to-one mirrors of JoinStats (single source of truth) --
+    "join.binary_searches": "probes into inverted lists (JoinStats mirror)",
+    "join.entries_touched": "postings materialised or compared (JoinStats mirror)",
+    "join.candidates": "pairs that reached verification (JoinStats mirror)",
+    "join.results": "result pairs emitted (JoinStats mirror)",
+    "join.rounds": "cross-cutting rounds run (JoinStats mirror)",
+    "join.index_build_tokens": "tokens touched building indexes (JoinStats mirror)",
+    "join.tree_nodes": "prefix-tree nodes built (JoinStats mirror)",
+    "join.partitions_local": "partitions processed with a local index (JoinStats mirror)",
+    "join.partitions_global": "partitions processed with the global index (JoinStats mirror)",
+    # -- index.*: construction-side work --
+    "index.builds": "global inverted-index builds",
+    "index.local_builds": "local (partition) index builds",
+    "index.tokens": "tokens scanned during index construction",
+    "index.csr_builds": "CSR index builds/repacks",
+    "index.csr_postings": "postings packed into CSR arrays",
+    # -- probe.*: the python cross-cutting loop --
+    "probe.records": "R records that entered the cross-cutting loop",
+    "probe.records_skipped": "R records skipped (an element absent from S)",
+    "probe.binary_searches": "bisect probes issued by the python loop",
+    "probe.rounds": "candidate-advance rounds of the python loop",
+    "probe.matches": "containments emitted by the python loop",
+    "probe.early_term_breaks": "rounds cut short by early termination",
+    # -- kernel.*: the batched CSR supersteps --
+    "kernel.searchsorted_calls": "batched np.searchsorted calls issued",
+    "kernel.probes": "individual (list, target) probes answered in batches",
+    "kernel.supersteps": "whole-collection supersteps run",
+    "kernel.single_element_records": "records short-circuited to their full list",
+    "kernel.straggler_records": "records finished on the scalar straggler path",
+    # -- tree.*: the tree-based method --
+    "tree.nodes": "prefix-tree nodes bound for traversal",
+    "tree.rounds": "postorder traversal rounds",
+    "tree.searches": "bisect probes issued by traversals",
+    # -- supervisor.*: the fault-tolerant parallel driver --
+    "supervisor.attempts": "chunk attempts dispatched (including retries)",
+    "supervisor.retries": "re-dispatches after a failed attempt",
+    "supervisor.ok": "attempts that returned a result",
+    "supervisor.errors": "attempts that raised in the worker",
+    "supervisor.crashes": "attempts whose worker died silently",
+    "supervisor.timeouts": "attempts killed at the task_timeout deadline",
+    "supervisor.fallbacks": "chunks degraded to in-process execution",
+    "supervisor.degradations": "degradation events (payload downgrades, fallbacks)",
+    # -- pubsub.*: the broker --
+    "pubsub.subscribed": "subscriptions registered",
+    "pubsub.unsubscribed": "subscriptions cancelled",
+    "pubsub.published": "events published",
+    "pubsub.delivered": "subscription matches delivered",
+    "pubsub.compactions": "tombstone compactions scheduled",
+    "pubsub.rebuilds": "subscription-tree rebuilds",
+}

@@ -1,0 +1,136 @@
+"""Exporters: JSON report, flat ``key value`` text, and the phase table.
+
+Three renderings of one :class:`~repro.obs.registry.MetricsRegistry`:
+
+* :func:`registry_as_dict` / :func:`to_json` / :func:`write_json` — the
+  machine form (counters, gauges, histogram summaries, nested span tree),
+  what ``lcjoin join --metrics=PATH`` writes;
+* :func:`flat_text` — one ``key value`` pair per line, greppable and
+  diffable (span timings flatten to ``span.<path>.count`` /
+  ``span.<path>.seconds``);
+* :func:`phase_table` — the human-readable rendering the CLI prints: the
+  span tree as an indented phase table plus the counter table, both
+  through :func:`repro.bench.report.format_table` so metrics output lines
+  up with the benchmark tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from .catalogue import COUNTER_CATALOGUE
+from .registry import MetricsRegistry
+
+__all__ = [
+    "registry_as_dict",
+    "to_json",
+    "write_json",
+    "flat_text",
+    "phase_table",
+]
+
+
+def registry_as_dict(registry: MetricsRegistry) -> Dict[str, Any]:
+    """Everything the registry holds, as plain JSON-ready data."""
+    return {
+        "counters": dict(registry.counters),
+        "gauges": dict(registry.gauges),
+        "histograms": {
+            name: hist.as_dict() for name, hist in registry.histograms.items()
+        },
+        "spans": [node.as_dict() for node in registry.span_root.children.values()],
+    }
+
+
+def to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The dict form serialised (sorted keys, so reports diff cleanly)."""
+    return json.dumps(registry_as_dict(registry), indent=indent, sort_keys=True)
+
+
+def write_json(registry: MetricsRegistry, path: str) -> None:
+    """Write the JSON report to ``path`` (trailing newline included)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(registry))
+        handle.write("\n")
+
+
+def _span_rows(registry: MetricsRegistry) -> List[Tuple[str, int, float]]:
+    """``(indented name, calls, seconds)`` rows, pre-order."""
+    return [
+        ("  " * depth + node.name, node.count, node.seconds)
+        for depth, node in registry.span_root.walk()
+    ]
+
+
+def _ordered_counters(registry: MetricsRegistry) -> List[Tuple[str, float]]:
+    """Counters in catalogue order, undocumented extras alphabetically last."""
+    rows = [
+        (name, registry.counters[name])
+        for name in COUNTER_CATALOGUE
+        if name in registry.counters
+    ]
+    rows.extend(
+        (name, value)
+        for name, value in sorted(registry.counters.items())
+        if name not in COUNTER_CATALOGUE
+    )
+    return rows
+
+
+def flat_text(registry: MetricsRegistry) -> str:
+    """One ``key value`` pair per line; spans flatten to dotted paths."""
+    lines: List[str] = []
+    for name, value in _ordered_counters(registry):
+        lines.append(f"{name} {_fmt_value(value)}")
+    for name in sorted(registry.gauges):
+        lines.append(f"{name} {_fmt_value(registry.gauges[name])}")
+    for name in sorted(registry.histograms):
+        summary = registry.histograms[name].as_dict()
+        for key in ("count", "sum", "min", "max", "mean"):
+            lines.append(f"{name}.{key} {_fmt_value(summary[key])}")
+    stack: List[str] = []
+    for depth, node in registry.span_root.walk():
+        del stack[depth:]
+        stack.append(node.name)
+        path = ".".join(stack)
+        lines.append(f"span.{path}.count {node.count}")
+        lines.append(f"span.{path}.seconds {node.seconds:.6f}")
+    return "\n".join(lines)
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6f}"
+    return str(int(value))
+
+
+def phase_table(registry: MetricsRegistry) -> str:
+    """The human-readable report: phase (span) table + counter table."""
+    # Imported lazily: bench.report pulls in the benchmark runner, which
+    # imports core.api, which imports this package — the cycle is broken
+    # by deferring until somebody actually renders a table.
+    from ..bench.report import format_table
+
+    sections: List[str] = []
+    span_rows = _span_rows(registry)
+    if span_rows:
+        sections.append(
+            format_table(
+                ("phase", "calls", "time(s)"),
+                [(name, count, round(seconds, 4)) for name, count, seconds in span_rows],
+            )
+        )
+    counter_rows = _ordered_counters(registry)
+    gauge_rows = sorted(registry.gauges.items())
+    if counter_rows or gauge_rows:
+        sections.append(
+            format_table(
+                ("counter", "value"),
+                [(name, _fmt_value(value)) for name, value in counter_rows]
+                + [(name, _fmt_value(value)) for name, value in gauge_rows],
+            )
+        )
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n\n".join(sections)

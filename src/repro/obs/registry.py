@@ -1,0 +1,326 @@
+"""The metrics registry: counters, gauges, histograms, and the span tree.
+
+Zero-dependency observability for the join pipeline. One
+:class:`MetricsRegistry` collects everything a run emits; the registry in
+force is a **module global** (``ACTIVE``), because the instrumented hot
+paths must be able to test "is tracing on?" with a single global load —
+any indirection (thread locals, callables) would show up in the
+per-record flush points.
+
+Off by default. Two ways to turn it on:
+
+* ``REPRO_TRACE=1`` in the environment installs a process-wide registry
+  at import time (what the CI metrics-smoke job uses);
+* :func:`use_registry` / the ``metrics=`` kwarg on
+  :func:`repro.core.api.set_containment_join` installs one for a scope.
+
+Instrumented code follows one discipline, which is what keeps the
+disabled path negligible: accumulate into **plain local ints** inside the
+loop, then flush once per record/run::
+
+    reg = _obs.ACTIVE
+    if reg is not None:
+        reg.inc("probe.binary_searches", searches)
+
+Low-frequency call sites (the supervisor, the broker) may instead hold
+:data:`NULL_REGISTRY` — a no-op with the full interface — so their event
+hooks stay unconditional.
+
+The registry is deliberately not thread-safe: the join drivers
+parallelise with *processes* (each worker gets its own registry from the
+inherited environment), and a lock per counter bump would cost more than
+the counters measure.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Histogram",
+    "SpanNode",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "ACTIVE",
+    "get_registry",
+    "active_or_null",
+    "install",
+    "uninstall",
+    "use_registry",
+]
+
+
+class Histogram:
+    """Streaming summary of an observed distribution (count/sum/min/max).
+
+    Kept O(1) in memory on purpose: the registry can stay installed for a
+    whole process (``REPRO_TRACE=1`` across a full test run) without
+    growing with the number of observations.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class SpanNode:
+    """One aggregated node of the span tree.
+
+    Same-named spans under the same parent **aggregate** (count + total
+    seconds) instead of appending — the tree is bounded by the span
+    catalogue times the nesting depth, never by how many joins ran.
+    """
+
+    __slots__ = ("name", "count", "seconds", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.seconds = 0.0
+        self.children: Dict[str, SpanNode] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple[int, "SpanNode"]]:
+        """Pre-order ``(depth, node)`` pairs, children in creation order."""
+        for node in self.children.values():
+            yield depth, node
+            yield from node.walk(depth + 1)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "count": self.count,
+            "seconds": self.seconds,
+        }
+        if self.children:
+            out["children"] = [c.as_dict() for c in self.children.values()]
+        return out
+
+
+class _Timer:
+    """Context manager recording a monotonic elapsed time into a histogram."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._registry.observe(self._name, time.perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Counters, gauges, histograms, and the nested span timing tree."""
+
+    __slots__ = ("counters", "gauges", "histograms", "span_root", "_span_stack")
+
+    #: Whether this registry records anything (False on :class:`NullRegistry`).
+    enabled = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.span_root = SpanNode("")
+        self._span_stack: List[SpanNode] = [self.span_root]
+
+    # -- counters / gauges / histograms -----------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def max_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``max(current, value)`` (high-watermark)."""
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram()
+            self.histograms[name] = hist
+        hist.observe(value)
+
+    def timer(self, name: str) -> _Timer:
+        """``with registry.timer("x"): ...`` observes elapsed seconds."""
+        return _Timer(self, name)
+
+    def value(self, name: str) -> float:
+        """Counter value, falling back to the gauge of the same name, else 0."""
+        got = self.counters.get(name)
+        if got is not None:
+            return got
+        return self.gauges.get(name, 0)
+
+    # -- spans -------------------------------------------------------------
+
+    def enter_span(self, name: str) -> None:
+        node = self._span_stack[-1].child(name)
+        node.count += 1
+        self._span_stack.append(node)
+
+    def exit_span(self, seconds: float) -> None:
+        if len(self._span_stack) > 1:  # the root is never popped
+            self._span_stack.pop().seconds += seconds
+
+    # -- the JoinStats bridge ----------------------------------------------
+
+    def record_join_stats(self, delta: Mapping[str, float]) -> None:
+        """Fold one join run's :class:`~repro.core.stats.JoinStats` delta in.
+
+        The mapping is a stats ``as_dict()`` (or a
+        :class:`~repro.core.stats.StatsSnapshot` delta); every field lands
+        under the mirrored ``join.*`` name. ``elapsed_seconds`` accumulates
+        as a counter too (total join time under this registry);
+        ``peak_memory_bytes`` is a high-watermark gauge. This is the
+        **only** writer of the ``join.*`` family, which is what makes the
+        registry and ``JoinStats`` drift-proof by construction.
+        """
+        for name, value in delta.items():
+            if name == "peak_memory_bytes":
+                self.max_gauge("join." + name, value)
+            else:
+                self.inc("join." + name, value)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop everything recorded (open spans included)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.span_root = SpanNode("")
+        self._span_stack = [self.span_root]
+
+
+class NullRegistry(MetricsRegistry):
+    """The no-op registry: full interface, records nothing.
+
+    For call sites that prefer an unconditional ``self._metrics.inc(...)``
+    over testing ``ACTIVE`` — event-frequency code only; hot loops use the
+    ``ACTIVE is None`` test instead.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def max_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def enter_span(self, name: str) -> None:
+        pass
+
+    def exit_span(self, seconds: float) -> None:
+        pass
+
+    def record_join_stats(self, delta: Mapping[str, float]) -> None:
+        pass
+
+
+#: Shared no-op instance (stateless, safe to hold anywhere).
+NULL_REGISTRY = NullRegistry()
+
+#: The registry in force, or ``None`` when tracing is off. Hot paths read
+#: this directly (one global load); everyone else goes through the helpers.
+ACTIVE: Optional[MetricsRegistry] = None
+
+if os.environ.get("REPRO_TRACE", "") not in ("", "0"):
+    # Process-wide activation: every join in this interpreter records into
+    # one registry (the CI metrics-smoke job runs the whole suite this way).
+    ACTIVE = MetricsRegistry()
+
+
+def get_registry() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` when tracing is disabled."""
+    return ACTIVE
+
+
+def active_or_null() -> MetricsRegistry:
+    """The active registry, or the shared no-op when tracing is disabled."""
+    return ACTIVE if ACTIVE is not None else NULL_REGISTRY
+
+
+def install(registry: MetricsRegistry) -> None:
+    """Make ``registry`` the process-wide active registry."""
+    global ACTIVE
+    ACTIVE = registry
+
+
+def uninstall() -> None:
+    """Disable tracing (the default state)."""
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` for the scope of the ``with`` block.
+
+    Restores whatever was active before on exit, so scoped metering (the
+    ``metrics=`` kwarg, tests) composes with process-wide ``REPRO_TRACE``.
+    """
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        ACTIVE = previous

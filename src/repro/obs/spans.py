@@ -1,0 +1,85 @@
+"""``trace_span`` — the nested timing tree's single entry point.
+
+Usage, always with a **dotted lowercase literal** from
+:data:`repro.obs.catalogue.SPAN_CATALOGUE` (enforced by repro-lint RL501)::
+
+    with trace_span("tree.build"):
+        tree = PrefixTree.build(r_collection, order)
+
+Spans nest: a span opened while another is open becomes its child in the
+active registry's :class:`~repro.obs.registry.SpanNode` tree, and
+same-named spans under the same parent aggregate. When no registry is
+active, :func:`trace_span` returns a shared no-op context manager — the
+disabled cost is one global load and one ``with`` setup, which is why
+spans are placed at *phase* granularity (per build, per traversal run),
+never per record.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import ContextManager, Optional, Type
+
+from . import registry as _registry
+from .registry import MetricsRegistry
+
+__all__ = ["trace_span"]
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: object,
+    ) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: enters the registry's span stack, times with a
+    monotonic clock, and pops on exit even when the body raises."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: MetricsRegistry, name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._registry.enter_span(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: object,
+    ) -> None:
+        self._registry.exit_span(time.perf_counter() - self._start)
+        return None
+
+
+def trace_span(name: str) -> "ContextManager[object]":
+    """Open a named span in the active registry (no-op when tracing is off).
+
+    ``name`` must be a dotted lowercase literal from the documented span
+    catalogue; repro-lint RL501 rejects dynamic or uncatalogued names
+    because they would fragment span aggregation.
+    """
+    reg = _registry.ACTIVE
+    if reg is None:
+        return _NULL_SPAN
+    return _Span(reg, name)

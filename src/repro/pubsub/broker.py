@@ -30,6 +30,8 @@ from ..core.order import GlobalOrder
 from ..data.collection import ElementDictionary
 from ..errors import InvalidParameterError
 from ..index.prefix_tree import PrefixTree
+from ..obs import registry as _obs
+from ..obs.spans import trace_span
 
 __all__ = ["Broker", "Subscription", "Delivery"]
 
@@ -84,6 +86,9 @@ class Broker:
         sub = Subscription(self._next_id, frozenset(keywords))
         self._subscriptions[sub.sub_id] = sub
         self._next_id += 1
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("pubsub.subscribed")
         encoded = sorted(self._dictionary.encode(k) for k in sub.keywords)
         if self._tree is not None:
             # Incremental insert: extend the frozen order for new keywords,
@@ -105,6 +110,9 @@ class Broker:
         """
         if self._subscriptions.pop(sub_id, None) is None:
             return
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("pubsub.unsubscribed")
         if sub_id in self._tree_members:
             self._tombstones += 1
             if self._tombstones > self._compact_ratio * max(len(self._subscriptions), 1):
@@ -118,6 +126,9 @@ class Broker:
             self._compact_pending = True
         else:
             self._tree = None
+            reg = _obs.ACTIVE
+            if reg is not None:
+                reg.inc("pubsub.compactions")
 
     def __len__(self) -> int:
         return len(self._subscriptions)
@@ -132,13 +143,17 @@ class Broker:
     def _build_tree(self) -> PrefixTree:
         # An identity order over the dictionary's ids; frequency tuning is
         # pointless here because subscription churn would invalidate it.
-        order = GlobalOrder(list(range(len(self._dictionary))), "element_id")
-        tree = PrefixTree(order)
-        for sub in self._subscriptions.values():
-            encoded = sorted(self._dictionary.encode(k) for k in sub.keywords)
-            tree.insert(encoded, sub.sub_id)
-        self._tree_members = set(self._subscriptions)
-        self._tombstones = 0
+        with trace_span("pubsub.rebuild"):
+            order = GlobalOrder(list(range(len(self._dictionary))), "element_id")
+            tree = PrefixTree(order)
+            for sub in self._subscriptions.values():
+                encoded = sorted(self._dictionary.encode(k) for k in sub.keywords)
+                tree.insert(encoded, sub.sub_id)
+            self._tree_members = set(self._subscriptions)
+            self._tombstones = 0
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("pubsub.rebuilds")
         return tree
 
     def publish(self, keywords: Iterable[Hashable]) -> Delivery:
@@ -146,6 +161,9 @@ class Broker:
         event = frozenset(keywords)
         delivery = Delivery(event)
         self.published += 1
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("pubsub.published")
         if not self._subscriptions:
             return delivery
         if self._tree is None:
@@ -176,8 +194,14 @@ class Broker:
             if self._compact_pending:
                 self._compact_pending = False
                 self._tree = None
+                reg = _obs.ACTIVE
+                if reg is not None:
+                    reg.inc("pubsub.compactions")
         matched.sort()
         self.delivered += len(matched)
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("pubsub.delivered", len(matched))
         return delivery
 
     def _is_live(self, sub_id: int) -> bool:

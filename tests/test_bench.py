@@ -108,3 +108,33 @@ class TestReport:
     def test_speedup_summary_missing_reference(self):
         ms = [JoinMeasurement("pretti", "w", 1, 1, 1, 1.0, 0, 0, 0, 0)]
         assert speedup_summary(ms) == ""
+
+    def test_format_table_pads_short_rows(self):
+        text = format_table(("a", "b", "c"), [(1,), (1, 2, 3)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # The short row renders with empty cells instead of crashing.
+        assert lines[2].strip() == "1"
+        assert "3" in lines[3]
+
+    def test_format_table_rejects_wide_rows(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="row 1 has 3 cells"):
+            format_table(("a", "b"), [(1, 2), (1, 2, 3)])
+
+    def test_speedup_summary_zero_reference_time(self):
+        # A 0.0 reference time (sub-resolution run) used to drop the whole
+        # workload via `if not base`; it must render as n/a instead.
+        ms = [
+            JoinMeasurement("lcjoin", "w", 1, 1, 1, 0.0, 0, 0, 0, 0),
+            JoinMeasurement("pretti", "w", 1, 1, 1, 1.0, 0, 0, 0, 0),
+        ]
+        assert speedup_summary(ms) == "w: lcjoin vs pretti n/a"
+
+    def test_speedup_summary_zero_other_time(self):
+        ms = [
+            JoinMeasurement("lcjoin", "w", 1, 1, 1, 1.0, 0, 0, 0, 0),
+            JoinMeasurement("pretti", "w", 1, 1, 1, 0.0, 0, 0, 0, 0),
+        ]
+        assert speedup_summary(ms) == "w: lcjoin vs pretti n/a"

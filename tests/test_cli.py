@@ -56,6 +56,59 @@ class TestJoinCommand:
         assert "error" in capsys.readouterr().err
 
 
+class TestJoinMetrics:
+    def test_metrics_prints_phase_table_on_stderr(self, dataset, capsys):
+        assert main(["join", dataset, "--count-only", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert int(captured.out.strip()) == 4  # stdout stays machine-readable
+        assert "join.run" in captured.err
+        assert "index.build" in captured.err
+        assert "join.results" in captured.err
+
+    def test_metrics_path_writes_json_report(self, tmp_path, dataset, capsys):
+        import json
+
+        report = str(tmp_path / "run.json")
+        assert main(["join", dataset, "--count-only", f"--metrics={report}"]) == 0
+        captured = capsys.readouterr()
+        assert report in captured.err  # the "# metrics written to" note
+        data = json.loads(open(report, encoding="utf-8").read())
+        assert set(data) >= {"counters", "gauges", "histograms", "spans"}
+        assert data["counters"]["join.results"] == 4
+        assert any(span["name"] == "join.run" for span in data["spans"])
+
+    def test_metrics_counters_match_join_stats(self, dataset, capsys):
+        # The acceptance property: the CLI's join.* family and the summary
+        # line's JoinStats numbers are the same numbers.
+        assert main(["join", dataset, "--count-only", "--metrics"]) == 0
+        err = capsys.readouterr().err
+        summary = next(line for line in err.splitlines() if line.startswith("# method="))
+        searches = int(summary.split("searches=")[1].split()[0])
+        table_row = next(
+            line for line in err.splitlines() if "join.binary_searches" in line
+        )
+        assert int(table_row.split()[-1]) == searches
+
+    def test_metrics_with_parallel_workers(self, tmp_path, dataset, capsys):
+        import json
+
+        report = str(tmp_path / "par.json")
+        assert main(
+            ["join", dataset, "--count-only", "--workers", "2", f"--metrics={report}"]
+        ) == 0
+        count = int(capsys.readouterr().out.strip())
+        data = json.loads(open(report, encoding="utf-8").read())
+        assert data["counters"]["join.results"] == count == 4
+        assert data["counters"]["supervisor.ok"] >= 1
+        assert any(span["name"] == "join.run" for span in data["spans"])
+
+    def test_no_metrics_flag_emits_no_tables(self, dataset, capsys):
+        assert main(["join", dataset, "--count-only"]) == 0
+        err = capsys.readouterr().err
+        assert "join.run" not in err
+        assert "counter" not in err
+
+
 class TestGenerateCommand:
     def test_zipf(self, tmp_path, capsys):
         out = str(tmp_path / "zipf.txt")

@@ -429,6 +429,155 @@ class TestBackendParity:
         assert findings == []
 
 
+# -- RL501: trace_span names ----------------------------------------------
+
+
+CATALOGUE_REL = "src/repro/obs/catalogue.py"
+
+
+def _seed_catalogue(tmp_path, names=("join.run", "tree.build")):
+    """Plant a fake span catalogue so the membership check arms."""
+    path = tmp_path / CATALOGUE_REL
+    path.parent.mkdir(parents=True, exist_ok=True)
+    literals = ", ".join(repr(n) for n in names)
+    path.write_text(
+        f"SPAN_CATALOGUE = frozenset({{{literals}}})\n", encoding="utf-8"
+    )
+
+
+class TestSpanNames:
+    def test_fstring_name_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            from repro.obs import trace_span
+
+            def run(method):
+                with trace_span(f"join.{method}"):
+                    pass
+            """,
+        )
+        assert _codes(findings) == ["RL501"]
+        assert "plain string literal" in findings[0].message
+
+    def test_variable_name_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def run(name, trace_span):
+                with trace_span(name):
+                    pass
+            """,
+        )
+        assert _codes(findings) == ["RL501"]
+
+    def test_bad_shape_flagged(self, tmp_path):
+        for bad in ("'Join.Run'", "'joinrun'", "'join..run'", "'join.Run'"):
+            findings = _lint_source(
+                tmp_path,
+                f"""
+                from repro.obs import trace_span
+
+                with trace_span({bad}):
+                    pass
+                """,
+            )
+            assert _codes(findings) == ["RL501"], bad
+            assert "dotted lowercase" in findings[0].message
+
+    def test_catalogued_literal_clean(self, tmp_path):
+        _seed_catalogue(tmp_path)
+        findings = _lint_source(
+            tmp_path,
+            """
+            from repro.obs import trace_span
+
+            with trace_span("tree.build"):
+                pass
+            """,
+        )
+        assert findings == []
+
+    def test_typo_caught_when_catalogue_present(self, tmp_path):
+        _seed_catalogue(tmp_path)
+        findings = _lint_source(
+            tmp_path,
+            """
+            from repro.obs import trace_span
+
+            with trace_span("tree.bulid"):
+                pass
+            """,
+        )
+        assert _codes(findings) == ["RL501"]
+        assert "not in the documented" in findings[0].message
+
+    def test_membership_skipped_without_catalogue(self, tmp_path):
+        # Fixture trees have no src/repro/obs/catalogue.py: only
+        # literal-ness and shape are enforced there.
+        findings = _lint_source(
+            tmp_path,
+            """
+            from repro.obs import trace_span
+
+            with trace_span("tree.bulid"):
+                pass
+            """,
+        )
+        assert findings == []
+
+    def test_attribute_call_checked(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            from repro.obs import spans
+
+            def run(name):
+                with spans.trace_span(name):
+                    pass
+            """,
+        )
+        assert _codes(findings) == ["RL501"]
+
+    def test_marker_suppresses(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def run(name, trace_span):
+                with trace_span(name):  # lint: span-name (test escape hatch)
+                    pass
+            """,
+        )
+        assert findings == []
+
+    def test_argless_call_ignored(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            from repro.obs import trace_span
+
+            trace_span()
+            """,
+        )
+        assert findings == []
+
+    def test_real_catalogue_matches_instrumented_spans(self):
+        # Every span name used in src/repro must already be catalogued:
+        # the real tree linted against the real catalogue stays clean, and
+        # the inverse — a name missing from the real catalogue — fails.
+        import re
+
+        catalogue_src = (REPO_ROOT / CATALOGUE_REL).read_text(encoding="utf-8")
+        catalogued = set(re.findall(r'"([a-z0-9_.]+)"', catalogue_src))
+        used = set()
+        for path in (REPO_ROOT / "src" / "repro").rglob("*.py"):
+            used.update(
+                re.findall(r'trace_span\(\s*"([^"]+)"', path.read_text(encoding="utf-8"))
+            )
+        assert used  # the instrumentation exists
+        assert used <= catalogued
+
+
 # -- driver plumbing -------------------------------------------------------
 
 
@@ -502,7 +651,7 @@ class TestCli:
     def test_list_checks(self, capsys):
         assert lint_main(["--list-checks"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL101", "RL201", "RL301", "RL401"):
+        for code in ("RL101", "RL201", "RL301", "RL401", "RL501"):
             assert code in out
 
 

@@ -72,6 +72,54 @@ class TestProbe:
         assert gap == (greater[0] if greater else self.INF)
 
 
+class TestProbeCursor:
+    """The ``lo`` cursor contract: callers keep ``pos`` from one probe and
+    feed it back so later probes skip the consumed prefix (Algorithm 3's
+    per-list cursors). Correct only because candidates are non-decreasing."""
+
+    INF = 999
+
+    def test_lo_skips_consumed_prefix(self):
+        lst = [1, 4, 9, 12]
+        # After probing 4 (pos=1), probing 9 from lo=1 lands correctly.
+        __, __, pos = probe(lst, 4, self.INF)
+        assert pos == 1
+        assert probe(lst, 9, self.INF, lo=pos) == (9, 12, 2)
+
+    def test_lo_equal_to_answer_position(self):
+        # lo pointing exactly at the answer still returns it (bisect_left
+        # with lo == i is a no-op bracket).
+        assert probe([1, 4, 9], 9, self.INF, lo=2) == (9, self.INF, 2)
+
+    def test_lo_past_end_is_exhausted(self):
+        assert probe([1, 4, 9], 2, self.INF, lo=3) == (self.INF, self.INF, 3)
+
+    def test_stale_cursor_hides_earlier_entries(self):
+        # Documents the contract's precondition: a cursor ahead of the
+        # target's position makes the probe miss — targets must be
+        # monotonically non-decreasing for cursor reuse to be sound.
+        sid, gap, pos = probe([1, 4, 9], 1, self.INF, lo=1)
+        assert (sid, gap, pos) == (4, 4, 1)
+
+    @given(sorted_lists, st.integers(0, 220), st.integers(0, 220))
+    def test_cursor_reuse_equals_fresh_probe(self, lst, first, second):
+        """For non-decreasing targets, probing from the previous ``pos``
+        returns exactly what a from-scratch probe returns."""
+        lo_target, hi_target = sorted((first, second))
+        __, __, pos = probe(lst, lo_target, self.INF)
+        assert probe(lst, hi_target, self.INF, lo=pos) == probe(
+            lst, hi_target, self.INF
+        )
+
+    @given(sorted_lists, st.integers(0, 220))
+    def test_pos_is_index_of_sid(self, lst, target):
+        sid, __, pos = probe(lst, target, self.INF)
+        if sid == self.INF:
+            assert pos == len(lst)
+        else:
+            assert lst[pos] == sid
+
+
 class TestGallop:
     @given(sorted_lists, st.integers(0, 220))
     def test_matches_bisect(self, lst, target):

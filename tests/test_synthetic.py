@@ -130,3 +130,32 @@ def test_generator_contract(cardinality, universe, z):
     assert len(data) == cardinality
     assert data.max_element() < universe
     assert all(len(rec) >= 1 for rec in data)
+
+
+class TestTopFractionRounding:
+    def test_rounds_to_nearest_not_down(self):
+        # 25% of 10 uniform elements is 2.5 -> half-up to 3; truncation
+        # (and banker's rounding) would take 2.
+        assert weight_mass_top_fraction(0.0, 10, 0.25) == pytest.approx(0.3)
+        # 20% of 9 is 1.8 -> 2; truncation used to take just 1.
+        assert weight_mass_top_fraction(0.0, 9, 0.2) == pytest.approx(2 / 9)
+
+    def test_top_never_exceeds_universe(self):
+        assert weight_mass_top_fraction(0.0, 1, 0.9999) == pytest.approx(1.0)
+
+    def test_small_universe_calibration(self):
+        # With nearest-integer rounding the bisection hits the paper's
+        # target mass b^(1-z) even on a 10-element universe.
+        s = zipf_exponent_for_z(0.5, 10)
+        assert weight_mass_top_fraction(s, 10) == pytest.approx(
+            0.2 ** 0.5, rel=1e-3
+        )
+
+    def test_realised_avg_size_exported(self):
+        from repro.data import synthetic
+
+        assert "realised_avg_size" in synthetic.__all__
+        data = generate_zipf(cardinality=40, num_elements=30, seed=3)
+        assert synthetic.realised_avg_size(data) == pytest.approx(
+            sum(len(rec) for rec in data) / len(data)
+        )

@@ -10,6 +10,7 @@ from .backend_parity import CHECKER as BACKEND_PARITY
 from .frozen_mutation import CHECKER as FROZEN_MUTATION
 from .hot_loops import CHECKER as HOT_LOOPS
 from .shm_lifecycle import CHECKER as SHM_LIFECYCLE
+from .span_names import CHECKER as SPAN_NAMES
 
 __all__ = ["ALL_CHECKERS"]
 
@@ -18,4 +19,5 @@ ALL_CHECKERS: tuple[Checker, ...] = (
     SHM_LIFECYCLE,
     HOT_LOOPS,
     BACKEND_PARITY,
+    SPAN_NAMES,
 )

@@ -1,0 +1,156 @@
+"""RL501 — ``trace_span`` names are dotted lowercase literals from the catalogue.
+
+Span names are aggregation keys: every ``with trace_span("tree.build")``
+with the same name under the same parent folds into one row of the phase
+table. A dynamically built name (f-string, variable, concatenation)
+fragments that aggregation into unbounded per-value rows, and a typo'd
+literal silently opens a new phase nobody is looking for. Both defects
+type-check and pass every functional test, which is why they are lint
+invariants.
+
+A ``trace_span(...)`` call passes when its first argument is
+
+* a plain string **literal** (no f-strings, no variables, no ``+``),
+* shaped ``segment.segment[.segment...]`` with each segment lowercase
+  ``[a-z][a-z0-9_]*``,
+* listed in ``SPAN_CATALOGUE`` of ``src/repro/obs/catalogue.py`` — the
+  documented catalogue is parsed from source (never imported, so the
+  checker runs without ``PYTHONPATH=src``); when the catalogue file is
+  absent relative to the lint root (fixture trees), the membership check
+  is skipped and only literal-ness and shape are enforced.
+
+Suppress with ``# lint: span-name (why)`` for a deliberately dynamic or
+out-of-catalogue name (none exist today; the marker is the escape hatch).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional
+
+from ..base import Checker, Finding, LintedFile
+
+CODE = "RL501"
+MARKER = "span-name"
+
+_CATALOGUE_REL = "src/repro/obs/catalogue.py"
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: catalogue path -> parsed span names (None: file unreadable/unparseable).
+_catalogue_cache: Dict[Path, Optional[FrozenSet[str]]] = {}
+
+
+def _lint_root(linted: LintedFile) -> Optional[Path]:
+    """Recover the lint root by stripping ``rel`` off the resolved path."""
+    resolved = linted.path.resolve()
+    rel = Path(linted.rel)
+    if resolved.as_posix().endswith(rel.as_posix()):
+        for __ in rel.parts:
+            resolved = resolved.parent
+        return resolved
+    return None
+
+
+def _parse_catalogue(path: Path) -> Optional[FrozenSet[str]]:
+    """Span names from ``SPAN_CATALOGUE = frozenset({...literals...})``."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "SPAN_CATALOGUE"
+            for t in node.targets
+        ):
+            continue
+        names = [
+            sub.value
+            for sub in ast.walk(node.value)
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+        ]
+        if names:
+            return frozenset(names)
+    return None
+
+
+def _span_catalogue(linted: LintedFile) -> Optional[FrozenSet[str]]:
+    root = _lint_root(linted)
+    if root is None:
+        return None
+    path = root / _CATALOGUE_REL
+    if path not in _catalogue_cache:
+        _catalogue_cache[path] = _parse_catalogue(path) if path.is_file() else None
+    return _catalogue_cache[path]
+
+
+def _is_trace_span_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "trace_span"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "trace_span"
+    return False
+
+
+def check(linted: LintedFile) -> List[Finding]:
+    findings: List[Finding] = []
+    catalogue: Optional[FrozenSet[str]] = None
+    catalogue_loaded = False
+    for node in ast.walk(linted.tree):
+        if not isinstance(node, ast.Call) or not _is_trace_span_call(node):
+            continue
+        if linted.suppressed(node, MARKER):
+            continue
+        if not node.args:
+            # trace_span() without arguments is a TypeError at runtime;
+            # leave that to the type checker, nothing to validate here.
+            continue
+        arg = node.args[0]
+        if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+            findings.append(
+                linted.finding(
+                    node,
+                    CODE,
+                    "trace_span name must be a plain string literal — "
+                    "dynamic names fragment span aggregation into "
+                    "unbounded per-value rows",
+                )
+            )
+            continue
+        name = arg.value
+        if not _NAME_RE.match(name):
+            findings.append(
+                linted.finding(
+                    node,
+                    CODE,
+                    f"trace_span name {name!r} must be dotted lowercase "
+                    "(`family.phase`, segments [a-z][a-z0-9_]*)",
+                )
+            )
+            continue
+        if not catalogue_loaded:
+            catalogue = _span_catalogue(linted)
+            catalogue_loaded = True
+        if catalogue is not None and name not in catalogue:
+            findings.append(
+                linted.finding(
+                    node,
+                    CODE,
+                    f"trace_span name {name!r} is not in the documented "
+                    f"span catalogue ({_CATALOGUE_REL}); add it there or "
+                    "fix the typo",
+                )
+            )
+    return findings
+
+
+CHECKER = Checker(
+    code=CODE,
+    name="span-names",
+    description="trace_span names are dotted lowercase catalogue literals",
+    run=check,
+)
