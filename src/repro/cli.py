@@ -29,7 +29,7 @@ from .data.io import load_collection, load_tokens, save_collection
 from .data.realworld import REAL_WORLD_SPECS, generate_real_world
 from .data.skew import top_k_mass, z_value
 from .data.synthetic import generate_zipf
-from .errors import ReproError
+from .errors import InvalidParameterError, ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -71,6 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_join.add_argument("--no-fallback", action="store_true",
                         help="fail instead of degrading to in-process "
                         "execution when a chunk exhausts its retries")
+    p_join.add_argument("--checkpoint", default=None, metavar="DIR",
+                        help="durable run log: spill each settled chunk to "
+                        "DIR so a killed run can be resumed (parallel only)")
+    p_join.add_argument("--resume", action="store_true",
+                        help="resume the run checkpointed in --checkpoint "
+                        "DIR: load verified chunks, dispatch the remainder")
+    p_join.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="abort the whole run (gracefully, with the "
+                        "ABORTED marker when checkpointing) after this "
+                        "many seconds (parallel only)")
+    p_join.add_argument("--memory-budget", type=int, default=None,
+                        metavar="BYTES",
+                        help="admission-control the run under this analytic "
+                        "memory budget: oversized chunks are split and "
+                        "concurrency capped (parallel only)")
     p_join.add_argument("--report", action="store_true",
                         help="print the supervision report (attempts, "
                         "retries, degradations) to stderr")
@@ -153,6 +169,20 @@ def _cmd_join(args: argparse.Namespace) -> int:
         from .obs import MetricsRegistry
 
         registry = MetricsRegistry()
+    if args.workers is None:
+        durable_flags = [
+            name for name, value in (
+                ("--checkpoint", args.checkpoint),
+                ("--resume", args.resume or None),
+                ("--deadline", args.deadline),
+                ("--memory-budget", args.memory_budget),
+            ) if value is not None
+        ]
+        if durable_flags:
+            raise InvalidParameterError(
+                f"{', '.join(durable_flags)} only apply to the parallel "
+                "driver; pass --workers as well"
+            )
     if args.workers is not None:
         from contextlib import nullcontext
 
@@ -168,6 +198,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
                 workers=args.workers, retries=args.retries,
                 task_timeout=args.task_timeout, backoff=args.backoff,
                 fallback=not args.no_fallback, return_report=True,
+                checkpoint_dir=args.checkpoint, resume=args.resume,
+                deadline=args.deadline, memory_budget=args.memory_budget,
             )
         stats.elapsed_seconds = time.perf_counter() - start
         stats.results = len(pairs)

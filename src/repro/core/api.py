@@ -96,6 +96,10 @@ def set_containment_join(
     retries: Optional[int] = None,
     task_timeout: Optional[float] = None,
     backoff: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    deadline: Optional[float] = None,
+    memory_budget: Optional[int] = None,
     metrics: Optional[MetricsRegistry] = None,
     **kwargs,
 ) -> Union[List[Tuple[int, int]], int]:
@@ -132,8 +136,13 @@ def set_containment_join(
         (:func:`repro.core.parallel.parallel_join`) with that many worker
         processes; ``retries``, ``task_timeout`` and ``backoff`` then tune
         its failure policy (per-chunk re-dispatch count, hang deadline in
-        seconds, and base retry delay). Supplying those three without
-        ``workers`` is an error — they have no serial meaning.
+        seconds, and base retry delay), ``checkpoint_dir``/``resume`` arm
+        the durable run log (spill settled chunks, resume after a driver
+        crash), and ``deadline``/``memory_budget`` bound the run's wall
+        clock and memory plan — see :func:`~repro.core.parallel
+        .parallel_join` for the full durability contract. Supplying any of
+        these without ``workers`` is an error — they have no serial
+        meaning.
     metrics:
         Optional :class:`~repro.obs.registry.MetricsRegistry` installed
         for the duration of this call: phase spans (``join.run``,
@@ -160,7 +169,9 @@ def set_containment_join(
                 r_collection, s_collection, method=method, collect=collect,
                 callback=callback, stats=stats, backend=backend,
                 workers=workers, retries=retries, task_timeout=task_timeout,
-                backoff=backoff, **kwargs,
+                backoff=backoff, checkpoint_dir=checkpoint_dir,
+                resume=resume, deadline=deadline,
+                memory_budget=memory_budget, **kwargs,
             )
     reg = _obs.ACTIVE
     if reg is not None and stats is None:
@@ -169,7 +180,10 @@ def set_containment_join(
         stats = JoinStats()
     snapshot = StatsSnapshot.of(stats) if reg is not None and stats is not None else None
     supervision = {
-        "retries": retries, "task_timeout": task_timeout, "backoff": backoff
+        "retries": retries, "task_timeout": task_timeout, "backoff": backoff,
+        "checkpoint_dir": checkpoint_dir, "deadline": deadline,
+        "memory_budget": memory_budget,
+        "resume": resume if resume else None,
     }
     if workers is None:
         set_knobs = [name for name, value in supervision.items() if value is not None]

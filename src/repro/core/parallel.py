@@ -45,18 +45,36 @@ see the "Failure model" section of ``docs/internals.md``.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import time
-from typing import Any, Dict, List, Optional, Tuple, Union
+import uuid
+import warnings
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..data.collection import SetCollection
-from ..errors import InvalidParameterError
+from ..errors import (
+    DeadlineExceededError,
+    DegradedExecutionWarning,
+    InvalidParameterError,
+    JoinCancelledError,
+)
 from ..faults import FaultPlan
 from ..index.inverted import InvertedIndex
 from ..index.storage import CSRInvertedIndex, SharedCSRHandle
+from ..memory.meter import collection_footprint
+from ..obs.registry import active_or_null
 from .api import BACKEND_METHODS, BACKENDS, set_containment_join
 from .order import build_order
 from .results import AttemptRecord, ChunkReport, JoinReport
+from .runlog import (
+    CancelToken,
+    RunLog,
+    RunManifest,
+    collection_fingerprint,
+    deadline_at,
+    signal_cancellation,
+)
 from .supervisor import Supervisor
 
 __all__ = ["parallel_join", "split_collection"]
@@ -164,6 +182,89 @@ def _join_chunk(args: Tuple[Any, ...]) -> List[Tuple[int, int]]:
             index.close()
 
 
+# -- memory-budget admission control ---------------------------------------
+#
+# Analytic bytes-per-entry figures for the admission model, derived from the
+# structures' actual layouts: a pure-python posting/record entry is a boxed
+# int in a tuple slot (28-byte small int + 8-byte pointer, amortised over
+# CPython's allocation rounding ≈ 96 bytes with the per-list overheads
+# folded in); a CSR entry is one int32 value + one int64 composite key plus
+# the amortised offsets row. These deliberately over-estimate — admission
+# control exists to avoid the OOM killer, and the meter's analytic
+# footprints (entries, not bytes) stay the ground truth for *relative*
+# comparisons.
+_PY_BYTES_PER_ENTRY = 96
+_CSR_BYTES_PER_ENTRY = 24
+#: Fixed per-chunk overhead (job tuple, pipe buffers, interpreter slack).
+_CHUNK_FIXED_BYTES = 1 << 16
+
+
+def _admit_memory(
+    budget: int,
+    r_entries: int,
+    s_entries: int,
+    workers: int,
+    num_chunks: int,
+    max_chunks: int,
+    backend: str,
+    allow_split: bool,
+) -> Tuple[int, int, List[str]]:
+    """Fit the run under ``memory_budget`` bytes; returns the adjusted plan.
+
+    The model: the superset-side index is a *fixed* cost paid once when it
+    is shared (CSR via shm/fork) and a *per-worker* cost when it is pickled
+    into each job (python backend); each concurrent worker additionally
+    holds one R-chunk. Two knobs, applied in order: split R into more
+    (smaller) chunks until one worker fits, then cap the number of
+    concurrent workers so the sum fits. ``allow_split=False`` (resume: the
+    chunk split is fixed by the manifest) only caps workers. Raises
+    :class:`InvalidParameterError` when even the minimal configuration
+    (one worker, single-record chunks) exceeds the budget.
+    """
+    per_entry = _PY_BYTES_PER_ENTRY
+    index_bytes = s_entries * (
+        _CSR_BYTES_PER_ENTRY if backend == "csr" else _PY_BYTES_PER_ENTRY
+    )
+    shared_index = backend == "csr"
+    fixed = index_bytes if shared_index else 0
+    per_worker_index = 0 if shared_index else index_bytes
+    avail = budget - fixed
+
+    def chunk_cost(chunks: int) -> int:
+        return -(-r_entries // chunks) * per_entry + _CHUNK_FIXED_BYTES
+
+    if avail < per_worker_index + chunk_cost(max_chunks):
+        raise InvalidParameterError(
+            f"memory_budget={budget} cannot admit this join: the "
+            f"{'shared ' if shared_index else ''}index costs "
+            f"{index_bytes} bytes and the smallest possible worker needs "
+            f"{per_worker_index + chunk_cost(max_chunks)} more; raise the "
+            "budget or shrink the inputs"
+        )
+    notes: List[str] = []
+    metrics = active_or_null()
+    if allow_split and per_worker_index + chunk_cost(num_chunks) > avail:
+        max_entries = (avail - per_worker_index - _CHUNK_FIXED_BYTES) // per_entry
+        new_chunks = min(max_chunks, -(-r_entries // max(1, max_entries)))
+        if new_chunks > num_chunks:
+            notes.append(
+                f"memory budget {budget}: R split into {new_chunks} chunks "
+                f"(was {num_chunks}) so one chunk fits a worker"
+            )
+            metrics.inc("supervisor.memory_splits")
+            num_chunks = new_chunks
+    allowed = int(avail // max(1, per_worker_index + chunk_cost(num_chunks)))
+    if allowed < workers:
+        allowed = max(1, allowed)
+        notes.append(
+            f"memory budget {budget}: concurrency capped at {allowed} "
+            f"worker(s) (was {workers})"
+        )
+        metrics.inc("supervisor.memory_caps")
+        workers = allowed
+    return num_chunks, workers, notes
+
+
 def parallel_join(
     r_collection: SetCollection,
     s_collection: SetCollection,
@@ -179,6 +280,11 @@ def parallel_join(
     fallback: bool = True,
     faults: Optional[FaultPlan] = None,
     return_report: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    deadline: Optional[float] = None,
+    memory_budget: Optional[int] = None,
+    cancel: Optional[CancelToken] = None,
     **kwargs: Any,
 ) -> Union[List[Tuple[int, int]], Tuple[List[Tuple[int, int]], JoinReport]]:
     """Join with ``workers`` processes (defaults to the CPU count).
@@ -206,6 +312,23 @@ def parallel_join(
     :class:`~repro.errors.JoinTimeoutError` is raised. ``faults`` (or the
     ``REPRO_FAULTS`` environment variable) injects deterministic worker
     faults for testing — see :mod:`repro.faults`.
+
+    **Durability.** ``checkpoint_dir=`` arms the run log
+    (:mod:`repro.core.runlog`): a write-ahead manifest plus one atomic,
+    checksummed spill per settled chunk, so a driver crash loses at most
+    the in-flight chunks. ``resume=True`` validates the manifest against
+    the current datasets/parameters (refusing with
+    :class:`~repro.errors.ResumeMismatchError` on mismatch), loads every
+    verified spill, and dispatches only the remainder; torn spills are
+    discarded and re-executed. While a checkpoint is armed SIGINT/SIGTERM
+    cancel the run *cooperatively*: in-flight workers are killed, settled
+    spills stay on disk, the ABORTED marker is written, and
+    :class:`~repro.errors.JoinCancelledError` is raised. ``deadline=``
+    bounds the run's wall clock the same way
+    (:class:`~repro.errors.DeadlineExceededError`), and
+    ``memory_budget=`` (bytes) admission-controls the plan — oversized
+    chunks are split and concurrency capped, each decision recorded in the
+    report and warned as :class:`~repro.errors.DegradedExecutionWarning`.
     """
     workers = workers if workers is not None else multiprocessing.cpu_count()
     if workers < 1:
@@ -219,12 +342,101 @@ def parallel_join(
             f"backend={backend!r} is only supported by "
             f"{sorted(BACKEND_METHODS)}; got method={method!r}"
         )
+    if deadline is not None and deadline <= 0:
+        raise InvalidParameterError(f"deadline must be positive, got {deadline}")
+    if memory_budget is not None and memory_budget <= 0:
+        raise InvalidParameterError(
+            f"memory_budget must be positive, got {memory_budget}"
+        )
+    if resume and checkpoint_dir is None:
+        raise InvalidParameterError("resume=True requires checkpoint_dir=")
     if faults is None:
         faults = FaultPlan.from_env()
-    chunks = split_collection(r_collection, workers, strategy=strategy)
+
+    n_records = len(r_collection)
+    num_chunks = workers
+    runlog: Optional[RunLog] = None
+    completed: Dict[int, List[Tuple[int, int]]] = {}
+    discarded: List[int] = []
+    kwargs_repr = repr(sorted(kwargs.items()))
+    if checkpoint_dir is not None and n_records > 0:
+        r_fp = collection_fingerprint(r_collection)
+        s_fp = collection_fingerprint(s_collection)
+        if resume and RunLog.exists(checkpoint_dir):
+            runlog = RunLog.open(checkpoint_dir, plan=faults)
+            runlog.manifest.validate(
+                r_fp, s_fp, method, backend, strategy, kwargs_repr, n_records
+            )
+            # The manifest's chunk split is authoritative: spilled chunk
+            # ids only name the same work under the same split. ``workers``
+            # still caps concurrency below.
+            num_chunks = runlog.manifest.num_chunks
+            strategy = runlog.manifest.strategy
+            runlog.reclaim_stale_segments()
+            completed, discarded = runlog.load_chunks()
+
+    admission_notes: List[str] = []
+    if memory_budget is not None and n_records > 0:
+        num_chunks, workers, admission_notes = _admit_memory(
+            memory_budget,
+            collection_footprint(r_collection),
+            collection_footprint(s_collection),
+            workers,
+            num_chunks,
+            max_chunks=n_records,
+            backend=backend,
+            allow_split=runlog is None,
+        )
+        for note in admission_notes:
+            warnings.warn(note, DegradedExecutionWarning, stacklevel=2)
+
+    chunks = split_collection(r_collection, num_chunks, strategy=strategy)
     if not chunks:
         report = JoinReport(workers=workers)
         return ([], report) if return_report else []
+    if runlog is None and checkpoint_dir is not None:
+        manifest = RunManifest(
+            run_id=uuid.uuid4().hex,
+            r_fingerprint=r_fp,
+            s_fingerprint=s_fp,
+            method=method,
+            backend=backend,
+            strategy=strategy,
+            kwargs_repr=kwargs_repr,
+            num_chunks=len(chunks),
+            n_records=n_records,
+            created=time.time(),
+        )
+        runlog = RunLog.create(checkpoint_dir, manifest, plan=faults)
+
+    if runlog is not None and len(completed) == len(chunks):
+        # Every chunk already settled durably (e.g. resuming a COMPLETE
+        # run): no index build, no dispatch — just merge the spills.
+        report = JoinReport(
+            chunks=[
+                ChunkReport(
+                    chunk=i,
+                    size=len(piece),
+                    attempts=[
+                        AttemptRecord(
+                            number=0, mode="checkpoint",
+                            outcome="resumed", duration=0.0,
+                        )
+                    ],
+                )
+                for i, (__, piece) in enumerate(chunks)
+            ],
+            workers=workers,
+            fault_plan=faults.describe() if faults is not None else None,
+            resumed_chunks=sorted(completed),
+            reexecuted_chunks=sorted(discarded),
+            checkpoint_dir=checkpoint_dir,
+        )
+        runlog.mark_complete()
+        resumed_out: List[Tuple[int, int]] = []
+        for i in range(len(chunks)):
+            resumed_out.extend(completed[i])
+        return (resumed_out, report) if return_report else resumed_out
 
     extra: Dict[str, Any] = {}
     if method in _ORDER_METHODS and "order" not in kwargs:
@@ -245,70 +457,109 @@ def parallel_join(
     in_process = len(chunks) == 1 or workers == 1
     handle: Optional[SharedCSRHandle] = None
     fork_token: Optional[int] = None
-    try:
-        primary_mode = "none"
-        payloads: Dict[str, Optional[_IndexPayload]] = {"none": None, "local": None}
-        if shared_index is not None:
-            payloads["pickle"] = ("pickle", shared_index)
+    own_token = cancel is None
+    token = cancel
+    if token is None and (runlog is not None or deadline is not None):
+        token = CancelToken()
+    deadline_mark = deadline_at(deadline)
+    with contextlib.ExitStack() as scope:
+        if runlog is not None and token is not None:
+            # Durable runs turn SIGINT/SIGTERM into a graceful abort:
+            # settle-or-kill in-flight chunks, flush spills, write ABORTED.
+            scope.enter_context(signal_cancellation(token))
+        try:
+            primary_mode = "none"
+            payloads: Dict[str, Optional[_IndexPayload]] = {"none": None, "local": None}
+            if shared_index is not None:
+                payloads["pickle"] = ("pickle", shared_index)
+                if in_process:
+                    primary_mode = "direct"
+                    payloads["direct"] = ("direct", shared_index)
+                elif backend == "csr":
+                    assert isinstance(shared_index, CSRInvertedIndex)
+                    try:
+                        handle = shared_index.to_shared_memory()
+                        primary_mode = "shm"
+                        payloads["shm"] = ("shm", handle)
+                    except OSError:
+                        # No usable /dev/shm (containers with tiny or absent
+                        # shm mounts). Fall back to fork-inherited copy-on-
+                        # write pages, then to plain pickling.
+                        if multiprocessing.get_start_method() == "fork":
+                            fork_token = id(shared_index)
+                            _FORK_SHARED[fork_token] = shared_index
+                            primary_mode = "fork"
+                            payloads["fork"] = ("fork", fork_token)
+                        else:  # pragma: no cover - non-fork platforms only
+                            primary_mode = "pickle"
+                else:
+                    primary_mode = "pickle"
+            if runlog is not None and handle is not None:
+                # Persist the segment names: a hard driver kill leaks them
+                # in /dev/shm, and resume reclaims exactly this list.
+                runlog.record_segments([name for name, __, __ in handle.segments])
+
+            def make_job(chunk_id: int, mode: str) -> Tuple[Any, ...]:
+                rid_map, piece = chunks[chunk_id]
+                if mode == "local":
+                    # Degradation terminus: in-process, pure-python backend,
+                    # method builds its own chunk-scoped structures. Slowest
+                    # path, fewest moving parts.
+                    return (rid_map, piece, s_collection, method, "python",
+                            None, extra, kwargs)
+                return (rid_map, piece, s_collection, method, backend,
+                        payloads[mode], extra, kwargs)
+
+            on_result = runlog.record_chunk if runlog is not None else None
             if in_process:
-                primary_mode = "direct"
-                payloads["direct"] = ("direct", shared_index)
-            elif backend == "csr":
-                assert isinstance(shared_index, CSRInvertedIndex)
-                try:
-                    handle = shared_index.to_shared_memory()
-                    primary_mode = "shm"
-                    payloads["shm"] = ("shm", handle)
-                except OSError:
-                    # No usable /dev/shm (containers with tiny or absent
-                    # shm mounts). Fall back to fork-inherited copy-on-
-                    # write pages, then to plain pickling.
-                    if multiprocessing.get_start_method() == "fork":
-                        fork_token = id(shared_index)
-                        _FORK_SHARED[fork_token] = shared_index
-                        primary_mode = "fork"
-                        payloads["fork"] = ("fork", fork_token)
-                    else:  # pragma: no cover - non-fork platforms only
-                        primary_mode = "pickle"
+                results, report = _run_in_process(
+                    chunks,
+                    make_job,
+                    primary_mode,
+                    completed=completed,
+                    on_result=on_result,
+                    cancel=token,
+                    deadline_mark=deadline_mark,
+                )
             else:
-                primary_mode = "pickle"
-
-        def make_job(chunk_id: int, mode: str) -> Tuple[Any, ...]:
-            rid_map, piece = chunks[chunk_id]
-            if mode == "local":
-                # Degradation terminus: in-process, pure-python backend,
-                # method builds its own chunk-scoped structures. Slowest
-                # path, fewest moving parts.
-                return (rid_map, piece, s_collection, method, "python",
-                        None, extra, kwargs)
-            return (rid_map, piece, s_collection, method, backend,
-                    payloads[mode], extra, kwargs)
-
-        if in_process:
-            results, report = _run_in_process(chunks, make_job, primary_mode)
-        else:
-            supervisor = Supervisor(
-                num_chunks=len(chunks),
-                make_job=make_job,
-                runner=_join_chunk,
-                primary_mode=primary_mode,
-                workers=workers,
-                retries=retries,
-                task_timeout=task_timeout,
-                backoff=backoff,
-                backoff_cap=backoff_cap,
-                fallback=fallback,
-                plan=faults,
-                chunk_sizes=[len(piece) for __, piece in chunks],
-            )
-            by_chunk = supervisor.run()
-            results = [by_chunk[i] for i in range(len(chunks))]
-            report = supervisor.report
-    finally:
-        if handle is not None:
-            handle.cleanup()
-        if fork_token is not None:
-            _FORK_SHARED.pop(fork_token, None)
+                supervisor = Supervisor(
+                    num_chunks=len(chunks),
+                    make_job=make_job,
+                    runner=_join_chunk,
+                    primary_mode=primary_mode,
+                    workers=workers,
+                    retries=retries,
+                    task_timeout=task_timeout,
+                    backoff=backoff,
+                    backoff_cap=backoff_cap,
+                    fallback=fallback,
+                    plan=faults,
+                    chunk_sizes=[len(piece) for __, piece in chunks],
+                    on_result=on_result,
+                    cancel=token,
+                    deadline_at=deadline_mark,
+                    completed=completed,
+                )
+                by_chunk = supervisor.run()
+                results = [by_chunk[i] for i in range(len(chunks))]
+                report = supervisor.report
+        except BaseException as exc:
+            if runlog is not None:
+                runlog.mark_aborted(f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            if handle is not None:
+                handle.cleanup()
+            if fork_token is not None:
+                _FORK_SHARED.pop(fork_token, None)
+            if own_token and token is not None:
+                token.close()
+    report.degradations.extend(admission_notes)
+    if runlog is not None:
+        runlog.mark_complete()
+        report.checkpoint_dir = checkpoint_dir
+        report.reexecuted_chunks = sorted(discarded)
+        report.degradations.extend(runlog.notes)
     out: List[Tuple[int, int]] = []
     for part in results:
         out.extend(part)
@@ -319,14 +570,56 @@ def _run_in_process(
     chunks: List[Tuple[Union[int, List[int]], SetCollection]],
     make_job: Any,
     primary_mode: str,
+    completed: Optional[Dict[int, List[Tuple[int, int]]]] = None,
+    on_result: Optional[Callable[[int, int, List[Tuple[int, int]]], None]] = None,
+    cancel: Optional[CancelToken] = None,
+    deadline_mark: Optional[float] = None,
 ) -> Tuple[List[List[Tuple[int, int]]], JoinReport]:
-    """The no-fork fast path, reported in the same shape as supervised runs."""
+    """The no-fork fast path, reported in the same shape as supervised runs.
+
+    Honours the same durability contract as the supervised path: resumed
+    chunks are merged without re-execution, each settled chunk streams
+    through ``on_result``, and cancellation/deadline are checked between
+    chunks (a cooperative abort cannot interrupt a chunk mid-join without
+    a worker process to kill).
+    """
+    completed = completed or {}
     report = JoinReport(workers=1)
-    results = []
+    metrics = active_or_null()
+    results: List[List[Tuple[int, int]]] = []
     start = time.perf_counter()
     for chunk_id, (__, piece) in enumerate(chunks):
+        if chunk_id in completed:
+            results.append(completed[chunk_id])
+            report.chunks.append(
+                ChunkReport(
+                    chunk=chunk_id,
+                    size=len(piece),
+                    attempts=[
+                        AttemptRecord(
+                            number=0, mode="checkpoint",
+                            outcome="resumed", duration=0.0,
+                        )
+                    ],
+                )
+            )
+            report.resumed_chunks.append(chunk_id)
+            continue
+        if cancel is not None and cancel.cancelled:
+            metrics.inc("supervisor.cancellations")
+            raise JoinCancelledError(
+                cancel.reason or "cancelled", chunk_id, len(chunks)
+            )
+        if deadline_mark is not None and time.monotonic() >= deadline_mark:
+            metrics.inc("supervisor.deadline_aborts")
+            raise DeadlineExceededError(
+                "overall deadline exceeded", chunk_id, len(chunks)
+            )
         t0 = time.perf_counter()
-        results.append(_join_chunk(make_job(chunk_id, primary_mode)))
+        pairs = _join_chunk(make_job(chunk_id, primary_mode))
+        results.append(pairs)
+        if on_result is not None:
+            on_result(chunk_id, 1, pairs)
         report.chunks.append(
             ChunkReport(
                 chunk=chunk_id,

@@ -137,10 +137,12 @@ class AttemptRecord:
 
     ``mode`` is the index-payload path the attempt used — ``"shm"``,
     ``"fork"``, ``"pickle"``, ``"none"`` (no shared index), ``"direct"``
-    (in-process fast path) or ``"local"`` (the in-process degradation
-    fallback). ``outcome`` is ``"ok"``, ``"error"`` (worker raised),
-    ``"crash"`` (worker died without a result) or ``"timeout"`` (killed at
-    the ``task_timeout`` deadline).
+    (in-process fast path), ``"local"`` (the in-process degradation
+    fallback) or ``"checkpoint"`` (the result was loaded from a verified
+    spill, not computed). ``outcome`` is ``"ok"``, ``"error"`` (worker
+    raised), ``"crash"`` (worker died without a result), ``"timeout"``
+    (killed at the ``task_timeout`` deadline) or ``"resumed"`` (settled
+    from the checkpoint with ``number=0`` and zero duration).
     """
 
     number: int
@@ -160,7 +162,7 @@ class ChunkReport:
 
     @property
     def ok(self) -> bool:
-        return bool(self.attempts) and self.attempts[-1].outcome == "ok"
+        return bool(self.attempts) and self.attempts[-1].outcome in ("ok", "resumed")
 
     @property
     def retries(self) -> int:
@@ -192,6 +194,12 @@ class JoinReport:
     elapsed_seconds: float = 0.0
     workers: int = 1
     fault_plan: Optional[str] = None
+    #: Durable-run provenance (``checkpoint_dir=``): chunk ids settled from
+    #: verified spills, chunk ids whose spill was torn/corrupt and had to be
+    #: re-executed, and the checkpoint directory itself.
+    resumed_chunks: List[int] = field(default_factory=list)
+    reexecuted_chunks: List[int] = field(default_factory=list)
+    checkpoint_dir: Optional[str] = None
 
     @property
     def total_attempts(self) -> int:
@@ -223,6 +231,12 @@ class JoinReport:
         ]
         if self.fault_plan:
             lines.append(f"fault plan: {self.fault_plan}")
+        if self.checkpoint_dir is not None:
+            lines.append(
+                f"checkpoint: {self.checkpoint_dir} "
+                f"resumed={len(self.resumed_chunks)} "
+                f"re-executed={len(self.reexecuted_chunks)}"
+            )
         for c in self.chunks:
             trail = " -> ".join(
                 f"{a.mode}:{a.outcome}" for a in c.attempts

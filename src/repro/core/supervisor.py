@@ -51,8 +51,10 @@ from multiprocessing.connection import Connection, wait
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import (
+    DeadlineExceededError,
     DegradedExecutionWarning,
     InvalidParameterError,
+    JoinCancelledError,
     JoinTimeoutError,
     ShmAttachError,
     WorkerFailedError,
@@ -61,6 +63,7 @@ from ..faults import FaultPlan
 from ..obs.registry import active_or_null
 from ..obs.spans import trace_span
 from .results import AttemptRecord, ChunkReport, JoinReport
+from .runlog import CancelToken
 
 __all__ = ["Supervisor", "SHM_FAILURE_THRESHOLD"]
 
@@ -187,6 +190,23 @@ class Supervisor:
         python backend; when ``False`` it raises.
     plan:
         Optional :class:`~repro.faults.FaultPlan` shipped to workers.
+    on_result:
+        Called as ``on_result(chunk_id, attempt, pairs)`` the moment a
+        chunk settles ok (worker or fallback). The durable-run layer wires
+        this to ``RunLog.record_chunk`` so results stream to disk as they
+        arrive instead of at join end.
+    cancel:
+        Optional :class:`~repro.core.runlog.CancelToken`. Its read fd joins
+        the dispatch loop's wait set; once cancelled the loop kills
+        in-flight workers and raises
+        :class:`~repro.errors.JoinCancelledError`.
+    deadline_at:
+        Absolute ``time.monotonic()`` instant after which the run aborts
+        with :class:`~repro.errors.DeadlineExceededError`.
+    completed:
+        Chunk results already known (resumed from a checkpoint): seeded
+        into the result map, recorded in the report as ``resumed``
+        attempts, and never dispatched.
     """
 
     def __init__(
@@ -203,6 +223,10 @@ class Supervisor:
         fallback: bool = True,
         plan: Optional[FaultPlan] = None,
         chunk_sizes: Optional[List[int]] = None,
+        on_result: Optional[Callable[[int, int, List[Tuple[int, int]]], None]] = None,
+        cancel: Optional[CancelToken] = None,
+        deadline_at: Optional[float] = None,
+        completed: Optional[Dict[int, List[Tuple[int, int]]]] = None,
     ) -> None:
         if retries < 0:
             raise InvalidParameterError(f"retries must be >= 0, got {retries}")
@@ -221,6 +245,9 @@ class Supervisor:
         self._backoff_cap = backoff_cap
         self._fallback = fallback
         self._plan = plan
+        self._on_result = on_result
+        self._cancel = cancel
+        self._deadline_at = deadline_at
         # Captured once: supervision events are rare (per attempt, not per
         # probe), so the null-registry indirection costs nothing measurable.
         self._metrics = active_or_null()
@@ -236,6 +263,18 @@ class Supervisor:
             workers=workers,
             fault_plan=plan.describe() if plan is not None else None,
         )
+        for chunk_id, pairs in (completed or {}).items():
+            # Resumed chunks are settled before the loop starts: seeded into
+            # the result map so dispatch skips them, with a synthetic
+            # attempt record so the report's trail shows the provenance.
+            self._results[chunk_id] = pairs
+            self.report.chunks[chunk_id].attempts.append(
+                AttemptRecord(
+                    number=0, mode="checkpoint", outcome="resumed", duration=0.0
+                )
+            )
+            self.report.resumed_chunks.append(chunk_id)
+        self.report.resumed_chunks.sort()
 
     # -- public entry ------------------------------------------------------
 
@@ -258,18 +297,43 @@ class Supervisor:
 
     # -- event loop --------------------------------------------------------
 
+    def _check_abort(self) -> None:
+        """Raise the matching abort error once a cancel/deadline lands.
+
+        Raising from inside :meth:`_loop` routes through ``run``'s
+        ``finally``, so in-flight workers are killed and their pipes closed
+        before the error reaches the caller — "settle or kill" with no
+        orphaned processes.
+        """
+        if self._cancel is not None and self._cancel.cancelled:
+            self._metrics.inc("supervisor.cancellations")
+            raise JoinCancelledError(
+                self._cancel.reason or "cancelled",
+                len(self._results),
+                len(self._tasks),
+            )
+        if self._deadline_at is not None and time.monotonic() >= self._deadline_at:
+            self._metrics.inc("supervisor.deadline_aborts")
+            raise DeadlineExceededError(
+                "overall deadline exceeded", len(self._results), len(self._tasks)
+            )
+
     def _loop(self) -> None:
-        pending = list(self._tasks)
+        pending = [t for t in self._tasks if t.chunk_id not in self._results]
         while pending or self._running:
+            self._check_abort()
             now = time.monotonic()
             pending = self._launch_ready(pending, now)
             timeout = self._next_wakeup(pending, time.monotonic())
             handles: List[Any] = [a.conn for a in self._running]
             handles.extend(a.process.sentinel for a in self._running)
+            if self._cancel is not None:
+                handles.append(self._cancel)
             if handles:
                 wait(handles, timeout=timeout)
             elif timeout is not None and timeout > 0:
                 time.sleep(timeout)
+            self._check_abort()
             for attempt in list(self._running):
                 outcome = self._poll(attempt)
                 if outcome is None:
@@ -292,6 +356,8 @@ class Supervisor:
         marks: List[float] = [
             a.deadline for a in self._running if a.deadline is not None
         ]
+        if self._deadline_at is not None:
+            marks.append(self._deadline_at)
         if len(self._running) < self._workers:
             marks.extend(t.ready_at for t in pending if t.ready_at > now)
         if not marks:
@@ -373,6 +439,8 @@ class Supervisor:
         if kind == "ok":
             self._record(task, "ok", duration)
             self._results[task.chunk_id] = detail
+            if self._on_result is not None:
+                self._on_result(task.chunk_id, task.attempts, detail)
             return None
         attach_failed = False
         if kind == "err":
@@ -463,6 +531,8 @@ class Supervisor:
             raise
         self._record(task, "ok", time.monotonic() - started)
         self._results[task.chunk_id] = result
+        if self._on_result is not None:
+            self._on_result(task.chunk_id, task.attempts, result)
 
     # -- teardown ----------------------------------------------------------
 

@@ -17,6 +17,11 @@ __all__ = [
     "WorkerFailedError",
     "JoinTimeoutError",
     "ShmAttachError",
+    "CheckpointError",
+    "ResumeMismatchError",
+    "JoinAbortedError",
+    "JoinCancelledError",
+    "DeadlineExceededError",
     "DegradedExecutionWarning",
 ]
 
@@ -76,6 +81,53 @@ class ShmAttachError(ReproError, OSError):
     from shared memory to pickling instead of burning retries on a segment
     that will never map.
     """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint directory is missing, corrupt, or unusable.
+
+    Raised by :mod:`repro.core.runlog` when a run manifest cannot be read
+    or written, or when a fresh run is pointed at a directory that already
+    holds another run's manifest (pass ``resume=True`` to continue it, or
+    clear the directory).
+    """
+
+
+class ResumeMismatchError(CheckpointError):
+    """``resume=True`` was refused: the manifest describes a different run.
+
+    The dataset fingerprints or join parameters recorded in the write-ahead
+    manifest do not match the current call, so the spilled chunk results
+    cannot be trusted to belong to this join. The message names every
+    mismatched field. A distinct type so callers can tell "wrong inputs"
+    apart from "corrupt checkpoint" (:class:`CheckpointError`).
+    """
+
+
+class JoinAbortedError(ReproError, RuntimeError):
+    """A supervised join stopped before all chunks settled.
+
+    Base class for cooperative-cancellation and deadline aborts. When a
+    checkpoint directory is armed, every chunk settled before the abort has
+    already been spilled durably and the ABORTED marker is written, so a
+    subsequent ``resume=True`` run dispatches only the remainder.
+    """
+
+    def __init__(self, reason: str, completed: int, total: int) -> None:
+        self.reason = reason
+        self.completed = completed
+        self.total = total
+        super().__init__(
+            f"join aborted ({reason}): {completed}/{total} chunk(s) settled"
+        )
+
+
+class JoinCancelledError(JoinAbortedError):
+    """The join was cancelled cooperatively (SIGINT/SIGTERM or a token)."""
+
+
+class DeadlineExceededError(JoinAbortedError):
+    """The join exceeded its overall ``deadline=`` wall-clock budget."""
 
 
 class DegradedExecutionWarning(UserWarning):

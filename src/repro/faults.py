@@ -12,7 +12,15 @@ defined points of the worker lifecycle:
   :class:`FaultInjected` exception);
 * **attach** — before a shared-memory payload is resolved, a matching
   ``shmfail`` rule raises :class:`~repro.errors.ShmAttachError`, exercising
-  the supervisor's payload-downgrade ladder.
+  the supervisor's payload-downgrade ladder;
+* **checkpoint** — in the *driver*, as a settled chunk's result is spilled
+  to the checkpoint directory (:mod:`repro.core.runlog`): ``driverkill``
+  hard-exits the driver right after the spill is durable (a deterministic
+  "driver died mid-run" for resume tests), ``torn`` writes a deliberately
+  truncated spill *bypassing* the atomic-rename protocol and then exits
+  (what a torn write looks like after a power cut), and ``diskfull`` makes
+  the spill raise ``ENOSPC`` (checkpointing degrades to off; the join
+  itself continues).
 
 Spec grammar (``REPRO_FAULTS`` environment variable or ``FaultPlan.parse``)::
 
@@ -21,12 +29,16 @@ Spec grammar (``REPRO_FAULTS`` environment variable or ``FaultPlan.parse``)::
     chunk   = int | "*"                 # chunk id (0-based) or any chunk
     attempt = int | "*"                 # attempt number (1-based) or any
     action  = "crash" | "hang" | "raise" | "shmfail"
+            | "driverkill" | "diskfull" | "torn"
     arg     = float                     # hang duration seconds (default 3600)
     prob    = float in (0, 1]           # fire probability (default 1)
 
-Examples: ``*:1:crash`` crashes every worker exactly once (each chunk's
-first attempt); ``0:*:hang=120`` hangs chunk 0 on every attempt;
-``*:1:crash@0.5`` crashes roughly half the chunks' first attempts.
+Unknown actions are rejected at parse time with an error naming the valid
+set. Examples: ``*:1:crash`` crashes every worker exactly once (each
+chunk's first attempt); ``0:*:hang=120`` hangs chunk 0 on every attempt;
+``*:1:crash@0.5`` crashes roughly half the chunks' first attempts;
+``1:*:driverkill`` kills the driver immediately after chunk 1's result is
+durably checkpointed.
 
 Probabilistic rules stay **reproducible**: whether a rule fires is a pure
 function of ``(seed, chunk, attempt, action)`` hashed through SHA-256 —
@@ -50,6 +62,7 @@ __all__ = [
     "FaultRule",
     "FaultPlan",
     "ACTIONS",
+    "CHECKPOINT_ACTIONS",
     "FAULTS_ENV",
     "FAULTS_SEED_ENV",
 ]
@@ -59,8 +72,13 @@ FAULTS_ENV = "REPRO_FAULTS"
 FAULTS_SEED_ENV = "REPRO_FAULTS_SEED"
 
 #: Recognised fault actions. ``crash``/``hang``/``raise`` fire at worker
-#: start; ``shmfail`` fires at shared-memory attach time.
-ACTIONS = ("crash", "hang", "raise", "shmfail")
+#: start; ``shmfail`` fires at shared-memory attach time; the
+#: :data:`CHECKPOINT_ACTIONS` fire in the driver at checkpoint-spill time.
+ACTIONS = ("crash", "hang", "raise", "shmfail", "driverkill", "diskfull", "torn")
+
+#: The subset of :data:`ACTIONS` consulted by ``RunLog.record_chunk`` —
+#: these target the *driver* process, not a worker.
+CHECKPOINT_ACTIONS = ("driverkill", "diskfull", "torn")
 
 #: Exit code used by injected crashes, distinctive in worker exit status.
 CRASH_EXIT_CODE = 66
@@ -252,6 +270,16 @@ class FaultPlan:
                 f"injected fault: chunk {chunk} attempt {attempt} "
                 "shared-memory attach failure"
             )
+
+    def rule_for_checkpoint(self, chunk: int, attempt: int) -> Optional[FaultRule]:
+        """The driver-stage rule (if any) for this chunk's spill.
+
+        Unlike the worker-stage hooks this does not *apply* the fault —
+        ``driverkill``/``torn`` must interleave with the spill write itself,
+        so :class:`repro.core.runlog.RunLog` interprets the returned rule at
+        the exact protocol point each action models.
+        """
+        return self.rule_for(chunk, attempt, CHECKPOINT_ACTIONS)
 
     def describe(self) -> str:
         """Human-readable one-liner for logs and reports."""

@@ -28,11 +28,16 @@ Numpy handles the bulk (de)serialisation, so costs are I/O-bound.
 
 from __future__ import annotations
 
+import atexit
 import contextlib
 import os
+import signal
 import struct
+import threading
+import weakref
 from itertools import chain
 from multiprocessing import shared_memory
+from types import FrameType
 from typing import Any, BinaryIO, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -203,6 +208,80 @@ class _CSRListMapping:
         return int(np.count_nonzero(counts))
 
 
+# -- interrupted-run shm hygiene -------------------------------------------
+#
+# Shared-memory segments are kernel objects: if the creating driver dies
+# with live segments, they persist in /dev/shm until reboot. The join
+# drivers release their handles in ``finally`` blocks, which covers every
+# *exception* path — but a signal that terminates the process without
+# unwinding (SIGTERM's default handler, an un-caught SIGINT outside any
+# try) skips those blocks. The registry below tracks every creator-side
+# handle in a WeakSet and installs, lazily on first creation:
+#
+# * an ``atexit`` hook (covers normal interpreter shutdown and SIG_DFL-free
+#   exits), and
+# * SIGINT/SIGTERM backstop handlers — installed **only** when the current
+#   handler is the Python default, so a run that armed its own cooperative
+#   cancellation (repro.core.runlog.signal_cancellation) is never
+#   overridden: during a durable run *that* layer owns the signals and
+#   cleans up through the driver's ``finally``; the backstop covers
+#   unsupervised interruptions, where terminating is correct. After
+#   cleaning up, the previous default behaviour is re-delivered (SIGINT
+#   raises KeyboardInterrupt, SIGTERM terminates with the right status).
+#
+# A SIGKILL still leaks by definition (nothing runs); the durable-run layer
+# closes that residual hole by persisting segment names and reclaiming them
+# on resume.
+
+#: handle -> creating pid. Forked workers inherit this mapping (and the
+#: signal handlers) from the driver, so cleanup filters on the recorded
+#: pid: only the creating process may unlink — a terminated worker tearing
+#: down the *driver's* live segments would kill every sibling's attach.
+_LIVE_HANDLES: "weakref.WeakKeyDictionary[SharedCSRHandle, int]" = (
+    weakref.WeakKeyDictionary()
+)
+_HOOKS_INSTALLED = False
+
+
+def _cleanup_live_handles() -> None:
+    """Close+unlink this process's still-live creator handles (idempotent)."""
+    pid = os.getpid()
+    for handle, owner in list(_LIVE_HANDLES.items()):
+        if owner == pid:
+            handle.cleanup()
+
+
+def _interrupt_cleanup(signum: int, frame: Optional[FrameType]) -> None:
+    _cleanup_live_handles()
+    # Re-deliver the default behaviour the handler displaced: for SIGINT
+    # that is raising KeyboardInterrupt, for SIGTERM dying with the signal
+    # in the exit status (so parents see a real SIGTERM death).
+    if signum == signal.SIGINT:
+        raise KeyboardInterrupt
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _install_cleanup_hooks() -> None:
+    global _HOOKS_INSTALLED
+    if _HOOKS_INSTALLED:
+        return
+    _HOOKS_INSTALLED = True
+    atexit.register(_cleanup_live_handles)
+    if threading.current_thread() is not threading.main_thread():
+        return  # signal.signal is main-thread-only; atexit still covers exits
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(OSError, ValueError):
+            current = signal.getsignal(sig)
+            if current in (signal.SIG_DFL, signal.default_int_handler):
+                signal.signal(sig, _interrupt_cleanup)
+
+
+def _register_creator_handle(handle: "SharedCSRHandle") -> None:
+    _LIVE_HANDLES[handle] = os.getpid()
+    _install_cleanup_hooks()
+
+
 class SharedCSRHandle:
     """Picklable ticket for attaching a :class:`CSRInvertedIndex` zero-copy.
 
@@ -218,7 +297,12 @@ class SharedCSRHandle:
       with it and are never unlinked from the worker side.
     """
 
-    __slots__ = ("segments", "inf_sid", "universe_len", "construction_cost", "_shms")
+    # __weakref__ lets the interrupted-run registry hold creator handles
+    # weakly: a handle that is garbage-collected drops out on its own.
+    __slots__ = (
+        "segments", "inf_sid", "universe_len", "construction_cost", "_shms",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -234,6 +318,10 @@ class SharedCSRHandle:
         self.universe_len = universe_len
         self.construction_cost = construction_cost
         self._shms = shms  # creator-side references; never pickled
+        if shms is not None:
+            # Creator side only (worker-side handles arrive via pickle and
+            # never own segments): track for interrupted-run cleanup.
+            _register_creator_handle(self)
 
     def __getstate__(
         self,
@@ -259,6 +347,7 @@ class SharedCSRHandle:
         shms, self._shms = self._shms, None
         if shms is None:
             return
+        _LIVE_HANDLES.pop(self, None)
         for shm in shms:
             with contextlib.suppress(OSError, BufferError):  # pragma: no cover
                 shm.close()

@@ -16,10 +16,16 @@ from __future__ import annotations
 import tracemalloc
 from typing import Any, Callable, List, Tuple
 
+from ..data.collection import SetCollection
 from ..index.inverted import InvertedIndex
 from ..index.prefix_tree import PrefixTree
 
-__all__ = ["measure_peak", "index_footprint", "tree_footprint"]
+__all__ = [
+    "measure_peak",
+    "index_footprint",
+    "tree_footprint",
+    "collection_footprint",
+]
 
 #: One slot per live ``measure_peak`` frame. ``tracemalloc.reset_peak`` is
 #: process-global, so a nested measurement silently clobbers the peak every
@@ -71,3 +77,13 @@ def index_footprint(index: InvertedIndex) -> int:
 def tree_footprint(tree: PrefixTree) -> int:
     """Analytic tree size in nodes."""
     return tree.num_nodes
+
+
+def collection_footprint(collection: SetCollection) -> int:
+    """Analytic collection size: total tokens plus per-record overhead.
+
+    The same entries-not-bytes convention as :func:`index_footprint`; the
+    parallel driver's memory-budget admission control multiplies this by
+    its per-entry byte constants to size chunks and cap concurrency.
+    """
+    return collection.total_tokens() + len(collection)

@@ -31,6 +31,8 @@ SPAN_CATALOGUE = frozenset(
         "tree.traverse",  # Algorithm 2: repeated postorder traversals
         "probe.loop",  # the cross-cutting probe loop over R's records
         "parallel.supervise",  # the supervisor's dispatch/retry event loop
+        "checkpoint.write",  # one durable chunk spill (temp → fsync → rename)
+        "checkpoint.resume",  # scanning/validating spills on a resumed run
         "pubsub.rebuild",  # broker subscription-tree rebuild (compaction)
     }
 )
@@ -82,6 +84,18 @@ COUNTER_CATALOGUE = {
     "supervisor.timeouts": "attempts killed at the task_timeout deadline",
     "supervisor.fallbacks": "chunks degraded to in-process execution",
     "supervisor.degradations": "degradation events (payload downgrades, fallbacks)",
+    "supervisor.cancellations": "runs aborted by cooperative cancellation",
+    "supervisor.deadline_aborts": "runs aborted at the overall deadline",
+    "supervisor.memory_splits": "admission-control chunk-split decisions",
+    "supervisor.memory_caps": "admission-control worker-cap decisions",
+    # -- checkpoint.*: the durable run log --
+    "checkpoint.chunks_written": "chunk spills durably committed",
+    "checkpoint.bytes_written": "bytes committed to chunk spills",
+    "checkpoint.chunks_resumed": "verified spills loaded instead of re-run",
+    "checkpoint.chunks_discarded": "torn/invalid spills discarded on resume",
+    "checkpoint.write_errors": "spill writes abandoned on OSError",
+    "checkpoint.stale_segments": "leaked shm segments reclaimed on resume",
+    "checkpoint.aborts": "ABORTED markers written",
     # -- pubsub.*: the broker --
     "pubsub.subscribed": "subscriptions registered",
     "pubsub.unsubscribed": "subscriptions cancelled",

@@ -578,6 +578,121 @@ class TestSpanNames:
         assert used <= catalogued
 
 
+# -- RL601: the run log writes through the atomic helper -------------------
+
+
+RUNLOG_REL = "src/repro/core/runlog.py"
+
+
+class TestAtomicWrites:
+    def test_write_mode_open_flagged_in_runlog(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def save(path, data):
+                with open(path, "w") as handle:
+                    handle.write(data)
+            """,
+            rel=RUNLOG_REL,
+        )
+        assert _codes(findings) == ["RL601"]
+        assert "atomic_write_bytes" in findings[0].message
+
+    def test_append_and_exclusive_modes_flagged(self, tmp_path):
+        for mode in ("ab", "x", "r+"):
+            findings = _lint_source(
+                tmp_path,
+                f"""
+                def save(path):
+                    open(path, {mode!r})
+                """,
+                rel=RUNLOG_REL,
+            )
+            assert _codes(findings) == ["RL601"], mode
+
+    def test_non_literal_mode_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def save(path, mode):
+                open(path, mode)
+            """,
+            rel=RUNLOG_REL,
+        )
+        assert _codes(findings) == ["RL601"]
+        assert "non-literal" in findings[0].message
+
+    def test_os_open_with_write_flags_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            import os
+
+            def save(path):
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT, 0o644)
+                os.close(fd)
+            """,
+            rel=RUNLOG_REL,
+        )
+        assert _codes(findings) == ["RL601"]
+
+    def test_pathlib_write_methods_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def save(path, data):
+                path.write_bytes(data)
+                path.write_text("x")
+            """,
+            rel=RUNLOG_REL,
+        )
+        assert _codes(findings) == ["RL601", "RL601"]
+
+    def test_read_only_opens_pass(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            import os
+
+            def load(path):
+                with open(path, "rb") as handle:
+                    handle.read()
+                open(path)
+                fd = os.open(path, os.O_RDONLY)
+                os.close(fd)
+            """,
+            rel=RUNLOG_REL,
+        )
+        assert findings == []
+
+    def test_marker_suppresses(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            import os
+
+            def torn(path, data):
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT)  # lint: atomic-write (fault injection)
+                os.write(fd, data)
+                os.close(fd)
+            """,
+            rel=RUNLOG_REL,
+        )
+        assert findings == []
+
+    def test_other_modules_out_of_scope(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def save(path, data):
+                with open(path, "w") as handle:
+                    handle.write(data)
+            """,
+            rel="src/repro/data/io.py",
+        )
+        assert findings == []
+
+
 # -- driver plumbing -------------------------------------------------------
 
 
@@ -651,7 +766,7 @@ class TestCli:
     def test_list_checks(self, capsys):
         assert lint_main(["--list-checks"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL101", "RL201", "RL301", "RL401", "RL501"):
+        for code in ("RL101", "RL201", "RL301", "RL401", "RL501", "RL601"):
             assert code in out
 
 

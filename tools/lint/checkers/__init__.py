@@ -6,6 +6,7 @@ are what ``--select`` filters on and what marker documentation refers to.
 """
 
 from ..base import Checker
+from .atomic_writes import CHECKER as ATOMIC_WRITES
 from .backend_parity import CHECKER as BACKEND_PARITY
 from .frozen_mutation import CHECKER as FROZEN_MUTATION
 from .hot_loops import CHECKER as HOT_LOOPS
@@ -20,4 +21,5 @@ ALL_CHECKERS: tuple[Checker, ...] = (
     HOT_LOOPS,
     BACKEND_PARITY,
     SPAN_NAMES,
+    ATOMIC_WRITES,
 )

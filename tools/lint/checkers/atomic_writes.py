@@ -1,0 +1,138 @@
+"""RL601 — the run log only writes through the atomic-rename helper.
+
+``core/runlog.py`` is the durability layer: every byte it persists must
+survive a crash at any instruction boundary, which is why all writes
+funnel through ``atomic_write_bytes`` (write a temp file, ``fsync`` it,
+``os.replace`` over the destination, ``fsync`` the directory). A direct
+``open(path, "w")`` sprinkled into the module later would reintroduce
+torn files that every durability test happens to miss — the window is
+microseconds wide — so the invariant is enforced statically instead.
+
+Inside ``core/runlog.py`` a finding is raised for
+
+* builtin ``open(...)`` whose mode contains ``w``/``a``/``x``/``+`` —
+  or whose mode is not a string literal (unverifiable ⇒ flagged);
+* ``os.open(...)`` whose flags mention ``O_WRONLY``, ``O_RDWR``,
+  ``O_APPEND``, ``O_CREAT`` or ``O_TRUNC``;
+* ``.write_text(...)`` / ``.write_bytes(...)`` attribute calls.
+
+Read-only opens (``open(path)``, ``open(path, "rb")``) pass. Other
+modules are out of scope — they have no durability contract.
+
+Suppress with ``# lint: atomic-write (why)``. The only legitimate
+suppressions are inside the atomic helper itself and the fault-injection
+path that *deliberately* writes a torn spill.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..base import Checker, Finding, LintedFile
+
+CODE = "RL601"
+MARKER = "atomic-write"
+
+_SCOPE_SUFFIX = "core/runlog.py"
+_WRITE_MODE_CHARS = frozenset("wax+")
+_WRITE_FLAGS = frozenset(
+    {"O_WRONLY", "O_RDWR", "O_APPEND", "O_CREAT", "O_TRUNC"}
+)
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+def _in_scope(linted: LintedFile) -> bool:
+    return linted.rel.endswith(_SCOPE_SUFFIX)
+
+
+def _open_mode(node: ast.Call) -> ast.expr | None:
+    """The ``mode`` argument of a builtin ``open`` call, if supplied."""
+    if len(node.args) >= 2:
+        return node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            return kw.value
+    return None
+
+
+def _mentions_write_flag(node: ast.expr) -> bool:
+    """True if any ``os.O_*`` write flag appears anywhere in ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in _WRITE_FLAGS:
+            return True
+        if isinstance(sub, ast.Name) and sub.id in _WRITE_FLAGS:
+            return True
+    return False
+
+
+def check(linted: LintedFile) -> List[Finding]:
+    if not _in_scope(linted):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(linted.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if linted.suppressed(node, MARKER):
+            continue
+        func = node.func
+        # builtin open(...) with a writable (or unverifiable) mode
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _open_mode(node)
+            if mode is None:
+                continue  # open(path) is read-only
+            if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+                if not _WRITE_MODE_CHARS & set(mode.value):
+                    continue
+                detail = f"open(..., {mode.value!r})"
+            else:
+                detail = "open(...) with a non-literal mode"
+            findings.append(
+                linted.finding(
+                    node,
+                    CODE,
+                    f"{detail} in the run log bypasses the atomic "
+                    "write-temp/fsync/rename protocol; route the write "
+                    "through atomic_write_bytes",
+                )
+            )
+            continue
+        # os.open(...) with write-capable flags
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "open"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "os"
+        ):
+            if len(node.args) >= 2 and _mentions_write_flag(node.args[1]):
+                findings.append(
+                    linted.finding(
+                        node,
+                        CODE,
+                        "os.open(...) with write flags in the run log "
+                        "bypasses the atomic write-temp/fsync/rename "
+                        "protocol; route the write through "
+                        "atomic_write_bytes",
+                    )
+                )
+            continue
+        # path.write_text(...) / path.write_bytes(...)
+        if isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+            findings.append(
+                linted.finding(
+                    node,
+                    CODE,
+                    f".{func.attr}(...) in the run log bypasses the "
+                    "atomic write-temp/fsync/rename protocol; route the "
+                    "write through atomic_write_bytes",
+                )
+            )
+    return findings
+
+
+CHECKER = Checker(
+    code=CODE,
+    name="atomic-writes",
+    description="the run log writes only through the atomic-rename helper",
+    run=check,
+)
