@@ -1,17 +1,25 @@
-"""Backend shoot-out: pure-Python cross-cut vs the batched CSR kernel.
+"""Backend shoot-out: every registered index backend, head to head.
 
-Same algorithm, same pair set, two array layouts: the paper-faithful
-``bisect``-over-Python-lists loop versus the contiguous numpy CSR index
-probed by one composite-key ``searchsorted`` per superstep
-(:mod:`repro.index.kernels`). Measured on the Fig-9 AOL surrogate in the
-paper's counting mode (results counted, not materialised — both backends
-would pay the identical tuple-building cost otherwise, which measures the
-allocator, not the join).
+Same algorithm, same pair set, three array layouts: the paper-faithful
+``bisect``-over-Python-lists loop, the contiguous numpy CSR index probed
+by one composite-key ``searchsorted`` per superstep, and the hybrid
+bitmap+CSR index that routes each probe through its list's representation
+(:mod:`repro.index.kernels`). The grid is driven by the
+:data:`repro.core.api.BACKENDS` registry, so a newly registered backend
+joins the comparison (and gets a speedup gate) by adding one entry to
+``MIN_SPEEDUP`` below.
 
-Emits ``benchmarks/results/BENCH_backends.json`` with one record per
-(method, backend) cell and the per-method speedups, and asserts the CSR
-kernel is at least 2x faster end-to-end (index build included; observed
-3.5-4.5x on this testbed).
+Two workload families:
+
+* the Fig-9 AOL surrogate (uniform-ish query log) in the paper's counting
+  mode — where the hybrid backend must merely not regress against CSR
+  (density does not pay on uniform data);
+* a Zipf z-sweep — where the dense lists dominate every probe and the
+  bitmap representation must pay off, ``>= 2x`` over CSR at ``z = 1``.
+
+Emits ``benchmarks/results/BENCH_backends.json`` (AOL grid) and
+``benchmarks/results/BENCH_hybrid.json`` (z-sweep) with the gates
+recorded next to the measurements.
 """
 
 from __future__ import annotations
@@ -21,18 +29,38 @@ import os
 
 import pytest
 
+from repro.core.api import BACKENDS
 from repro.data.realworld import generate_real_world
 
-from conftest import bench_scale, measured_run
+from conftest import bench_scale, measured_run, synthetic_dataset
 
 METHODS = ("framework", "framework_et")
-BACKENDS = ("python", "csr")
 AOL_SCALE = 0.001  # Fig 9's smallest sweep point
 
-MIN_SPEEDUP = 2.0
+#: Per-(backend, baseline) wall-clock gates, applied per method on the AOL
+#: grid. A backend missing from this table runs unconstrained (recorded
+#: but not gated) — add a floor when registering a new backend.
+MIN_SPEEDUP = {
+    ("csr", "python"): 2.0,
+    ("hybrid", "python"): 2.0,
+    ("hybrid", "csr"): 0.9,  # no-regression floor where density doesn't pay
+}
+
+#: The z-sweep (method "framework", self join). Only the array backends
+#: run here — the pure-Python loop would take minutes on these shapes, so
+#: it is deliberately excluded (the AOL grid above covers it).
+ZIPF_BACKENDS = ("csr", "hybrid")
+ZIPF_WORKLOADS = {
+    0.5: dict(cardinality=20_000, avg_set_size=24, num_elements=5_000, seed=1),
+    1.0: dict(cardinality=40_000, avg_set_size=24, num_elements=5_000, seed=1),
+}
+#: hybrid-over-CSR floors per z: the tentpole claim at z = 1, and a
+#: no-regression floor at moderate skew.
+ZIPF_MIN_SPEEDUP = {0.5: 1.0, 1.0: 2.0}
 
 _dataset = {}
 _cells = {}
+_zipf_cells = {}
 
 
 def _aol():
@@ -57,9 +85,9 @@ def test_backend_cell(benchmark, method, backend):
 
 
 def test_backend_speedup_and_report(benchmark):
-    """CSR must beat the pure-Python loop by ``MIN_SPEEDUP`` on every
-    method, with both backends agreeing on the result count; the whole
-    comparison is written to BENCH_backends.json for the docs."""
+    """Every gated backend pair must clear its ``MIN_SPEEDUP`` floor on
+    every method, with all backends agreeing on the result count; the
+    whole comparison is written to BENCH_backends.json for the docs."""
     for method in METHODS:
         for backend in BACKENDS:
             if (method, backend) not in _cells:
@@ -69,11 +97,10 @@ def test_backend_speedup_and_report(benchmark):
     records = []
     speedups = {}
     for method in METHODS:
-        py = _cells[(method, "python")]
-        csr = _cells[(method, "csr")]
-        assert py.results == csr.results
-        speedups[method] = py.elapsed_seconds / csr.elapsed_seconds
-        for m, backend in ((py, "python"), (csr, "csr")):
+        baseline_counts = {b: _cells[(method, b)].results for b in BACKENDS}
+        assert len(set(baseline_counts.values())) == 1, baseline_counts
+        for backend in BACKENDS:
+            m = _cells[(method, backend)]
             records.append(
                 {
                     "method": m.method,
@@ -84,6 +111,12 @@ def test_backend_speedup_and_report(benchmark):
                     "pairs": m.results,
                 }
             )
+        for (backend, baseline), floor in MIN_SPEEDUP.items():
+            ratio = (
+                _cells[(method, baseline)].elapsed_seconds
+                / _cells[(method, backend)].elapsed_seconds
+            )
+            speedups[f"{backend}_over_{baseline}:{method}"] = round(ratio, 2)
 
     out_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(out_dir, exist_ok=True)
@@ -92,19 +125,99 @@ def test_backend_speedup_and_report(benchmark):
         "figure": "backend_kernels",
         "dataset": "aol-surrogate",
         "scale": AOL_SCALE * bench_scale(),
-        "min_speedup_required": MIN_SPEEDUP,
-        "speedup_csr_over_python": {
-            k: round(v, 2) for k, v in speedups.items()
+        "backends": list(BACKENDS),
+        "min_speedup_required": {
+            f"{backend}_over_{baseline}": floor
+            for (backend, baseline), floor in MIN_SPEEDUP.items()
         },
+        "speedups": speedups,
         "cells": records,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"\n[benchmarks] wrote backend comparison to {path}")
-    print(f"speedups: {report['speedup_csr_over_python']}")
+    print(f"speedups: {speedups}")
 
-    for method, speedup in speedups.items():
-        assert speedup >= MIN_SPEEDUP, (
-            f"CSR kernel only {speedup:.2f}x faster than python on {method}"
+    for method in METHODS:
+        for (backend, baseline), floor in MIN_SPEEDUP.items():
+            ratio = speedups[f"{backend}_over_{baseline}:{method}"]
+            assert ratio >= floor, (
+                f"{backend} only {ratio:.2f}x vs {baseline} on {method} "
+                f"(floor {floor}x)"
+            )
+
+
+# -- Zipf z-sweep: where the hybrid representation must pay off ------------
+
+
+@pytest.mark.parametrize("backend", ZIPF_BACKENDS)
+@pytest.mark.parametrize("z", sorted(ZIPF_WORKLOADS))
+def test_zipf_cell(benchmark, z, backend):
+    data = synthetic_dataset(z=z, **ZIPF_WORKLOADS[z])
+    m = measured_run(
+        "hybrid_zipf", benchmark, "framework", data,
+        workload=f"zipf-z{z}-{backend}",
+        backend=backend,
+    )
+    _zipf_cells[(z, backend)] = m
+    assert m.results > 0
+
+
+def test_hybrid_zipf_speedup_and_report(benchmark):
+    """The tentpole gate: on heavy skew (z = 1) nearly every probe lands
+    on a dense list, and the bitmap rows must beat CSR's binary searches
+    by ``>= 2x`` end-to-end. Written to BENCH_hybrid.json."""
+    for z in ZIPF_WORKLOADS:
+        for backend in ZIPF_BACKENDS:
+            if (z, backend) not in _zipf_cells:
+                pytest.skip("cells did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    records = []
+    speedups = {}
+    for z in sorted(ZIPF_WORKLOADS):
+        csr = _zipf_cells[(z, "csr")]
+        hyb = _zipf_cells[(z, "hybrid")]
+        assert csr.results == hyb.results
+        speedups[z] = csr.elapsed_seconds / hyb.elapsed_seconds
+        for m, backend in ((csr, "csr"), (hyb, "hybrid")):
+            records.append(
+                {
+                    "backend": backend,
+                    "z": z,
+                    "workload": m.workload,
+                    "num_sets": m.num_r,
+                    "elapsed_seconds": round(m.elapsed_seconds, 4),
+                    "pairs": m.results,
+                }
+            )
+
+    out_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "BENCH_hybrid.json")
+    report = {
+        "figure": "hybrid_zipf",
+        "dataset": "zipf-sweep",
+        "method": "framework",
+        "scale": bench_scale(),
+        "backends": list(ZIPF_BACKENDS),
+        "min_speedup_required": {
+            f"hybrid_over_csr:z={z}": floor
+            for z, floor in ZIPF_MIN_SPEEDUP.items()
+        },
+        "speedup_hybrid_over_csr": {
+            f"z={z}": round(v, 2) for z, v in speedups.items()
+        },
+        "cells": records,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\n[benchmarks] wrote hybrid z-sweep to {path}")
+    print(f"speedups: {report['speedup_hybrid_over_csr']}")
+
+    for z, floor in ZIPF_MIN_SPEEDUP.items():
+        assert speedups[z] >= floor, (
+            f"hybrid only {speedups[z]:.2f}x vs csr at z={z} (floor {floor}x)"
         )

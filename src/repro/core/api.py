@@ -41,13 +41,15 @@ __all__ = [
 ]
 
 #: Registered array backends for the index layer.
-BACKENDS = ("python", "csr")
+BACKENDS = ("python", "csr", "hybrid")
 
 #: Methods that probe through the inverted index and therefore understand
-#: the ``backend=`` parameter. The partitioned methods build *local*
-#: indexes per partition and the baselines use their own structures; they
-#: stay on the Python backend.
-BACKEND_METHODS = frozenset({"framework", "framework_et", "tree", "tree_et"})
+#: the ``backend=`` parameter. The partitioned methods repack their
+#: per-partition local indexes into the chosen representation; the
+#: baselines use their own structures and stay on the Python backend.
+BACKEND_METHODS = frozenset(
+    {"framework", "framework_et", "tree", "tree_et", "all_partition", "lcjoin"}
+)
 
 # Each adapter takes (R, S, sink, stats=..., **kwargs).
 JOIN_METHODS: Dict[str, Callable] = {
@@ -126,11 +128,15 @@ def set_containment_join(
         wall-clock time is always recorded into ``stats.elapsed_seconds``.
     backend:
         ``"python"`` (default — the paper-faithful ``bisect`` loops over
-        Python lists) or ``"csr"`` — the contiguous numpy layout probed by
-        the batched kernels in :mod:`repro.index.kernels`. Both produce the
-        identical pair set; ``"csr"`` is supported by the index-probing
-        methods (``framework``, ``framework_et``, ``tree``, ``tree_et``)
-        and raises :class:`~repro.errors.InvalidParameterError` elsewhere.
+        Python lists), ``"csr"`` — the contiguous numpy layout probed by
+        the batched kernels in :mod:`repro.index.kernels` — or
+        ``"hybrid"`` — CSR plus uint64 bitmap rows for the densest lists
+        and a batched galloping search for the sparse ones (fastest on
+        skewed workloads). All produce the identical pair set; the array
+        backends are supported by the index-probing methods
+        (``framework``, ``framework_et``, ``tree``, ``tree_et``,
+        ``all_partition``, ``lcjoin``) and raise
+        :class:`~repro.errors.InvalidParameterError` elsewhere.
     workers:
         When set, the join runs through the supervised multiprocess driver
         (:func:`repro.core.parallel.parallel_join`) with that many worker
@@ -247,16 +253,18 @@ def set_containment_join(
     if reg is not None and snapshot is not None and stats is not None:
         reg.record_join_stats(snapshot.delta(stats))
     if (
-        backend == "csr"
+        backend != "python"
         and collect == "pairs"
         and os.environ.get("REPRO_CHECK", "") not in ("", "0")
     ):
-        # REPRO_CHECK=1 sanitizer: spot-check the CSR pair set against the
-        # Python backend (size-capped inside). The rerun uses the default
-        # backend, so it cannot recurse.
+        # REPRO_CHECK=1 sanitizer: spot-check the array-backend pair set
+        # against the Python backend (size-capped inside). The rerun uses
+        # the default backend, so it cannot recurse.
         from .selfcheck import crosscheck_backends
 
-        crosscheck_backends(r_collection, s_collection, sink.pairs, method)
+        crosscheck_backends(
+            r_collection, s_collection, sink.pairs, method, backend=backend
+        )
     if collect == "pairs":
         return sink.pairs
     return len(sink)

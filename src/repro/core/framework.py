@@ -128,22 +128,35 @@ def framework_join(
     early termination is subsumed by batch probing (see the kernel module
     docstring), and ``index`` may be a prebuilt
     :class:`~repro.index.storage.CSRInvertedIndex` (a plain
-    ``InvertedIndex`` is repacked on the fly).
+    ``InvertedIndex`` is repacked on the fly). ``backend="hybrid"`` adds
+    per-representation probe routing on top — dense lists through bitmap
+    rows, sparse lists through the batched gallop — still with the
+    identical pair set (a CSR index is promoted in place when passed).
     """
-    if backend == "csr":
-        from ..index.kernels import cross_cut_collection_csr
-        from ..index.storage import CSRInvertedIndex
+    if backend in ("csr", "hybrid"):
+        from ..index.kernels import (
+            cross_cut_collection_csr,
+            cross_cut_collection_hybrid,
+        )
+        from ..index.storage import CSRInvertedIndex, HybridInvertedIndex
 
+        want = HybridInvertedIndex if backend == "hybrid" else CSRInvertedIndex
         if index is None:
             with trace_span("index.build"):
-                index = CSRInvertedIndex.build(s_collection)
+                index = want.build(s_collection)
             if stats is not None:
                 stats.index_build_tokens += index.construction_cost
         elif isinstance(index, InvertedIndex):
             with trace_span("index.csr_pack"):
-                index = CSRInvertedIndex.from_index(index)
+                index = want.from_index(index)
+        elif backend == "hybrid" and not isinstance(index, HybridInvertedIndex):
+            with trace_span("index.hybrid_pack"):
+                index = HybridInvertedIndex.from_csr(index)
         with trace_span("probe.loop"):
-            cross_cut_collection_csr(r_collection, index, sink, stats)
+            if isinstance(index, HybridInvertedIndex):
+                cross_cut_collection_hybrid(r_collection, index, sink, stats)
+            else:
+                cross_cut_collection_csr(r_collection, index, sink, stats)
         return
     if index is None:
         with trace_span("index.build"):

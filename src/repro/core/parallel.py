@@ -9,11 +9,15 @@ All workers join against the *same* ``S``, so the expensive superset-side
 structures are built **once in the parent** and distributed instead of being
 rebuilt per worker:
 
-* ``backend="csr"`` — the :class:`~repro.index.storage.CSRInvertedIndex`
-  is exported to ``multiprocessing.shared_memory``; every worker attaches
-  the same physical pages (zero-copy, constant cost per worker regardless
-  of index size). When shared memory is unavailable the index rides along
-  fork-inherited buffers, and as a last resort it is pickled into the jobs.
+* ``backend="csr"`` / ``backend="hybrid"`` — the array index
+  (:class:`~repro.index.storage.CSRInvertedIndex` or its bitmap-carrying
+  :class:`~repro.index.storage.HybridInvertedIndex` subclass) is exported
+  to ``multiprocessing.shared_memory``; every worker attaches the same
+  physical pages (zero-copy, constant cost per worker regardless of index
+  size). When shared memory is unavailable the index rides along
+  fork-inherited buffers, and as a last resort it is pickled into the
+  jobs. The partitioned methods build *local* indexes per partition, so
+  they ship the python index whatever the backend and repack in-worker.
 * ``backend="python"`` — the :class:`~repro.index.inverted.InvertedIndex`
   (and, for the tree/partition methods, the frequency
   :class:`~repro.core.order.GlobalOrder`) is built once and pickled into
@@ -61,7 +65,7 @@ from ..errors import (
 )
 from ..faults import FaultPlan
 from ..index.inverted import InvertedIndex
-from ..index.storage import CSRInvertedIndex, SharedCSRHandle
+from ..index.storage import CSRInvertedIndex, HybridInvertedIndex, SharedCSRHandle
 from ..memory.meter import collection_footprint
 from ..obs.registry import active_or_null
 from .api import BACKEND_METHODS, BACKENDS, set_containment_join
@@ -88,6 +92,11 @@ _IndexPayload = Tuple[str, Any]
 _INDEX_METHODS = frozenset(
     {"framework", "framework_et", "tree", "tree_et", "all_partition", "lcjoin"}
 )
+#: The subset of those that probe the global index directly and therefore
+#: consume an array (CSR/hybrid) ``index=`` as-is. The partitioned methods
+#: need the python index API (anchor lists, ``build_local``) and repack
+#: per partition, so they always ship the python index.
+_ARRAY_INDEX_METHODS = frozenset({"framework", "framework_et", "tree", "tree_et"})
 #: Methods that accept a prebuilt global ``order=`` as well.
 _ORDER_METHODS = frozenset({"tree", "tree_et", "all_partition", "lcjoin"})
 
@@ -150,6 +159,10 @@ def _resolve_index(
     if kind == "direct" or kind == "pickle":
         return value
     if kind == "shm":
+        # Dispatch on the handle's kind tag through the class methods (not
+        # attach_shared_index) so tests can monkeypatch attachment per class.
+        if getattr(value, "kind", "csr") == "hybrid":
+            return HybridInvertedIndex.from_shared_memory(value)
         return CSRInvertedIndex.from_shared_memory(value)
     if kind == "fork":
         return _FORK_SHARED[value]
@@ -223,9 +236,11 @@ def _admit_memory(
     """
     per_entry = _PY_BYTES_PER_ENTRY
     index_bytes = s_entries * (
-        _CSR_BYTES_PER_ENTRY if backend == "csr" else _PY_BYTES_PER_ENTRY
+        _CSR_BYTES_PER_ENTRY
+        if backend in ("csr", "hybrid")
+        else _PY_BYTES_PER_ENTRY
     )
-    shared_index = backend == "csr"
+    shared_index = backend in ("csr", "hybrid")
     fixed = index_bytes if shared_index else 0
     per_worker_index = 0 if shared_index else index_bytes
     avail = budget - fixed
@@ -295,9 +310,10 @@ def parallel_join(
     fork cost.
 
     The superset-side index is built **once** here and shared with every
-    worker — via shared memory for ``backend="csr"`` (zero-copy attach),
-    via pickling for the Python backend (see the module docstring for the
-    measured pickle-vs-rebuild costs). Pass a prebuilt ``index=`` to skip
+    worker — via shared memory for the array backends (``"csr"`` and
+    ``"hybrid"``; zero-copy attach, bitmap rows included), via pickling for
+    the Python backend (see the module docstring for the measured
+    pickle-vs-rebuild costs). Pass a prebuilt ``index=`` to skip
     even the single parent-side build, e.g. when issuing many joins against
     the same ``S``. ``strategy`` selects the ``R`` chunking
     (:func:`split_collection`); round-robin is the default because it stays
@@ -446,12 +462,15 @@ def parallel_join(
         extra["order"] = build_order(s_collection, universe=universe)
 
     shared_index = index
-    if backend == "csr":
+    if backend != "python" and method in _ARRAY_INDEX_METHODS:
+        cls = HybridInvertedIndex if backend == "hybrid" else CSRInvertedIndex
         if shared_index is None:
-            shared_index = CSRInvertedIndex.build(s_collection)
+            shared_index = cls.build(s_collection)
         elif isinstance(shared_index, InvertedIndex):
-            shared_index = CSRInvertedIndex.from_index(shared_index)
+            shared_index = cls.from_index(shared_index)
     elif shared_index is None and method in _INDEX_METHODS:
+        # Partitioned methods need the python index API in-worker whatever
+        # the probing backend; they repack per partition themselves.
         shared_index = InvertedIndex.build(s_collection)
 
     in_process = len(chunks) == 1 or workers == 1
@@ -475,8 +494,9 @@ def parallel_join(
                 if in_process:
                     primary_mode = "direct"
                     payloads["direct"] = ("direct", shared_index)
-                elif backend == "csr":
-                    assert isinstance(shared_index, CSRInvertedIndex)
+                elif backend != "python" and isinstance(
+                    shared_index, CSRInvertedIndex
+                ):
                     try:
                         handle = shared_index.to_shared_memory()
                         primary_mode = "shm"

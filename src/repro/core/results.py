@@ -43,17 +43,24 @@ class PairSink(Protocol):
 
     def add_sids(self, rid: int, sids: Collection[int]) -> None: ...
 
+    def add_pairs(self, rids: Collection[int], sids: Collection[int]) -> None: ...
+
     def __len__(self) -> int: ...
 
 
 class PairListSink:
     """Materialise every ``(rid, sid)`` pair in emission order.
 
-    The bulk methods (``add_rids`` / ``add_sids``) exist because several
-    algorithms naturally produce one-to-many results (a whole rid list
-    against one superset, or one subset against a candidate list); emitting
-    them in one call keeps the per-pair overhead out of the hot loops of
-    *every* method, so cross-method timings stay fair.
+    The bulk methods (``add_rids`` / ``add_sids`` / ``add_pairs``) exist
+    because several algorithms naturally produce one-to-many results (a
+    whole rid list against one superset, or one subset against a candidate
+    list) or whole batches of independent pairs (one per record in a
+    vectorized superstep); emitting them in one call keeps the per-pair
+    overhead out of the hot loops of *every* method, so cross-method
+    timings stay fair. Array arguments (anything with ``tolist``) are
+    normalised to Python ints here, exactly once, so kernels can pass
+    numpy arrays straight through and counting sinks never pay for a
+    conversion they do not need.
     """
 
     __slots__ = ("pairs",)
@@ -66,11 +73,27 @@ class PairListSink:
 
     def add_rids(self, rids: Iterable[int], sid: int) -> None:
         """Emit ``(rid, sid)`` for every rid in ``rids``."""
+        to_list = getattr(rids, "tolist", None)
+        if to_list is not None:
+            rids = to_list()
         self.pairs.extend((rid, sid) for rid in rids)
 
     def add_sids(self, rid: int, sids: Iterable[int]) -> None:
         """Emit ``(rid, sid)`` for every sid in ``sids``."""
+        to_list = getattr(sids, "tolist", None)
+        if to_list is not None:
+            sids = to_list()
         self.pairs.extend((rid, sid) for sid in sids)
+
+    def add_pairs(self, rids: Iterable[int], sids: Iterable[int]) -> None:
+        """Emit ``(rid, sid)`` for every aligned pair in ``rids``/``sids``."""
+        to_list = getattr(rids, "tolist", None)
+        if to_list is not None:
+            rids = to_list()
+        to_list = getattr(sids, "tolist", None)
+        if to_list is not None:
+            sids = to_list()
+        self.pairs.extend(zip(rids, sids))
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -97,6 +120,9 @@ class CountSink:
     def add_sids(self, rid: int, sids: Collection[int]) -> None:
         self.count += len(sids)
 
+    def add_pairs(self, rids: Collection[int], sids: Collection[int]) -> None:
+        self.count += len(rids)
+
     def __len__(self) -> int:
         return self.count
 
@@ -115,11 +141,27 @@ class CallbackSink:
         self.callback(rid, sid)
 
     def add_rids(self, rids: Collection[int], sid: int) -> None:
+        to_list = getattr(rids, "tolist", None)
+        if to_list is not None:
+            rids = to_list()
         for rid in rids:
             self.add(rid, sid)
 
     def add_sids(self, rid: int, sids: Collection[int]) -> None:
+        to_list = getattr(sids, "tolist", None)
+        if to_list is not None:
+            sids = to_list()
         for sid in sids:
+            self.add(rid, sid)
+
+    def add_pairs(self, rids: Collection[int], sids: Collection[int]) -> None:
+        to_list = getattr(rids, "tolist", None)
+        if to_list is not None:
+            rids = to_list()
+        to_list = getattr(sids, "tolist", None)
+        if to_list is not None:
+            sids = to_list()
+        for rid, sid in zip(rids, sids):
             self.add(rid, sid)
 
     def __len__(self) -> int:

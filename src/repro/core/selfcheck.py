@@ -23,8 +23,12 @@ asserts at the structural seams:
   after a build (:func:`check_sorted_lists`);
 * the CSR arrays are monotone and mutually consistent after a build or a
   shared-memory attach (:func:`check_csr_layout`);
-* ``backend="csr"`` joins on small instances are spot-checked against the
-  Python backend pair set (:func:`crosscheck_backends`).
+* the hybrid backend's bitmap rows reconstruct bit-exactly to their CSR
+  value slices and the dense routing tables are mutually inverse
+  (:func:`check_hybrid_layout`);
+* array-backend joins (``backend="csr"`` or ``"hybrid"``) on small
+  instances are spot-checked against the Python backend pair set
+  (:func:`crosscheck_backends`).
 
 Violations raise :class:`~repro.errors.InvariantViolation`. The checks are
 read-only and O(index size) at worst, so the mode is suitable for CI smoke
@@ -41,7 +45,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..data.collection import SetCollection
 from ..errors import InvalidParameterError, InvariantViolation
-from .api import JOIN_METHODS, set_containment_join
+from .api import BACKENDS, JOIN_METHODS, set_containment_join
 from .verify import ground_truth
 
 __all__ = [
@@ -51,6 +55,7 @@ __all__ = [
     "repro_check_enabled",
     "check_sorted_lists",
     "check_csr_layout",
+    "check_hybrid_layout",
     "crosscheck_backends",
 ]
 
@@ -131,25 +136,87 @@ def check_csr_layout(index) -> None:
             )
 
 
-def crosscheck_backends(r_collection, s_collection, pairs, method: str) -> None:
-    """Spot-check a CSR-backend pair set against the Python backend.
+def check_hybrid_layout(index) -> None:
+    """Assert the dense-side structures of a ``HybridInvertedIndex``.
+
+    On top of the CSR checks (which still apply — the hybrid index keeps
+    the full CSR arrays): ``dense_ids`` strictly ascending and in-range,
+    ``dense_map`` its exact inverse, ``bitmap_words`` sized to ``inf_sid``,
+    and every bitmap row reconstructing bit-for-bit to the element's CSR
+    ``values`` slice (unpacked little-endian, the layout the probe kernels
+    assume).
+    """
+    import numpy as np
+
+    check_csr_layout(index)
+    dense_ids = index.dense_ids
+    words = index.bitmap_words
+    if words != (index.inf_sid + 63) >> 6:
+        raise InvariantViolation(
+            f"hybrid bitmap_words {words} != ceil(inf_sid / 64) for "
+            f"inf_sid {index.inf_sid}"
+        )
+    if dense_ids.shape[0]:
+        if np.any(np.diff(dense_ids) <= 0):
+            raise InvariantViolation("hybrid dense_ids not strictly ascending")
+        if int(dense_ids[0]) < 0 or int(dense_ids[-1]) >= index.num_slots:
+            raise InvariantViolation("hybrid dense_ids out of element range")
+    if index.bitmap.shape[0] != dense_ids.shape[0] * words:
+        raise InvariantViolation(
+            f"hybrid bitmap length {index.bitmap.shape[0]} != num_dense "
+            f"({dense_ids.shape[0]}) * words ({words})"
+        )
+    expected_map = np.full(index.num_slots, -1, dtype=np.int64)
+    if dense_ids.shape[0]:
+        expected_map[dense_ids] = np.arange(dense_ids.shape[0], dtype=np.int64)
+    if not np.array_equal(index.dense_map, expected_map):
+        raise InvariantViolation("hybrid dense_map is not the dense_ids inverse")
+    for row, element in enumerate(dense_ids.tolist()):
+        row_words = index.bitmap[row * words : (row + 1) * words]
+        bits = np.unpackbits(
+            row_words.astype("<u8").view(np.uint8), bitorder="little"
+        )
+        got = np.flatnonzero(bits)
+        lst = index.values[index.offsets[element] : index.offsets[element + 1]]
+        if not np.array_equal(got, np.asarray(lst, dtype=np.int64)):
+            raise InvariantViolation(
+                f"hybrid bitmap row for element {element} does not "
+                f"reconstruct its CSR list"
+            )
+
+
+def crosscheck_backends(
+    r_collection, s_collection, pairs, method: str, backend: str = "csr"
+) -> None:
+    """Spot-check an array-backend pair set against the Python backend.
 
     Skipped on instances larger than the ``_CROSSCHECK_CELLS`` budget so the
     sanitizer stays affordable; small instances are where shape edge cases
     live anyway (the differential campaign below leans on the same insight).
     """
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
     if len(r_collection) * max(len(s_collection), 1) > _CROSSCHECK_CELLS:
         return
-    expected = set(
-        set_containment_join(r_collection, s_collection, method=method)
-    )
+    # The shadow join runs under a throwaway registry: the sanitizer is
+    # invoked while the caller's metrics registry is still installed, and
+    # letting the verification pass feed it would double every join
+    # counter the caller reads afterwards.
+    from ..obs.registry import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()):
+        expected = set(
+            set_containment_join(r_collection, s_collection, method=method)
+        )
     got = set(pairs)
     if got != expected:
         missing = len(expected - got)
         extra = len(got - expected)
         raise InvariantViolation(
-            f"backend='csr' pair set diverges from backend='python' for "
-            f"method={method!r}: {missing} missing, {extra} extra of "
+            f"backend={backend!r} pair set diverges from backend='python' "
+            f"for method={method!r}: {missing} missing, {extra} extra of "
             f"{len(expected)} expected"
         )
 

@@ -361,22 +361,27 @@ def tree_join(
     allows a parallel driver to share a single index across workers. The
     traversal itself is unchanged (it is inherently pointer-chasing; the
     vectorized wins live in the flat framework — see docs/internals.md).
+    ``backend="hybrid"`` behaves identically here — the traversal probes
+    through ``get_list`` views either way — but accepts and shares the
+    hybrid index so one build can serve both tree and framework runs.
     """
     if index is None:
         with trace_span("index.build"):
-            if backend == "csr":
-                from ..index.storage import CSRInvertedIndex
+            if backend in ("csr", "hybrid"):
+                from ..index.storage import CSRInvertedIndex, HybridInvertedIndex
 
-                index = CSRInvertedIndex.build(s_collection)
+                cls = HybridInvertedIndex if backend == "hybrid" else CSRInvertedIndex
+                index = cls.build(s_collection)
             else:
                 index = InvertedIndex.build(s_collection)
         if stats is not None:
             stats.index_build_tokens += index.construction_cost
-    elif backend == "csr" and isinstance(index, InvertedIndex):
-        from ..index.storage import CSRInvertedIndex
+    elif backend in ("csr", "hybrid") and isinstance(index, InvertedIndex):
+        from ..index.storage import CSRInvertedIndex, HybridInvertedIndex
 
+        cls = HybridInvertedIndex if backend == "hybrid" else CSRInvertedIndex
         with trace_span("index.csr_pack"):
-            index = CSRInvertedIndex.from_index(index)
+            index = cls.from_index(index)
     if order is None:
         universe = max(r_collection.max_element(), s_collection.max_element()) + 1
         with trace_span("order.build"):

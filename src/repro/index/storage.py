@@ -13,6 +13,16 @@ or on disk* rather than what it means:
    batched kernels in :mod:`repro.index.kernels` run on and the one that
    can be shared zero-copy with worker processes through
    ``multiprocessing.shared_memory``.
+3. **The hybrid backend** — :class:`HybridInvertedIndex` keeps the full
+   CSR arrays and *additionally* packs the densest inverted lists into
+   uint64 bitmap rows (one bit per S-record), so probes against them
+   become word masking + bit-scan instead of a binary search over all
+   postings. Representation selection is by list length against a density
+   threshold (default from
+   :func:`repro.core.estimate.element_frequency_profile`); everything the
+   CSR backend supports — tree binding, pickling, REPRO_CHECK layout
+   checks, zero-copy sharing — works unchanged because the CSR arrays are
+   always present and authoritative.
 
 Persistence layout (all integers little-endian):
 
@@ -49,7 +59,9 @@ from .inverted import EMPTY_LIST, InvertedIndex
 
 __all__ = [
     "CSRInvertedIndex",
+    "HybridInvertedIndex",
     "SharedCSRHandle",
+    "attach_shared_index",
     "save_collection_binary",
     "load_collection_binary",
     "save_index",
@@ -171,6 +183,15 @@ def _debug_check_csr(index: "CSRInvertedIndex") -> "CSRInvertedIndex":
     return index
 
 
+def _debug_check_hybrid(index: "HybridInvertedIndex") -> "HybridInvertedIndex":
+    """REPRO_CHECK=1 hook: validate CSR *and* bitmap layout after build."""
+    if os.environ.get("REPRO_CHECK", "") not in ("", "0"):
+        from ..core.selfcheck import check_hybrid_layout
+
+        check_hybrid_layout(index)
+    return index
+
+
 class _CSRListMapping:
     """Dict-like view over CSR lists, so tree binding works unchanged.
 
@@ -283,12 +304,14 @@ def _register_creator_handle(handle: "SharedCSRHandle") -> None:
 
 
 class SharedCSRHandle:
-    """Picklable ticket for attaching a :class:`CSRInvertedIndex` zero-copy.
+    """Picklable ticket for attaching an array-backend index zero-copy.
 
     The parent process creates the shared-memory segments with
     :meth:`CSRInvertedIndex.to_shared_memory` and ships this handle (a few
     strings and ints) to each worker; workers attach the same physical
-    pages via :meth:`CSRInvertedIndex.from_shared_memory`. Lifecycle rules:
+    pages via :func:`attach_shared_index` (which dispatches on :attr:`kind`
+    — ``"csr"`` carries the three CSR arrays, ``"hybrid"`` additionally the
+    dense-element ids and the bitmap words). Lifecycle rules:
 
     * the **creator** keeps the handle and calls :meth:`cleanup` once all
       consumers are done — this closes its mappings and unlinks the
@@ -300,8 +323,8 @@ class SharedCSRHandle:
     # __weakref__ lets the interrupted-run registry hold creator handles
     # weakly: a handle that is garbage-collected drops out on its own.
     __slots__ = (
-        "segments", "inf_sid", "universe_len", "construction_cost", "_shms",
-        "__weakref__",
+        "segments", "inf_sid", "universe_len", "construction_cost", "kind",
+        "_shms", "__weakref__",
     )
 
     def __init__(
@@ -311,12 +334,15 @@ class SharedCSRHandle:
         universe_len: int,
         construction_cost: int,
         shms: Optional[Tuple[shared_memory.SharedMemory, ...]] = None,
+        kind: str = "csr",
     ) -> None:
-        #: (shm name, dtype string, array length) for offsets, values, keyed.
+        #: (shm name, dtype string, array length) per shared array, in the
+        #: order of the owning class's ``_shared_arrays()``.
         self.segments = segments
         self.inf_sid = inf_sid
         self.universe_len = universe_len
         self.construction_cost = construction_cost
+        self.kind = kind
         self._shms = shms  # creator-side references; never pickled
         if shms is not None:
             # Creator side only (worker-side handles arrive via pickle and
@@ -325,13 +351,19 @@ class SharedCSRHandle:
 
     def __getstate__(
         self,
-    ) -> Tuple[Tuple[Tuple[str, str, int], ...], int, int, int]:
-        return (self.segments, self.inf_sid, self.universe_len, self.construction_cost)
+    ) -> Tuple[Tuple[Tuple[str, str, int], ...], int, int, int, str]:
+        return (
+            self.segments, self.inf_sid, self.universe_len,
+            self.construction_cost, self.kind,
+        )
 
     def __setstate__(
-        self, state: Tuple[Tuple[Tuple[str, str, int], ...], int, int, int]
+        self, state: Tuple[Tuple[Tuple[str, str, int], ...], int, int, int, str]
     ) -> None:
-        self.segments, self.inf_sid, self.universe_len, self.construction_cost = state
+        (
+            self.segments, self.inf_sid, self.universe_len,
+            self.construction_cost, self.kind,
+        ) = state
         self._shms = None
 
     def cleanup(self) -> None:
@@ -617,8 +649,16 @@ class CSRInvertedIndex:
 
     # -- zero-copy sharing ------------------------------------------------
 
+    #: Tag stamped into exported handles; :func:`attach_shared_index`
+    #: dispatches on it when a worker reattaches.
+    _SHARE_KIND = "csr"
+
+    def _shared_arrays(self) -> Tuple[np.ndarray, ...]:
+        """The arrays a shared-memory export carries, in attach order."""
+        return (self.offsets, self.values, self.keyed)
+
     def to_shared_memory(self) -> SharedCSRHandle:
-        """Copy the three arrays into shared memory and return the ticket.
+        """Copy the backing arrays into shared memory and return the ticket.
 
         Only global indexes (contiguous ``range`` universe) are shareable —
         exactly the ones :func:`repro.core.parallel.parallel_join` builds.
@@ -632,7 +672,7 @@ class CSRInvertedIndex:
         segments = []
         shms = []
         try:
-            for arr in (self.offsets, self.values, self.keyed):
+            for arr in self._shared_arrays():
                 arr = np.ascontiguousarray(arr)
                 shm = shared_memory.SharedMemory(
                     create=True, size=max(arr.nbytes, 1)
@@ -653,17 +693,18 @@ class CSRInvertedIndex:
             universe_len=len(self.universe),
             construction_cost=self._construction_cost,
             shms=tuple(shms),
+            kind=self._SHARE_KIND,
         )
 
-    @classmethod
-    def from_shared_memory(cls, handle: SharedCSRHandle) -> "CSRInvertedIndex":
-        """Attach to segments created by :meth:`to_shared_memory` (zero-copy).
+    @staticmethod
+    def _attach_arrays(
+        handle: SharedCSRHandle,
+    ) -> Tuple[List[np.ndarray], Tuple[shared_memory.SharedMemory, ...]]:
+        """Attach every segment of ``handle`` as a read-only array view.
 
-        The returned index keeps the attached segments alive until
-        :meth:`close` is called (or the index is dropped). The worker side
-        never unlinks. A partial attach — segment *k* failing after
-        segments ``< k`` mapped — closes the already-attached segments
-        before re-raising, so no mapping outlives the exception.
+        A partial attach — segment *k* failing after segments ``< k``
+        mapped — closes the already-attached segments before re-raising,
+        so no mapping outlives the exception.
         """
         attached: List[shared_memory.SharedMemory] = []
         try:
@@ -678,7 +719,17 @@ class CSRInvertedIndex:
             for shm in attached:
                 shm.close()
             raise
-        shms = tuple(attached)
+        return arrays, tuple(attached)
+
+    @classmethod
+    def from_shared_memory(cls, handle: SharedCSRHandle) -> "CSRInvertedIndex":
+        """Attach to segments created by :meth:`to_shared_memory` (zero-copy).
+
+        The returned index keeps the attached segments alive until
+        :meth:`close` is called (or the index is dropped). The worker side
+        never unlinks.
+        """
+        arrays, shms = cls._attach_arrays(handle)
         offsets, values, keyed = arrays
         return _debug_check_csr(cls(
             offsets, values, keyed,
@@ -687,6 +738,232 @@ class CSRInvertedIndex:
             construction_cost=handle.construction_cost,
             shms=shms,
         ))
+
+
+#: Cap on bitmap rows per index: rows cost ``ceil(inf_sid / 64)`` words
+#: each, and past the densest ~1k elements the probe traffic per extra row
+#: no longer pays for the memory (Zipf mass concentrates hard at the top).
+_MAX_DENSE_LISTS = 1024
+
+#: Bits per bitmap word; rows are packed little-endian (bit ``sid & 63`` of
+#: word ``sid >> 6`` is set iff ``sid`` is in the element's list).
+_WORD_BITS = 64
+
+
+class HybridInvertedIndex(CSRInvertedIndex):
+    """CSR arrays plus uint64 bitmap rows for the densest inverted lists.
+
+    The CSR layout of the base class is kept complete and authoritative —
+    every element's postings live in ``values``/``keyed`` exactly as on the
+    ``csr`` backend, so tree binding, ``record_probe``, pickling and the
+    REPRO_CHECK layout checks all work unchanged. On top of it:
+
+    * ``dense_ids``  — int64, sorted: the elements given a bitmap row;
+    * ``dense_map``  — int64, length ``num_slots``: element → row index,
+      ``-1`` for sparse elements (rebuilt locally, never shared);
+    * ``bitmap``     — uint64, flat ``num_dense * words`` with
+      ``words = ceil(inf_sid / 64)``; bit ``sid`` of row ``r`` (i.e. bit
+      ``sid & 63`` of word ``r * words + (sid >> 6)``) is set iff
+      ``sid ∈ I[dense_ids[r]]``.
+
+    The hybrid kernel (:func:`repro.index.kernels
+    .cross_cut_collection_hybrid`) answers probes against dense lists by
+    masking at most two bitmap words and bit-scanning, falls back to the
+    CSR ``keyed`` array for the rare cross-word gaps, and gallops the
+    sparse lists from per-slot cursors — all while reproducing the exact
+    candidate sequence of the scalar loop.
+
+    An element goes dense when its list length reaches
+    ``dense_threshold`` — by default the break-even density suggested by
+    :func:`repro.core.estimate.element_frequency_profile` (≈ one posting
+    per bitmap word) — capped at the :data:`_MAX_DENSE_LISTS` longest
+    lists. Degenerate thresholds are legal: ``1`` packs every non-empty
+    list, ``inf_sid + 1`` packs none (pure-CSR behaviour).
+    """
+
+    __slots__ = ("dense_ids", "dense_map", "bitmap", "bitmap_words")
+
+    _SHARE_KIND = "hybrid"
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        values: np.ndarray,
+        keyed: np.ndarray,
+        inf_sid: int,
+        universe: Sequence[int],
+        construction_cost: int = 0,
+        shms: Optional[Tuple[shared_memory.SharedMemory, ...]] = None,
+        *,
+        dense_ids: np.ndarray,
+        bitmap: np.ndarray,
+    ) -> None:
+        super().__init__(
+            offsets, values, keyed, inf_sid, universe, construction_cost, shms
+        )
+        self.dense_ids = dense_ids
+        self.bitmap = bitmap
+        self.bitmap_words = (inf_sid + _WORD_BITS - 1) // _WORD_BITS
+        # element -> bitmap row; local (rebuilt per attach), never shared.
+        dense_map = np.full(self.num_slots, -1, dtype=np.int64)
+        if dense_ids.shape[0]:
+            dense_map[dense_ids] = np.arange(dense_ids.shape[0], dtype=np.int64)
+        self.dense_map = dense_map
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_csr(
+        cls,
+        csr: CSRInvertedIndex,
+        dense_threshold: Optional[int] = None,
+        max_dense: int = _MAX_DENSE_LISTS,
+    ) -> "HybridInvertedIndex":
+        """Promote a CSR index: pick the dense lists, pack their bitmaps.
+
+        The CSR arrays are adopted zero-copy (shared-memory views
+        included — the bitmap is built locally from them); only the
+        ``max_dense`` longest lists at or above ``dense_threshold`` get a
+        row. ``dense_threshold=None`` asks
+        :func:`repro.core.estimate.element_frequency_profile` for the
+        break-even length.
+        """
+        counts = np.diff(csr.offsets)
+        if dense_threshold is None:
+            # Lazy import: core imports index; the reverse edge stays
+            # call-time only.
+            from ..core.estimate import element_frequency_profile
+
+            profile = element_frequency_profile(
+                counts[counts > 0].tolist(), num_sets=csr.inf_sid
+            )
+            dense_threshold = profile.suggested_threshold
+        dense_threshold = max(int(dense_threshold), 1)
+        dense_ids = np.flatnonzero(counts >= dense_threshold).astype(np.int64)
+        if dense_ids.shape[0] > max_dense:
+            densest = np.argsort(counts[dense_ids], kind="stable")[::-1][:max_dense]
+            dense_ids = np.sort(dense_ids[densest])
+        words = (csr.inf_sid + _WORD_BITS - 1) // _WORD_BITS
+        bitmap = np.zeros(dense_ids.shape[0] * words, dtype=np.uint64)
+        one = np.uint64(1)
+        for row, element in enumerate(dense_ids.tolist()):
+            sids = csr.values[
+                csr.offsets[element]: csr.offsets[element + 1]
+            ].astype(np.int64)
+            np.bitwise_or.at(
+                bitmap,
+                row * words + (sids >> 6),
+                np.left_shift(one, (sids & 63).astype(np.uint64)),
+            )
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("index.hybrid_builds")
+            reg.inc("index.hybrid_dense_lists", int(dense_ids.shape[0]))
+        return _debug_check_hybrid(cls(
+            csr.offsets, csr.values, csr.keyed,
+            inf_sid=csr.inf_sid,
+            universe=csr.universe,
+            construction_cost=csr.construction_cost,
+            shms=csr._shms,
+            dense_ids=dense_ids,
+            bitmap=bitmap,
+        ))
+
+    @classmethod
+    def build(
+        cls,
+        s_collection: SetCollection,
+        dense_threshold: Optional[int] = None,
+        max_dense: int = _MAX_DENSE_LISTS,
+    ) -> "HybridInvertedIndex":
+        """Build the CSR arrays, then pack bitmaps for the dense lists."""
+        return cls.from_csr(
+            CSRInvertedIndex.build(s_collection),
+            dense_threshold=dense_threshold,
+            max_dense=max_dense,
+        )
+
+    @classmethod
+    def from_index(
+        cls,
+        index: InvertedIndex,
+        dense_threshold: Optional[int] = None,
+        max_dense: int = _MAX_DENSE_LISTS,
+    ) -> "HybridInvertedIndex":
+        """Repack an :class:`InvertedIndex` (global or local) hybrid-style."""
+        return cls.from_csr(
+            CSRInvertedIndex.from_index(index),
+            dense_threshold=dense_threshold,
+            max_dense=max_dense,
+        )
+
+    # -- pickling ---------------------------------------------------------
+
+    def __getstate__(self) -> Tuple[Any, ...]:  # type: ignore[override]
+        return super().__getstate__() + (
+            np.asarray(self.dense_ids),
+            np.asarray(self.bitmap),
+        )
+
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:  # type: ignore[override]
+        offsets, values, keyed, inf_sid, universe, cost, dense_ids, bitmap = state
+        self.__init__(  # type: ignore[misc]
+            offsets, values, keyed, inf_sid, universe, cost,
+            dense_ids=dense_ids, bitmap=bitmap,
+        )
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def num_dense(self) -> int:
+        """Number of elements carrying a bitmap row."""
+        return int(self.dense_ids.shape[0])
+
+    def nbytes(self) -> int:
+        """CSR bytes plus the bitmap rows and the dense-id table."""
+        return int(
+            super().nbytes() + self.dense_ids.nbytes + self.bitmap.nbytes
+        )
+
+    def close(self) -> None:
+        """Release attached segments; also drops the bitmap views."""
+        if self._shms is not None:
+            self.dense_ids = np.zeros(0, dtype=np.int64)
+            self.bitmap = np.zeros(0, dtype=np.uint64)
+            self.dense_map = np.zeros(0, dtype=np.int64)
+        super().close()
+
+    # -- zero-copy sharing ------------------------------------------------
+
+    def _shared_arrays(self) -> Tuple[np.ndarray, ...]:
+        return (self.offsets, self.values, self.keyed,
+                self.dense_ids, self.bitmap)
+
+    @classmethod
+    def from_shared_memory(cls, handle: SharedCSRHandle) -> "HybridInvertedIndex":
+        """Attach a hybrid export: CSR arrays + dense ids + bitmap rows."""
+        if handle.kind != cls._SHARE_KIND:
+            raise InvalidParameterError(
+                f"handle carries a {handle.kind!r} index, not 'hybrid'"
+            )
+        arrays, shms = cls._attach_arrays(handle)
+        offsets, values, keyed, dense_ids, bitmap = arrays
+        return _debug_check_hybrid(cls(
+            offsets, values, keyed,
+            inf_sid=handle.inf_sid,
+            universe=range(handle.universe_len),
+            construction_cost=handle.construction_cost,
+            shms=shms,
+            dense_ids=dense_ids,
+            bitmap=bitmap,
+        ))
+
+
+def attach_shared_index(handle: SharedCSRHandle) -> CSRInvertedIndex:
+    """Reattach a shared index of whatever kind the handle carries."""
+    if handle.kind == HybridInvertedIndex._SHARE_KIND:
+        return HybridInvertedIndex.from_shared_memory(handle)
+    return CSRInvertedIndex.from_shared_memory(handle)
 
 
 def _check_key_space(num_slots: int, stride: int) -> None:

@@ -26,6 +26,7 @@ SPAN_CATALOGUE = frozenset(
         "join.run",  # one set_containment_join invocation end to end
         "index.build",  # inverted/CSR index construction on S
         "index.csr_pack",  # repacking a python-backend index into CSR form
+        "index.hybrid_pack",  # promoting a CSR index to the hybrid backend
         "order.build",  # global element order construction
         "tree.build",  # prefix tree construction on R
         "tree.traverse",  # Algorithm 2: repeated postorder traversals
@@ -58,6 +59,8 @@ COUNTER_CATALOGUE = {
     "index.tokens": "tokens scanned during index construction",
     "index.csr_builds": "CSR index builds/repacks",
     "index.csr_postings": "postings packed into CSR arrays",
+    "index.hybrid_builds": "hybrid index builds/promotions",
+    "index.hybrid_dense_lists": "inverted lists given a bitmap row",
     # -- probe.*: the python cross-cutting loop --
     "probe.records": "R records that entered the cross-cutting loop",
     "probe.records_skipped": "R records skipped (an element absent from S)",
@@ -71,6 +74,10 @@ COUNTER_CATALOGUE = {
     "kernel.supersteps": "whole-collection supersteps run",
     "kernel.single_element_records": "records short-circuited to their full list",
     "kernel.straggler_records": "records finished on the scalar straggler path",
+    "kernel.bitmap_probes": "probes answered through bitmap rows",
+    "kernel.bitmap_fallbacks": "bitmap gaps finished on the CSR arrays",
+    "kernel.gallop_probes": "probes answered by the batched gallop",
+    "kernel.gallop_fallbacks": "gallop probes finished by global searchsorted",
     # -- tree.*: the tree-based method --
     "tree.nodes": "prefix-tree nodes bound for traversal",
     "tree.rounds": "postorder traversal rounds",

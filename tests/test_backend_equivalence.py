@@ -1,17 +1,20 @@
-"""Python-vs-CSR backend equivalence, and unit tests for the batched kernels.
+"""Python-vs-array backend equivalence, and unit tests for the batched kernels.
 
-The CSR backend must be a pure *layout* change: same pair set for every
-method that supports it, on every workload shape — Zipf-skewed synthetics,
-degenerate inputs (empty sides, singleton lists), and records containing
-elements ``S`` has never seen.
+The array backends (CSR and hybrid) must be pure *layout* changes: same
+pair set for every method that supports them, on every workload shape —
+Zipf-skewed synthetics, degenerate inputs (empty sides, singleton lists),
+and records containing elements ``S`` has never seen. The hybrid backend
+additionally sweeps its density threshold through both degenerate corners
+(all lists dense, all lists sparse).
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.core.api import set_containment_join
-from repro.core.framework import cross_cut_record
+from repro.core.api import BACKENDS, set_containment_join
+from repro.core.framework import cross_cut_record, framework_join
 from repro.core.results import PairListSink
 from repro.core.verify import ground_truth
 from repro.data.collection import SetCollection
@@ -21,103 +24,138 @@ from repro.index.inverted import InvertedIndex
 from repro.index.kernels import (
     batch_first_geq,
     batch_gap_lookup,
+    bitmap_first_geq,
+    bitmap_gap_lookup,
     cross_cut_collection_csr,
+    cross_cut_collection_hybrid,
     cross_cut_record_csr,
+    gallop_first_geq,
 )
 from repro.index.search import first_geq, probe
-from repro.index.storage import CSRInvertedIndex
+from repro.index.storage import CSRInvertedIndex, HybridInvertedIndex
 
 from conftest import random_instance
 
-BACKEND_METHODS = ("framework", "framework_et", "tree", "tree_et")
+BACKEND_METHODS = (
+    "framework", "framework_et", "tree", "tree_et", "all_partition", "lcjoin"
+)
+ARRAY_BACKENDS = tuple(b for b in BACKENDS if b != "python")
 
 
-def both_backends(r, s, method):
+def both_backends(r, s, method, backend):
     py = sorted(set_containment_join(r, s, method=method, backend="python"))
-    csr = sorted(set_containment_join(r, s, method=method, backend="csr"))
-    return py, csr
+    arr = sorted(set_containment_join(r, s, method=method, backend=backend))
+    return py, arr
 
 
 class TestZipfEquivalence:
-    """Property-style sweep: skewed synthetic workloads, both backends."""
+    """Property-style sweep: skewed synthetic workloads, every backend."""
 
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS)
     @pytest.mark.parametrize("method", BACKEND_METHODS)
     @pytest.mark.parametrize("z", [0.0, 0.5, 1.0])
-    def test_self_join(self, method, z):
+    def test_self_join(self, method, z, backend):
         data = generate_zipf(
             cardinality=120, avg_set_size=4, num_elements=60, z=z, seed=11
         )
-        py, csr = both_backends(data, data, method)
-        assert py == csr
+        py, arr = both_backends(data, data, method, backend)
+        assert py == arr
         assert py == sorted(ground_truth(data, data))
 
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS)
     @pytest.mark.parametrize("method", BACKEND_METHODS)
-    def test_rs_join(self, method):
+    def test_rs_join(self, method, backend):
         r = generate_zipf(
             cardinality=90, avg_set_size=3, num_elements=45, z=0.7, seed=2
         )
         s = generate_zipf(
             cardinality=110, avg_set_size=5, num_elements=45, z=0.7, seed=3
         )
-        py, csr = both_backends(r, s, method)
-        assert py == csr
+        py, arr = both_backends(r, s, method, backend)
+        assert py == arr
         assert py == sorted(ground_truth(r, s))
 
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS)
     @pytest.mark.parametrize("method", BACKEND_METHODS)
     @pytest.mark.parametrize("seed", range(12))
-    def test_random_instances(self, method, seed):
+    def test_random_instances(self, method, seed, backend):
         r, s = random_instance(seed)
-        py, csr = both_backends(r, s, method)
-        assert py == csr
+        py, arr = both_backends(r, s, method, backend)
+        assert py == arr
 
 
 class TestEdgeCases:
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS)
     @pytest.mark.parametrize("method", BACKEND_METHODS)
-    def test_empty_r(self, method):
+    def test_empty_r(self, method, backend):
         r = SetCollection([], validate=False)
         s = SetCollection([[1, 2], [3]])
-        assert set_containment_join(r, s, method=method, backend="csr") == []
+        assert set_containment_join(r, s, method=method, backend=backend) == []
 
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS)
     @pytest.mark.parametrize("method", BACKEND_METHODS)
-    def test_empty_s(self, method):
+    def test_empty_s(self, method, backend):
         r = SetCollection([[1, 2], [3]])
         s = SetCollection([], validate=False)
-        assert set_containment_join(r, s, method=method, backend="csr") == []
+        assert set_containment_join(r, s, method=method, backend=backend) == []
 
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS)
     @pytest.mark.parametrize("method", BACKEND_METHODS)
-    def test_singleton_lists(self, method):
+    def test_singleton_lists(self, method, backend):
         # Every S element occurs exactly once: all inverted lists are
         # singletons, the short-circuit for one-element R records included.
         r = SetCollection([[0], [1], [0, 1], [2]])
         s = SetCollection([[0, 1], [2, 3]])
-        py, csr = both_backends(r, s, method)
-        assert py == csr == sorted(ground_truth(r, s))
+        py, arr = both_backends(r, s, method, backend)
+        assert py == arr == sorted(ground_truth(r, s))
 
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS)
     @pytest.mark.parametrize("method", BACKEND_METHODS)
-    def test_element_absent_from_s(self, method):
+    def test_element_absent_from_s(self, method, backend):
         # Element 99 never occurs in S (beyond its max element) and element
         # 4 is within range but unused; both record shapes must be skipped.
         r = SetCollection([[0, 99], [4], [0, 1]])
         s = SetCollection([[0, 1, 2], [0, 1], [2, 3, 5]])
-        py, csr = both_backends(r, s, method)
-        assert py == csr == sorted(ground_truth(r, s))
+        py, arr = both_backends(r, s, method, backend)
+        assert py == arr == sorted(ground_truth(r, s))
 
-    def test_duplicate_records(self):
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS)
+    def test_duplicate_records(self, backend):
         r = SetCollection([[0, 1], [0, 1], [0, 1]])
         s = SetCollection([[0, 1, 2], [0, 1]])
-        py, csr = both_backends(r, s, "framework")
-        assert py == csr == sorted(ground_truth(r, s))
+        py, arr = both_backends(r, s, "framework", backend)
+        assert py == arr == sorted(ground_truth(r, s))
 
-    def test_unsupported_method_raises(self):
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS)
+    def test_singleton_universe(self, backend):
+        # |S| = 1: bitmap rows are one word with one low bit; every probe
+        # either hits sid 0 or exhausts immediately.
+        r = SetCollection([[0], [0, 1], [2]])
+        s = SetCollection([[0, 1, 2]])
+        py, arr = both_backends(r, s, "framework", backend)
+        assert py == arr == sorted(ground_truth(r, s))
+
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS)
+    def test_unsupported_method_raises(self, backend):
         r, s = random_instance(0)
-        for method in ("pretti", "lcjoin", "naive"):
+        for method in ("pretti", "shj", "naive"):
             with pytest.raises(InvalidParameterError):
-                set_containment_join(r, s, method=method, backend="csr")
+                set_containment_join(r, s, method=method, backend=backend)
 
     def test_unknown_backend_raises(self):
         r, s = random_instance(0)
         with pytest.raises(InvalidParameterError):
             set_containment_join(r, s, method="framework", backend="gpu")
+
+    def test_partitioned_methods_reject_array_prebuilt_index(self):
+        # The partitioned methods need the python index API (anchor lists,
+        # build_local); an array index as the prebuilt global index is a
+        # parameter error, not a silent wrong answer.
+        from repro.core.partition import lcjoin
+
+        r, s = random_instance(3)
+        with pytest.raises(InvalidParameterError):
+            lcjoin(r, s, PairListSink(), index=CSRInvertedIndex.build(s))
 
 
 class TestCSRIndexStructure:
@@ -186,6 +224,97 @@ class TestCSRIndexStructure:
             csr.to_shared_memory()
 
 
+class TestHybridIndexStructure:
+    def _skewed(self):
+        return generate_zipf(
+            cardinality=150, avg_set_size=5, num_elements=40, z=1.0, seed=17
+        )
+
+    def test_keeps_full_csr_arrays(self):
+        data = self._skewed()
+        csr = CSRInvertedIndex.build(data)
+        hyb = HybridInvertedIndex.build(data)
+        assert hyb.offsets.tolist() == csr.offsets.tolist()
+        assert hyb.values.tolist() == csr.values.tolist()
+        assert hyb.keyed.tolist() == csr.keyed.tolist()
+        assert hyb.inf_sid == csr.inf_sid
+
+    def test_automatic_threshold_marks_dense_lists(self):
+        from repro.core.estimate import element_frequency_profile
+
+        data = self._skewed()
+        hyb = HybridInvertedIndex.build(data)
+        counts = np.diff(hyb.offsets)
+        profile = element_frequency_profile(
+            counts[counts > 0].tolist(), num_sets=hyb.inf_sid
+        )
+        expected = np.flatnonzero(counts >= profile.suggested_threshold)
+        assert hyb.dense_ids.tolist() == expected.tolist()
+        assert hyb.num_dense == len(expected) > 0
+
+    def test_bitmap_rows_reconstruct_lists(self):
+        from repro.core.selfcheck import check_hybrid_layout
+
+        data = self._skewed()
+        hyb = HybridInvertedIndex.build(data)
+        check_hybrid_layout(hyb)
+        words = hyb.bitmap_words
+        for row, element in enumerate(hyb.dense_ids.tolist()):
+            bits = np.unpackbits(
+                hyb.bitmap[row * words:(row + 1) * words]
+                .astype("<u8").view(np.uint8),
+                bitorder="little",
+            )
+            assert np.flatnonzero(bits).tolist() == hyb.get_list(element).tolist()
+
+    @pytest.mark.parametrize("threshold", [1, 10 ** 9])
+    def test_degenerate_thresholds_join_identically(self, threshold):
+        # threshold=1: every nonempty list gets a bitmap row (all-dense);
+        # huge threshold: none does (all-sparse, pure gallop path).
+        data = self._skewed()
+        expected = sorted(set_containment_join(data, data, method="framework"))
+        hyb = HybridInvertedIndex.from_csr(
+            CSRInvertedIndex.build(data), dense_threshold=threshold
+        )
+        if threshold == 1:
+            assert hyb.num_dense == int(np.count_nonzero(np.diff(hyb.offsets)))
+        else:
+            assert hyb.num_dense == 0
+        sink = PairListSink()
+        framework_join(data, data, sink, index=hyb, backend="hybrid")
+        assert sorted(sink.pairs) == expected
+
+    def test_dense_cap_takes_longest_lists(self):
+        # Moderate skew: enough distinct elements that the cap actually
+        # drops some (z=1 collapses this generator to ~3 elements).
+        data = generate_zipf(
+            cardinality=150, avg_set_size=5, num_elements=40, z=0.5, seed=17
+        )
+        csr = CSRInvertedIndex.build(data)
+        hyb = HybridInvertedIndex.from_csr(csr, dense_threshold=1, max_dense=3)
+        assert hyb.num_dense == 3
+        counts = np.diff(csr.offsets)
+        kept = counts[hyb.dense_ids]
+        dropped = np.delete(counts, hyb.dense_ids)
+        assert kept.min() >= dropped.max()
+
+    def test_hybrid_pickle_roundtrip(self):
+        import pickle
+
+        from repro.core.selfcheck import check_hybrid_layout
+
+        hyb = HybridInvertedIndex.build(self._skewed())
+        clone = pickle.loads(pickle.dumps(hyb))
+        check_hybrid_layout(clone)
+        assert np.array_equal(clone.bitmap, hyb.bitmap)
+        assert np.array_equal(clone.dense_ids, hyb.dense_ids)
+
+    def test_nbytes_counts_bitmap(self):
+        hyb = HybridInvertedIndex.build(self._skewed())
+        csr = CSRInvertedIndex.build(self._skewed())
+        assert hyb.nbytes() >= csr.nbytes() + hyb.bitmap.nbytes
+
+
 class TestBatchKernels:
     """The batched primitives agree with their scalar counterparts."""
 
@@ -244,6 +373,13 @@ class TestBatchKernels:
         cross_cut_collection_csr(r, csr, sink)
         assert sink.pairs == []
 
+    def test_hybrid_kernel_on_empty_universe(self):
+        r = SetCollection([[0]])
+        hyb = HybridInvertedIndex.build(SetCollection([], validate=False))
+        sink = PairListSink()
+        cross_cut_collection_hybrid(r, hyb, sink)
+        assert sink.pairs == []
+
     def test_collection_kernel_emits_int_pairs(self):
         r = SetCollection([[0], [0, 1]])
         s = SetCollection([[0, 1]])
@@ -252,6 +388,112 @@ class TestBatchKernels:
         cross_cut_collection_csr(r, csr, sink)
         for rid, sid in sink.pairs:
             assert type(rid) is int and type(sid) is int
+
+    def test_hybrid_kernel_emits_int_pairs(self):
+        r = SetCollection([[0], [0, 1]])
+        s = SetCollection([[0, 1]])
+        hyb = HybridInvertedIndex.from_csr(
+            CSRInvertedIndex.build(s), dense_threshold=1
+        )
+        sink = PairListSink()
+        cross_cut_collection_hybrid(r, hyb, sink)
+        for rid, sid in sink.pairs:
+            assert type(rid) is int and type(sid) is int
+
+
+class TestBitmapKernels:
+    """The bitmap probes agree with scalar search on every target."""
+
+    def _hybrid(self, sets):
+        s = SetCollection(sets)
+        return InvertedIndex.build(s), HybridInvertedIndex.from_csr(
+            CSRInvertedIndex.build(s), dense_threshold=1
+        )
+
+    def test_bitmap_first_geq_matches_scalar(self):
+        py, hyb = self._hybrid(
+            [[0, 1, 4], [1, 2], [0, 4, 5], [1, 4], [2, 5], [0, 1, 2, 4]]
+        )
+        inf = hyb.inf_sid
+        words = hyb.bitmap_words
+        for row, element in enumerate(hyb.dense_ids.tolist()):
+            lst = list(py[element])
+            # Sweep past inf_sid to cover the out-of-bounds clamp.
+            targets = np.arange(inf + 3, dtype=np.int64)
+            rows = np.full(targets.shape[0], row, dtype=np.int64)
+            got = bitmap_first_geq(hyb.bitmap, words, rows, targets, inf)
+            for t in range(inf + 3):
+                pos = first_geq(lst, t)
+                expected = lst[pos] if pos < len(lst) else inf
+                # -1 (unresolved) may only stand in for an answer beyond
+                # the two-word window; exactness is checked via gap_lookup.
+                if got[t] != -1:
+                    assert int(got[t]) == expected, (element, t)
+
+    def test_bitmap_gap_lookup_matches_probe(self):
+        py, hyb = self._hybrid(
+            [[0, 1, 4], [1, 2], [0, 4, 5], [1, 4], [2, 5], [0, 1, 2, 4]]
+        )
+        inf = hyb.inf_sid
+        words = hyb.bitmap_words
+        for row, element in enumerate(hyb.dense_ids.tolist()):
+            lst = list(py[element])
+            targets = np.arange(inf, dtype=np.int64)
+            rows = np.full(targets.shape[0], row, dtype=np.int64)
+            hit, gap = bitmap_gap_lookup(hyb.bitmap, words, rows, targets, inf)
+            for t in range(inf):
+                sid, scalar_gap, __ = probe(lst, t, inf)
+                assert bool(hit[t]) == (sid == t)
+                if gap[t] != -1:
+                    assert int(gap[t]) == scalar_gap
+
+    def test_bitmap_unresolved_only_past_window(self):
+        # A row whose next set bit is > 128 positions away forces the
+        # two-word window to come up empty: the miss must still be exact
+        # (hit False) and the gap flagged -1 for the CSR fallback.
+        sets = [[0] if i == 0 else [0, 1] for i in range(200)]
+        sets[199] = [0, 1, 2]
+        py, hyb = self._hybrid(sets)
+        inf = hyb.inf_sid
+        row = int(hyb.dense_map[2])
+        assert row >= 0
+        hit, gap = bitmap_gap_lookup(
+            hyb.bitmap, hyb.bitmap_words,
+            np.array([row], dtype=np.int64),
+            np.array([1], dtype=np.int64), inf,
+        )
+        assert not bool(hit[0])
+        assert int(gap[0]) == -1  # 199 is >2 words past target 1
+
+    def test_gallop_matches_searchsorted(self):
+        rng = np.random.default_rng(5)
+        keyed = np.sort(rng.integers(0, 10_000, size=2_000)).astype(np.int64)
+        n = 300
+        lo = np.sort(rng.integers(0, keyed.shape[0], size=n)).astype(np.int64)
+        hi = np.minimum(
+            lo + rng.integers(0, 400, size=n), keyed.shape[0]
+        ).astype(np.int64)
+        # Respect the precondition: every entry below lo must be < key, so
+        # derive keys at/above keyed[lo].
+        base = np.where(lo < keyed.shape[0], keyed[np.minimum(lo, keyed.shape[0] - 1)], 0)
+        keys = base + rng.integers(0, 50, size=n)
+        pos = gallop_first_geq(keyed, lo, hi, keys)
+        for i in range(n):
+            expected = int(np.searchsorted(keyed[lo[i]:hi[i]], keys[i])) + int(lo[i])
+            if pos[i] != -1:
+                assert int(pos[i]) == expected, i
+            else:
+                # Unresolved is only legal when the answer lies beyond the
+                # gallop window from the cursor.
+                assert expected - int(lo[i]) > 64
+
+    def test_gallop_consumed_ranges(self):
+        keyed = np.array([1, 3, 5], dtype=np.int64)
+        lo = np.array([3, 0], dtype=np.int64)
+        hi = np.array([3, 3], dtype=np.int64)
+        keys = np.array([7, 9], dtype=np.int64)
+        pos = gallop_first_geq(keyed, lo, hi, keys)
+        assert pos.tolist() == [3, 3]
 
 
 class TestStragglerFallback:
@@ -268,10 +510,23 @@ class TestStragglerFallback:
         cross_cut_collection_csr(data, csr, sink)
         assert sorted(sink.pairs) == sorted(ground_truth(data, data))
 
+    def test_hybrid_long_tail_switches_to_scalar_loop(self, monkeypatch):
+        import repro.index.kernels as kernels
+
+        monkeypatch.setattr(kernels, "_STRAGGLER_SUPERSTEPS", 1)
+        data = generate_zipf(
+            cardinality=100, avg_set_size=4, num_elements=30, z=0.9, seed=13
+        )
+        hyb = HybridInvertedIndex.build(data)
+        sink = PairListSink()
+        cross_cut_collection_hybrid(data, hyb, sink)
+        assert sorted(sink.pairs) == sorted(ground_truth(data, data))
+
 
 class TestStatsParity:
-    def test_framework_counters_match(self):
-        """The batch kernel meters the same probes/rounds as the scalar loop
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS)
+    def test_framework_counters_match(self, backend):
+        """The batch kernels meter the same probes/rounds as the scalar loop
         (single-element records excepted — they short-circuit, so compare on
         a workload without them)."""
         from repro.core.stats import JoinStats
@@ -282,14 +537,14 @@ class TestStatsParity:
         data = SetCollection(
             [rec for rec in rng_data if len(rec) >= 2], validate=False
         )
-        py_stats, csr_stats = JoinStats(), JoinStats()
+        py_stats, arr_stats = JoinStats(), JoinStats()
         set_containment_join(
             data, data, method="framework", stats=py_stats, collect="count"
         )
         set_containment_join(
-            data, data, method="framework", backend="csr",
-            stats=csr_stats, collect="count",
+            data, data, method="framework", backend=backend,
+            stats=arr_stats, collect="count",
         )
-        assert py_stats.binary_searches == csr_stats.binary_searches
-        assert py_stats.rounds == csr_stats.rounds
-        assert py_stats.results == csr_stats.results
+        assert py_stats.binary_searches == arr_stats.binary_searches
+        assert py_stats.rounds == arr_stats.rounds
+        assert py_stats.results == arr_stats.results

@@ -118,3 +118,100 @@ class TestAutoMethod:
         auto = set_containment_join(zipf, zipf, method="auto", collect="count")
         explicit = set_containment_join(zipf, zipf, collect="count")
         assert auto == explicit
+
+
+class TestElementFrequencyProfile:
+    """The planner-facing frequency profile (hybrid threshold input)."""
+
+    def _profile(self, data):
+        from repro.core.estimate import element_frequency_profile
+
+        return element_frequency_profile(data)
+
+    def test_from_collection_matches_raw_counts(self, zipf):
+        from repro.core.estimate import element_frequency_profile
+
+        counts = list(zipf.element_frequencies().values())
+        from_collection = self._profile(zipf)
+        from_counts = element_frequency_profile(counts, num_sets=len(zipf))
+        assert from_collection == from_counts
+
+    def test_frequencies_sorted_descending_without_zeros(self, zipf):
+        profile = self._profile(zipf)
+        assert list(profile.frequencies) == sorted(profile.frequencies, reverse=True)
+        assert all(f > 0 for f in profile.frequencies)
+        assert profile.total_postings == sum(profile.frequencies)
+        assert profile.num_elements == len(profile.frequencies)
+
+    def test_top_mass_matches_skew_module(self, zipf):
+        from repro.data.skew import mass_of_top_fraction
+
+        profile = self._profile(zipf)
+        assert profile.top_mass == pytest.approx(
+            mass_of_top_fraction(zipf, 0.2), abs=0.02
+        )
+
+    def test_top_mass_tracks_generator_z(self):
+        # The generator calibrates z through the top-20% mass, so the
+        # profile's top_mass must increase with the requested z-value and
+        # roughly match z_value() computed from the same data.
+        from repro.data.skew import z_value
+
+        masses = []
+        for z in (0.0, 0.5, 1.0):
+            data = generate_zipf(
+                cardinality=2_000, avg_set_size=5, num_elements=200, z=z, seed=9
+            )
+            profile = self._profile(data)
+            masses.append(profile.top_mass)
+            assert z_value(data) == pytest.approx(z, abs=0.15)
+        assert masses == sorted(masses)
+        assert masses[0] < masses[-1]
+
+    def test_suggested_threshold_scaling(self):
+        from repro.core.estimate import element_frequency_profile
+
+        # Small collections: the 8-posting floor dominates.
+        assert element_frequency_profile([3, 2], num_sets=100).suggested_threshold == 8
+        # Large collections: one posting per uint64 word, rounded up.
+        assert element_frequency_profile(
+            [10], num_sets=6_400
+        ).suggested_threshold == 100
+
+    def test_dense_elements_counts_lists_at_threshold(self):
+        from repro.core.estimate import element_frequency_profile
+
+        profile = element_frequency_profile([20, 8, 7, 1], num_sets=64)
+        assert profile.suggested_threshold == 8
+        assert profile.dense_elements == 2
+
+    def test_top_k_mass(self):
+        from repro.core.estimate import element_frequency_profile
+
+        profile = element_frequency_profile([6, 3, 1], num_sets=10)
+        assert profile.top_k_mass(0) == 0.0
+        assert profile.top_k_mass(1) == pytest.approx(0.6)
+        assert profile.top_k_mass(99) == pytest.approx(1.0)
+        with pytest.raises(InvalidParameterError):
+            profile.top_k_mass(-1)
+
+    def test_empty_and_invalid_inputs(self):
+        from repro.core.estimate import element_frequency_profile
+
+        empty = element_frequency_profile([], num_sets=0)
+        assert empty.frequencies == ()
+        assert empty.top_mass == 0.0
+        assert empty.dense_elements == 0
+        with pytest.raises(InvalidParameterError):
+            element_frequency_profile([3, -1])
+
+    def test_hybrid_index_uses_profile_threshold(self, zipf):
+        from repro.core.estimate import element_frequency_profile
+        from repro.index.storage import HybridInvertedIndex
+
+        hyb = HybridInvertedIndex.build(zipf)
+        profile = element_frequency_profile(zipf)
+        assert all(
+            hyb.list_length(int(e)) >= profile.suggested_threshold
+            for e in hyb.dense_ids
+        )

@@ -14,6 +14,7 @@ import pytest
 from repro.core.api import set_containment_join
 from repro.core.selfcheck import (
     check_csr_layout,
+    check_hybrid_layout,
     check_sorted_lists,
     crosscheck_backends,
     repro_check_enabled,
@@ -21,7 +22,9 @@ from repro.core.selfcheck import (
 from repro.data.collection import SetCollection
 from repro.errors import InvariantViolation, ReproError
 from repro.index.inverted import InvertedIndex
-from repro.index.storage import CSRInvertedIndex
+from repro.index.storage import CSRInvertedIndex, HybridInvertedIndex
+
+ARRAY_BACKENDS = ("csr", "hybrid")
 
 
 @pytest.fixture
@@ -152,6 +155,71 @@ def test_csr_build_checked_under_repro_check(collections, monkeypatch):
     assert index.values.shape[0] == s.total_tokens()
 
 
+# -- check_hybrid_layout ---------------------------------------------------
+
+
+def _dense_fixture():
+    # Element 0 occurs in every set, so the automatic threshold marks it
+    # dense; the tail elements stay sparse.
+    return SetCollection([[0, i % 5 + 1] for i in range(64)])
+
+
+def test_hybrid_layout_pass():
+    index = HybridInvertedIndex.build(_dense_fixture())
+    assert index.num_dense > 0
+    check_hybrid_layout(index)
+
+
+def test_hybrid_layout_pass_degenerate_thresholds():
+    csr = CSRInvertedIndex.build(_dense_fixture())
+    check_hybrid_layout(HybridInvertedIndex.from_csr(csr, dense_threshold=1))
+    all_sparse = HybridInvertedIndex.from_csr(csr, dense_threshold=10 ** 9)
+    assert all_sparse.num_dense == 0
+    check_hybrid_layout(all_sparse)
+
+
+def test_corrupted_bitmap_raises():
+    index = HybridInvertedIndex.build(_dense_fixture())
+    bitmap = index.bitmap.copy()
+    bitmap[0] ^= np.uint64(1 << 63)
+    index.bitmap = bitmap  # lint: frozen-mutation-ok (test fixture)
+    with pytest.raises(InvariantViolation, match="reconstruct"):
+        check_hybrid_layout(index)
+
+
+def test_corrupted_dense_map_raises():
+    index = HybridInvertedIndex.build(_dense_fixture())
+    dense_map = index.dense_map.copy()
+    dense_map[-1] = 0
+    index.dense_map = dense_map  # lint: frozen-mutation-ok (test fixture)
+    with pytest.raises(InvariantViolation, match="dense_map"):
+        check_hybrid_layout(index)
+
+
+def test_truncated_bitmap_raises():
+    index = HybridInvertedIndex.build(_dense_fixture())
+    index.bitmap = index.bitmap[:-1]  # lint: frozen-mutation-ok (fixture)
+    with pytest.raises(InvariantViolation, match="bitmap length"):
+        check_hybrid_layout(index)
+
+
+def test_unsorted_dense_ids_raise():
+    index = HybridInvertedIndex.build(_dense_fixture())
+    if index.dense_ids.shape[0] < 2:
+        ids = np.array([1, 0], dtype=np.int64)
+    else:
+        ids = index.dense_ids[::-1].copy()
+    index.dense_ids = ids  # lint: frozen-mutation-ok (test fixture)
+    with pytest.raises(InvariantViolation):
+        check_hybrid_layout(index)
+
+
+def test_hybrid_build_checked_under_repro_check(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    index = HybridInvertedIndex.build(_dense_fixture())  # must not raise
+    assert index.num_dense > 0
+
+
 # -- crosscheck_backends ---------------------------------------------------
 
 
@@ -188,24 +256,27 @@ def test_crosscheck_skips_large_instances(collections, monkeypatch):
 # -- end-to-end: the api wires the sanitizer in ----------------------------
 
 
-def test_csr_join_crosschecked_end_to_end(collections, monkeypatch):
+@pytest.mark.parametrize("backend", ARRAY_BACKENDS)
+def test_array_join_crosschecked_end_to_end(collections, monkeypatch, backend):
     monkeypatch.setenv("REPRO_CHECK", "1")
     r, s = collections
-    pairs = set_containment_join(r, s, method="framework", backend="csr")
+    pairs = set_containment_join(r, s, method="framework", backend=backend)
     expected = set_containment_join(r, s, method="framework", backend="python")
     assert sorted(pairs) == sorted(expected)
 
 
-def test_sanitizer_off_by_default(collections, monkeypatch):
+@pytest.mark.parametrize("backend", ARRAY_BACKENDS)
+def test_sanitizer_off_by_default(collections, monkeypatch, backend):
     monkeypatch.delenv("REPRO_CHECK", raising=False)
     r, s = collections
-    pairs = set_containment_join(r, s, method="framework", backend="csr")
+    pairs = set_containment_join(r, s, method="framework", backend=backend)
     expected = set_containment_join(r, s, method="framework", backend="python")
     assert sorted(pairs) == sorted(expected)
 
 
-@pytest.mark.parametrize("method", ["framework", "tree"])
-def test_sanitized_joins_match_bruteforce(method, monkeypatch):
+@pytest.mark.parametrize("backend", ARRAY_BACKENDS)
+@pytest.mark.parametrize("method", ["framework", "tree", "lcjoin"])
+def test_sanitized_joins_match_bruteforce(method, monkeypatch, backend):
     monkeypatch.setenv("REPRO_CHECK", "1")
     rng = np.random.default_rng(7)
     records = [
@@ -214,7 +285,7 @@ def test_sanitized_joins_match_bruteforce(method, monkeypatch):
     ]
     collection = SetCollection(records)
     got = set(set_containment_join(collection, collection, method=method,
-                                   backend="csr"))
+                                   backend=backend))
     expected = {
         (rid, sid)
         for rid, rec in enumerate(records)

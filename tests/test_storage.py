@@ -126,6 +126,101 @@ def test_end_to_end_persistence_workflow(tmp_path):
     assert sorted(pairs) == [(0, 0), (1, 0), (1, 1), (2, 0), (2, 1), (2, 2)]
 
 
+# -- hybrid index shared-memory round trip ---------------------------------
+
+
+class TestHybridSharedMemory:
+    def _collection(self):
+        # Element 0 is in every set (dense); the tail elements are sparse.
+        return SetCollection(
+            [[0, i % 7 + 1, i % 11 + 8] for i in range(120)]
+        )
+
+    def test_roundtrip_preserves_bitmap(self):
+        import numpy as np
+
+        from repro.index.storage import HybridInvertedIndex
+
+        hyb = HybridInvertedIndex.build(self._collection())
+        assert hyb.num_dense > 0
+        handle = hyb.to_shared_memory()
+        try:
+            assert handle.kind == "hybrid"
+            attached = HybridInvertedIndex.from_shared_memory(handle)
+            assert np.array_equal(attached.bitmap, hyb.bitmap)
+            assert np.array_equal(attached.dense_ids, hyb.dense_ids)
+            assert np.array_equal(attached.dense_map, hyb.dense_map)
+            assert attached.bitmap_words == hyb.bitmap_words
+            assert attached.offsets.tolist() == hyb.offsets.tolist()
+            # Attached arrays are read-only borrows.
+            with pytest.raises(ValueError):
+                attached.bitmap[0] = 0
+            attached.close()
+        finally:
+            handle.cleanup()
+        handle.cleanup()  # idempotent
+
+    def test_attach_shared_index_dispatches_on_kind(self):
+        from repro.index.storage import (
+            CSRInvertedIndex,
+            HybridInvertedIndex,
+            attach_shared_index,
+        )
+
+        data = self._collection()
+        for index in (CSRInvertedIndex.build(data), HybridInvertedIndex.build(data)):
+            handle = index.to_shared_memory()
+            try:
+                attached = attach_shared_index(handle)
+                assert type(attached) is type(index)
+                attached.close()
+            finally:
+                handle.cleanup()
+
+    def test_hybrid_attach_rejects_csr_handle(self):
+        from repro.errors import InvalidParameterError
+        from repro.index.storage import CSRInvertedIndex, HybridInvertedIndex
+
+        handle = CSRInvertedIndex.build(self._collection()).to_shared_memory()
+        try:
+            with pytest.raises(InvalidParameterError, match="carries"):
+                HybridInvertedIndex.from_shared_memory(handle)
+        finally:
+            handle.cleanup()
+
+    def test_handle_pickle_keeps_kind(self):
+        import pickle
+
+        from repro.index.storage import HybridInvertedIndex
+
+        handle = HybridInvertedIndex.build(self._collection()).to_shared_memory()
+        try:
+            clone = pickle.loads(pickle.dumps(handle))
+            assert clone.kind == "hybrid"
+            assert clone.segments == handle.segments
+        finally:
+            handle.cleanup()
+
+    def test_attached_join_matches_owner(self):
+        from repro.core.framework import framework_join
+        from repro.core.results import PairListSink
+        from repro.index.storage import HybridInvertedIndex
+
+        s = self._collection()
+        r = SetCollection([[0], [0, 1], [0, 1, 8], [3, 9]])
+        hyb = HybridInvertedIndex.build(s)
+        handle = hyb.to_shared_memory()
+        try:
+            attached = HybridInvertedIndex.from_shared_memory(handle)
+            a, b = PairListSink(), PairListSink()
+            framework_join(r, s, a, index=hyb, backend="hybrid")
+            framework_join(r, s, b, index=attached, backend="hybrid")
+            assert a.sorted_pairs() == b.sorted_pairs()
+            attached.close()
+        finally:
+            handle.cleanup()
+
+
 # -- interrupted-run shm hygiene -------------------------------------------
 
 

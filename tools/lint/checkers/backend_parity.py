@@ -1,19 +1,19 @@
-"""RL401 — public ``backend=`` functions dispatch both array backends.
+"""RL401 — public ``backend=`` functions dispatch every registered backend.
 
-``backend="python" | "csr"`` is a contract: the two backends produce the
-identical pair set and every public entry point that accepts the parameter
-must either handle the CSR case or validate-and-forward it. The failure
-mode this guards against is a new public API that grows a ``backend``
-parameter, silently ignores it, and returns python-backend results for
-``backend="csr"`` — type checkers cannot see that, tests only catch it if
-someone remembers to parametrise them.
+``backend="python" | "csr" | "hybrid"`` is a contract: all backends
+produce the identical pair set and every public entry point that accepts
+the parameter must either handle the array cases or validate-and-forward
+it. The failure mode this guards against is a new public API that grows a
+``backend`` parameter, silently ignores it, and returns python-backend
+results for an array backend — type checkers cannot see that, tests only
+catch it if someone remembers to parametrise them.
 
 A public function (name without a leading underscore) with a ``backend``
 parameter passes if its body shows *evidence of dispatch*, any of:
 
-* a comparison or membership test against the ``"csr"`` / ``"python"``
-  literals or the ``BACKENDS`` registry (``backend == "csr"``,
-  ``backend not in BACKENDS``);
+* a comparison or membership test against the ``"csr"`` / ``"hybrid"`` /
+  ``"python"`` literals or the ``BACKENDS`` registry (``backend ==
+  "csr"``, ``backend not in BACKENDS``);
 * forwarding — ``backend=backend`` keyword, ``kwargs["backend"] =``
   subscript store, or passing the name positionally into another call.
 
@@ -33,7 +33,7 @@ CODE = "RL401"
 MARKER = "backend-agnostic"
 
 _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
-_BACKEND_LITERALS = {"python", "csr"}
+_BACKEND_LITERALS = {"python", "csr", "hybrid"}
 
 
 def _has_backend_param(func: _FunctionNode) -> bool:
@@ -91,9 +91,9 @@ def check(linted: LintedFile) -> List[Finding]:
                     node,
                     CODE,
                     f"public function `{node.name}` takes backend= but never "
-                    "dispatches or forwards it; handle 'python' and 'csr' "
-                    "(or validate against BACKENDS) so the parameter is not "
-                    "silently ignored",
+                    "dispatches or forwards it; handle the registered "
+                    "backends (or validate against BACKENDS) so the "
+                    "parameter is not silently ignored",
                 )
             )
     return findings
@@ -102,6 +102,6 @@ def check(linted: LintedFile) -> List[Finding]:
 CHECKER = Checker(
     code=CODE,
     name="backend-parity",
-    description="public backend= functions dispatch both 'python' and 'csr'",
+    description="public backend= functions dispatch every registered backend",
     run=check,
 )
