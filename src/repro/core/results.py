@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Collection, Iterable, List, Optional, Protocol, Tuple, Union
 
+from ..errors import InvalidParameterError
+
 __all__ = [
     "PairSink",
     "PairListSink",
@@ -295,13 +297,19 @@ def make_sink(
     collect: str = "pairs",
     callback: Optional[Callable[[int, int], None]] = None,
 ) -> Union[PairListSink, CountSink, CallbackSink]:
-    """Factory used by the public API: ``"pairs"``, ``"count"`` or ``"callback"``."""
+    """Factory used by the public API: ``"pairs"``, ``"count"`` or ``"callback"``.
+
+    Raises :class:`~repro.errors.InvalidParameterError` (a ``ValueError``
+    subclass, so existing ``except ValueError`` callers keep working) —
+    this factory sits under ``set_containment_join``, whose exception
+    contract is the ``errors.py`` hierarchy.
+    """
     if collect == "pairs":
         return PairListSink()
     if collect == "count":
         return CountSink()
     if collect == "callback":
         if callback is None:
-            raise ValueError("collect='callback' requires a callback")
+            raise InvalidParameterError("collect='callback' requires a callback")
         return CallbackSink(callback)
-    raise ValueError(f"unknown collect mode {collect!r}")
+    raise InvalidParameterError(f"unknown collect mode {collect!r}")

@@ -345,7 +345,9 @@ def cross_cut_collection_csr(
     # be a suffix slice. Pair sets are order-insensitive, so only the
     # emission order shifts.
     order = np.argsort(np.asarray(rec_lens, dtype=np.int64), kind="stable")
+    # lint: scalar-fallback (k-way gather of per-record arrays; one iteration per record)
     slot_base = np.concatenate([base_parts[i] for i in order])
+    # lint: scalar-fallback (same per-record gather as slot_base)
     slot_end = np.concatenate([end_parts[i] for i in order])
     rec_rid = np.asarray(rec_rids, dtype=np.int64)[order]
     rec_k = np.asarray(rec_lens, dtype=np.int64)[order]
@@ -398,6 +400,7 @@ def cross_cut_collection_csr(
             # per-round numpy call overhead would dominate)
             for i in range(cand.shape[0]):
                 rid = int(rec_rid[i])
+                # lint: scalar-fallback (straggler tail: python lists feed cross_cut_record)
                 lists = [
                     index.get_list(e).tolist() for e in r_collection[rid]
                 ]
@@ -747,8 +750,11 @@ def cross_cut_collection_hybrid(
 
     # Same ascending-by-list-count order as the CSR kernel (see there).
     order = np.argsort(np.asarray(rec_lens, dtype=np.int64), kind="stable")
+    # lint: scalar-fallback (k-way gather of per-record arrays; one iteration per record)
     slot_base = np.concatenate([base_parts[i] for i in order])
+    # lint: scalar-fallback (same per-record gather as slot_base)
     slot_end = np.concatenate([end_parts[i] for i in order])
+    # lint: scalar-fallback (same per-record gather as slot_base)
     cursors = np.concatenate([start_parts[i] for i in order]).astype(np.int64)
     rec_rid = np.asarray(rec_rids, dtype=np.int64)[order]
     rec_k = np.asarray(rec_lens, dtype=np.int64)[order]
@@ -903,6 +909,7 @@ def cross_cut_collection_hybrid(
             # per-round numpy call overhead would dominate)
             for i in range(cand.shape[0]):
                 rid = int(rec_rid[i])
+                # lint: scalar-fallback (straggler tail: python lists feed cross_cut_record)
                 lists = [
                     index.get_list(e).tolist() for e in r_collection[rid]
                 ]

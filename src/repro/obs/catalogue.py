@@ -53,6 +53,8 @@ COUNTER_CATALOGUE = {
     "join.tree_nodes": "prefix-tree nodes built (JoinStats mirror)",
     "join.partitions_local": "partitions processed with a local index (JoinStats mirror)",
     "join.partitions_global": "partitions processed with the global index (JoinStats mirror)",
+    "join.elapsed_seconds": "total join wall-clock seconds (JoinStats mirror)",
+    "join.peak_memory_bytes": "peak RSS high-watermark gauge (JoinStats mirror)",
     # -- index.*: construction-side work --
     "index.builds": "global inverted-index builds",
     "index.local_builds": "local (partition) index builds",

@@ -347,12 +347,37 @@ class TestHotLoops:
         )
         assert findings == []
 
-    def test_comprehension_not_flagged(self, tmp_path):
+    def test_comprehension_flagged(self, tmp_path):
         findings = _lint_source(
             tmp_path,
             """
             def kernel(values):
                 return [v + 1 for v in values]
+            """,
+            rel="index/kernels.py",
+        )
+        assert _codes(findings) == ["RL301"]
+        assert "list comprehension" in findings[0].message
+
+    def test_generator_expression_flagged(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def kernel(values):
+                return sum(v + 1 for v in values)
+            """,
+            rel="index/kernels.py",
+        )
+        assert _codes(findings) == ["RL301"]
+        assert "generator expression" in findings[0].message
+
+    def test_marked_comprehension_clean(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            def kernel(parts, order):
+                # lint: scalar-fallback (test fixture)
+                return [parts[i] for i in order]
             """,
             rel="index/kernels.py",
         )
@@ -722,6 +747,33 @@ class TestDriver:
         markers = _parse_markers("x = 1  # lint: scalar-fallback, frozen-mutation-ok\n")
         assert markers[1] == {"scalar-fallback", "frozen-mutation-ok"}
 
+    def test_marker_parser_comma_names_with_spaces(self):
+        markers = _parse_markers(
+            "# lint:  span-name ,  atomic-write  (shared rationale)\nx = 1\n"
+        )
+        assert markers[1] == {"span-name", "atomic-write"}
+        # Flowed down to the first code line below the comment.
+        assert markers[2] == {"span-name", "atomic-write"}
+
+    def test_marker_flows_down_through_comment_and_blank_lines(self):
+        source = (
+            "# lint: scalar-fallback (the rationale spills over\n"
+            "# onto a second comment line)\n"
+            "\n"
+            "for i in range(3):\n"
+            "    pass\n"
+        )
+        markers = _parse_markers(source)
+        assert "scalar-fallback" in markers[1]
+        assert "scalar-fallback" in markers[4]  # the for-loop line
+        assert 5 not in markers  # flow stops at the first code line
+
+    def test_marker_rationale_text_is_ignored_by_parser(self):
+        markers = _parse_markers(
+            "x = open(p)  # lint: resource-flow (closed by, e.g., the caller)\n"
+        )
+        assert markers[1] == {"resource-flow"}
+
     def test_suppressed_line_above(self, tmp_path):
         path = tmp_path / "m.py"
         source = "# lint: scalar-fallback\nfor i in range(3):\n    pass\n"
@@ -729,6 +781,23 @@ class TestDriver:
         linted = LintedFile(path, source, root=tmp_path)
         loop = linted.tree.body[0]
         assert linted.suppressed(loop, "scalar-fallback")
+
+    def test_suppressed_same_line(self, tmp_path):
+        path = tmp_path / "m.py"
+        source = (
+            "x = 1  # lint: scalar-fallback (same line)\n"
+            "y = 2\n"
+            "for i in range(3):\n"
+            "    pass\n"
+        )
+        path.write_text(source, encoding="utf-8")
+        linted = LintedFile(path, source, root=tmp_path)
+        first, second, loop = linted.tree.body
+        assert linted.suppressed(first, "scalar-fallback")
+        # A same-line marker on a *code* line covers the next line too
+        # (line-above rule) but does not flow further down.
+        assert linted.suppressed(second, "scalar-fallback")
+        assert not linted.suppressed(loop, "scalar-fallback")
 
 
 # -- CLI -------------------------------------------------------------------
@@ -766,7 +835,18 @@ class TestCli:
     def test_list_checks(self, capsys):
         assert lint_main(["--list-checks"]) == 0
         out = capsys.readouterr().out
-        for code in ("RL101", "RL201", "RL301", "RL401", "RL501", "RL601"):
+        for code in (
+            "RL101",
+            "RL201",
+            "RL301",
+            "RL401",
+            "RL501",
+            "RL601",
+            "RL701",
+            "RL702",
+            "RL801",
+            "RL901",
+        ):
             assert code in out
 
 
@@ -780,9 +860,29 @@ class TestRealTree:
         )
         assert findings == [], "\n".join(f.render() for f in findings)
 
+    def test_whole_program_checkers_clean_on_real_tree(self):
+        from tools.lint import ALL_PROJECT_CHECKERS, lint_tree
+
+        findings = lint_tree(
+            [REPO_ROOT / "src" / "repro"],
+            ALL_CHECKERS,
+            ALL_PROJECT_CHECKERS,
+            root=REPO_ROOT,
+        )
+        assert findings == [], "\n".join(f.render() for f in findings)
+
     def test_module_invocation_exits_zero(self):
         proc = subprocess.run(
-            [sys.executable, "-m", "tools.lint", "src/repro", "tools"],
+            [
+                sys.executable,
+                "-m",
+                "tools.lint",
+                "src/repro",
+                "tools",
+                "benchmarks",
+                "--baseline",
+                "tools/lint/baseline.json",
+            ],
             cwd=REPO_ROOT,
             capture_output=True,
             text=True,

@@ -143,6 +143,8 @@ class Checker:
     name: str
     description: str
     run: Callable[[LintedFile], Iterable[Finding]] = field(compare=False)
+    #: The ``# lint: <marker>`` name that suppresses this check ("" = none).
+    marker: str = ""
 
 
 def lint_file(
@@ -158,8 +160,11 @@ def lint_file(
         return [
             Finding(
                 path=str(path),
-                line=exc.lineno or 0,
-                col=(exc.offset or 0),
+                line=exc.lineno or 1,
+                # ``SyntaxError.offset`` is already 1-based (unlike ast's
+                # 0-based ``col_offset``); clamp the None/0 corner cases so
+                # every Finding column is 1-based like ``LintedFile.finding``.
+                col=max(1, exc.offset or 1),
                 code="RL000",
                 message=f"syntax error: {exc.msg}",
             )

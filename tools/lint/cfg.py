@@ -1,0 +1,341 @@
+"""Intraprocedural control-flow graphs for path-sensitive checkers.
+
+:func:`build_cfg` turns one function body into a statement-level graph:
+every statement becomes a :class:`Node` with *normal* successors
+(``succ``) and *exceptional* successors (``exc``), plus the shared
+:data:`EXIT` sentinel for function exit. RL702 walks this graph to prove
+that an acquired resource reaches its release on every path; anything
+else that needs "does X happen before the function can return/raise?"
+reasoning should build on the same graph instead of growing new
+syntactic heuristics.
+
+Construction notes — the approximations are deliberate and one-sided
+(they only ever *add* paths, so a clean verdict is trustworthy and a
+finding may occasionally be a phantom path, which the ``# lint:``
+markers exist to dismiss):
+
+* ``return`` / ``raise`` / ``break`` / ``continue`` route through every
+  enclosing ``finally`` block. Abrupt-exit copies of a ``finally`` body
+  get their own nodes (keyed by statement *and* role), so a release
+  inside ``finally`` covers both the normal and the unwinding path.
+* Statements lexically inside a ``try`` body get ``exc`` edges to each
+  handler of that ``try`` (and of every enclosing ``try``), plus to a
+  propagate-copy of the ``finally`` body that continues to
+  :data:`EXIT`. Statements outside any ``try`` get no ``exc`` edges —
+  "anything can raise anywhere" would drown every checker in noise.
+* ``with`` blocks are sequential; the context manager owns whatever its
+  ``__exit__`` releases, so checkers treat ``with``-bound resources as
+  managed.
+* Nested ``def`` / ``class`` statements are opaque single nodes — the
+  graph is strictly intraprocedural.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+__all__ = ["EXIT", "Node", "FuncCFG", "build_cfg", "header_exprs"]
+
+
+class _Exit:
+    """Sentinel for "the function has exited" (shared, compares by identity)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<EXIT>"
+
+
+EXIT = _Exit()
+
+Target = Union["Node", _Exit]
+
+
+class Node:
+    """One statement occurrence in the graph.
+
+    The same ``finally`` statement may appear as several nodes (normal
+    completion vs. abrupt-exit vs. exception-propagation copies); ``role``
+    disambiguates them for debugging. ``If`` nodes additionally record
+    which successors belong to the true and false branches, so checkers
+    can be predicate-aware for the ``if x is not None:`` idiom.
+    """
+
+    __slots__ = ("stmt", "role", "succ", "exc", "true_succ", "false_succ")
+
+    def __init__(self, stmt: ast.stmt, role: str = "main") -> None:
+        self.stmt = stmt
+        self.role = role
+        self.succ: List[Target] = []
+        self.exc: List[Target] = []
+        self.true_succ: List[Target] = []
+        self.false_succ: List[Target] = []
+
+    def targets(self) -> List[Target]:
+        return self.succ + self.exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = type(self.stmt).__name__
+        return f"<Node {kind}@{getattr(self.stmt, 'lineno', '?')} {self.role}>"
+
+
+@dataclass
+class _Ctx:
+    """Linkage context: where abrupt exits go from the current position."""
+
+    #: Entry target for ``return`` (routes through enclosing finallies).
+    exit_via: Target
+    #: Entry targets for ``raise`` and for implicit exceptions inside
+    #: ``try`` bodies: handler entries and finally-propagate copies,
+    #: innermost first. Empty outside any ``try``.
+    pads: Tuple[Target, ...] = ()
+    #: ``break`` / ``continue`` targets (None outside loops).
+    break_via: Union[Tuple[Target, ...], None] = None
+    continue_via: Union[Tuple[Target, ...], None] = None
+
+
+@dataclass
+class FuncCFG:
+    """The graph for one function: entry targets plus a stmt -> nodes map."""
+
+    func: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    entry: Tuple[Target, ...]
+    nodes: List[Node] = field(default_factory=list)
+    by_stmt: Dict[ast.stmt, List[Node]] = field(default_factory=dict)
+
+    def main_node(self, stmt: ast.stmt) -> Node:
+        """The normal-flow node for ``stmt`` (role ``main``)."""
+        for node in self.by_stmt[stmt]:
+            if node.role == "main":
+                return node
+        return self.by_stmt[stmt][0]
+
+
+class _Builder:
+    def __init__(self, func: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> None:
+        self.func = func
+        self.cfg = FuncCFG(func=func, entry=())
+
+    def build(self) -> FuncCFG:
+        ctx = _Ctx(exit_via=EXIT)
+        entry = self._link_body(self.func.body, (EXIT,), ctx, "main")
+        self.cfg.entry = entry
+        return self.cfg
+
+    # -- helpers -----------------------------------------------------------
+
+    def _node(self, stmt: ast.stmt, role: str) -> Node:
+        node = Node(stmt, role)
+        self.cfg.nodes.append(node)
+        self.cfg.by_stmt.setdefault(stmt, []).append(node)
+        return node
+
+    def _link_body(
+        self,
+        stmts: Sequence[ast.stmt],
+        follow: Tuple[Target, ...],
+        ctx: _Ctx,
+        role: str,
+    ) -> Tuple[Target, ...]:
+        """Wire a statement list; returns the entry targets of the list."""
+        nxt: Tuple[Target, ...] = follow
+        for stmt in reversed(stmts):
+            nxt = self._link_stmt(stmt, nxt, ctx, role)
+        return nxt
+
+    def _link_stmt(
+        self,
+        stmt: ast.stmt,
+        follow: Tuple[Target, ...],
+        ctx: _Ctx,
+        role: str,
+    ) -> Tuple[Target, ...]:
+        node = self._node(stmt, role)
+        # A ``try:`` header executes nothing itself; its body carries the
+        # pads. Statements that provably cannot raise (constant-to-name
+        # assignments, ``pass``) get no exception edges either — phantom
+        # raise-paths from them drown path-sensitive checkers in noise.
+        if not isinstance(stmt, ast.Try) and _can_raise(stmt):
+            node.exc.extend(ctx.pads)
+
+        if isinstance(stmt, ast.Return):
+            node.succ.append(ctx.exit_via)
+        elif isinstance(stmt, ast.Raise):
+            # May be caught by an enclosing handler in this function, or
+            # propagate out (through the finally chain).
+            node.succ.extend(ctx.pads or ())
+            node.succ.append(ctx.exit_via)
+        elif isinstance(stmt, ast.Break) and ctx.break_via is not None:
+            node.succ.extend(ctx.break_via)
+        elif isinstance(stmt, ast.Continue) and ctx.continue_via is not None:
+            node.succ.extend(ctx.continue_via)
+        elif isinstance(stmt, ast.If):
+            body = self._link_body(stmt.body, follow, ctx, role)
+            orelse = self._link_body(stmt.orelse, follow, ctx, role)
+            node.true_succ = list(body)
+            node.false_succ = list(orelse if stmt.orelse else follow)
+            node.succ.extend(node.true_succ)
+            node.succ.extend(node.false_succ)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            after = self._link_body(stmt.orelse, follow, ctx, role)
+            loop_ctx = _Ctx(
+                exit_via=ctx.exit_via,
+                pads=ctx.pads,
+                break_via=follow or (EXIT,),
+                continue_via=(node,),
+            )
+            body = self._link_body(stmt.body, (node,), loop_ctx, role)
+            node.succ.extend(body)
+            node.succ.extend(after)  # the not-taken / exhausted edge
+        elif isinstance(stmt, ast.Try):
+            node.succ.extend(self._link_try(stmt, follow, ctx, role))
+            return (node,)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            body = self._link_body(stmt.body, follow, ctx, role)
+            node.succ.extend(body)
+        elif isinstance(stmt, ast.Match):
+            for case in stmt.cases:
+                node.succ.extend(self._link_body(case.body, follow, ctx, role))
+            node.succ.extend(follow)  # no case matched
+        else:
+            # Simple statements — and nested def/class, kept opaque.
+            node.succ.extend(follow)
+        return (node,)
+
+    def _link_try(
+        self,
+        stmt: ast.Try,
+        follow: Tuple[Target, ...],
+        ctx: _Ctx,
+        role: str,
+    ) -> Tuple[Target, ...]:
+        has_finally = bool(stmt.finalbody)
+
+        if has_finally:
+            # Normal completion: finally body then follow.
+            fin_normal = self._link_body(stmt.finalbody, follow, ctx, role)
+            # Unhandled exception: finally body then propagate out (to the
+            # enclosing pads if any, else function exit).
+            prop_follow: Tuple[Target, ...] = ctx.pads + (ctx.exit_via,)
+            fin_prop = self._link_body(
+                stmt.finalbody, prop_follow, ctx, role + "+finally-prop"
+            )
+            # Abrupt exits (return/break/continue) inside the try run their
+            # own copy of the finally body before continuing outward.
+            inner_ctx = _Ctx(
+                exit_via=self._chain_finally(
+                    stmt, (ctx.exit_via,), ctx, role, "exit"
+                )[0],
+                pads=ctx.pads,
+                break_via=(
+                    self._chain_finally(stmt, ctx.break_via, ctx, role, "break")
+                    if ctx.break_via is not None
+                    else None
+                ),
+                continue_via=(
+                    self._chain_finally(stmt, ctx.continue_via, ctx, role, "continue")
+                    if ctx.continue_via is not None
+                    else None
+                ),
+            )
+            after_protected = fin_normal
+        else:
+            fin_prop = ()
+            inner_ctx = ctx
+            after_protected = follow
+
+        # Handler bodies run outside the try's own protection but inside
+        # the enclosing context; they flow into the normal finally.
+        handler_entries: List[Target] = []
+        for handler in stmt.handlers:
+            entries = self._link_body(handler.body, after_protected, inner_ctx, role)
+            handler_entries.extend(entries)
+
+        pads: Tuple[Target, ...] = tuple(handler_entries) + tuple(fin_prop)
+        if has_finally:
+            # Unmatched exceptions reach the enclosing pads *through* the
+            # finally-propagate copy (its continuation includes them) — a
+            # direct edge would let paths skip the finally's releases.
+            body_pads = pads
+        else:
+            body_pads = pads + ctx.pads
+        body_ctx = _Ctx(
+            exit_via=inner_ctx.exit_via,
+            pads=body_pads,
+            break_via=inner_ctx.break_via,
+            continue_via=inner_ctx.continue_via,
+        )
+        orelse = self._link_body(stmt.orelse, after_protected, inner_ctx, role)
+        body_follow = orelse if stmt.orelse else after_protected
+        return self._link_body(stmt.body, body_follow, body_ctx, role)
+
+    def _chain_finally(
+        self,
+        stmt: ast.Try,
+        continuation: Tuple[Target, ...],
+        ctx: _Ctx,
+        role: str,
+        kind: str,
+    ) -> Tuple[Target, ...]:
+        """An abrupt-exit copy of the finally body flowing to ``continuation``."""
+        return self._link_body(
+            stmt.finalbody, continuation, ctx, f"{role}+finally-{kind}"
+        )
+
+
+def header_exprs(stmt: ast.stmt) -> List[ast.AST]:
+    """The expressions evaluated *at* a statement's own CFG node.
+
+    Compound statements evaluate only their header (test, iterable,
+    context expressions) at their node — their bodies are separate nodes.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return list(stmt.items)
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(
+        stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return []
+    return [stmt]
+
+
+#: Expression kinds whose evaluation may raise (calls, lookups, arithmetic,
+#: iteration). ``x = "literal"`` / ``pass`` / ``x is None`` tests have none.
+_RAISING_EXPRS = (
+    ast.Call,
+    ast.Attribute,
+    ast.Subscript,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Await,
+    ast.Yield,
+    ast.YieldFrom,
+    ast.Starred,
+    ast.FormattedValue,
+)
+
+
+def _can_raise(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Raise, ast.Assert, ast.For, ast.AsyncFor)):
+        return True
+    if isinstance(stmt, ast.Compare):  # pragma: no cover - not a stmt
+        return True
+    for root in header_exprs(stmt):
+        for node in ast.walk(root):
+            if isinstance(node, _RAISING_EXPRS):
+                return True
+            if isinstance(node, ast.Compare) and not all(
+                isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+            ):
+                return True
+    return False
+
+
+def build_cfg(func: Union[ast.FunctionDef, ast.AsyncFunctionDef]) -> FuncCFG:
+    """Build the statement-level CFG for one function definition."""
+    return _Builder(func).build()

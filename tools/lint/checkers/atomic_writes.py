@@ -135,4 +135,5 @@ CHECKER = Checker(
     name="atomic-writes",
     description="the run log writes only through the atomic-rename helper",
     run=check,
+    marker=MARKER,
 )

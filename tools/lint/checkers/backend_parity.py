@@ -104,4 +104,5 @@ CHECKER = Checker(
     name="backend-parity",
     description="public backend= functions dispatch every registered backend",
     run=check,
+    marker=MARKER,
 )

@@ -1,0 +1,230 @@
+"""RL901 — the metrics catalogue and the instrumented code agree, both ways.
+
+RL501 already proves every ``trace_span`` literal is catalogued. This
+checker closes the remaining drift surfaces, project-wide:
+
+**Forward** — every metric a call site emits must be documented:
+
+* literal first arguments of ``reg.inc(...)`` / ``set_gauge`` /
+  ``max_gauge`` / ``observe`` / ``timer`` anywhere in the project must
+  be keys of ``COUNTER_CATALOGUE`` in ``obs/catalogue.py``;
+* the ``JoinStats`` bridge (``record_join_stats`` writes ``"join." +
+  field`` for every ``JoinStats.__slots__`` entry) is modelled
+  explicitly: each slot's mirrored ``join.*`` name must be catalogued,
+  even though no literal ever appears at the emission site.
+
+**Reverse** — every catalogue entry must be live. A counter key or span
+name that is never emitted is a *dead metric*: dashboards chart a flat
+zero and reviewers trust a number nobody writes. A counter counts as
+emitted if its literal appears anywhere in the project outside the
+catalogue (this deliberately honours indirection like the supervisor's
+``_OUTCOME_COUNTERS`` dict) or if the JoinStats bridge produces it; a
+span counts if some ``trace_span`` literal uses it.
+
+Findings anchor at the emission site (forward) or at the catalogue
+entry's line (reverse); suppress with ``# lint: catalogue-drift (why)``.
+Trees without an ``obs/catalogue.py`` (fixtures) are skipped entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..base import Finding, LintedFile
+from ..project import Project, ProjectChecker
+
+CODE = "RL901"
+MARKER = "catalogue-drift"
+
+_CATALOGUE_SUFFIX = "obs/catalogue.py"
+_STATS_SUFFIX = "core/stats.py"
+_EMIT_METHODS = frozenset({"inc", "set_gauge", "max_gauge", "observe", "timer"})
+
+
+def _find_file(project: Project, suffix: str) -> Optional[str]:
+    for rel in project.files:
+        if rel.endswith(suffix):
+            return rel
+    return None
+
+
+def _catalogue_entries(
+    linted: LintedFile, target_name: str
+) -> Dict[str, ast.Constant]:
+    """``name -> constant node`` for one catalogue assignment."""
+    out: Dict[str, ast.Constant] = {}
+    for node in linted.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == target_name for t in node.targets
+        ):
+            continue
+        value = node.value
+        if target_name == "COUNTER_CATALOGUE" and isinstance(value, ast.Dict):
+            for key in value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    out[key.value] = key
+        else:
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    out.setdefault(sub.value, sub)
+    return out
+
+
+def _bridge_names(project: Project, stats_rel: Optional[str]) -> Set[str]:
+    """``join.*`` names produced by the JoinStats -> registry bridge."""
+    if stats_rel is None:
+        return set()
+    linted = project.files[stats_rel]
+    for node in ast.walk(linted.tree):
+        if not isinstance(node, ast.ClassDef) or node.name != "JoinStats":
+            continue
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__slots__"
+                    for t in stmt.targets
+                )
+            ):
+                return {
+                    f"join.{sub.value}"
+                    for sub in ast.walk(stmt.value)
+                    if isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+                }
+    return set()
+
+
+def _emissions(
+    project: Project, catalogue_rel: str
+) -> Iterable[Tuple[str, ast.Call, str]]:
+    """``(rel, call node, literal metric name)`` for every literal emission."""
+    for rel, linted in project.files.items():
+        if rel == catalogue_rel:
+            continue
+        for node in ast.walk(linted.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute) and func.attr in _EMIT_METHODS
+            ):
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                yield rel, node, arg.value
+
+
+def _all_string_constants(project: Project, catalogue_rel: str) -> Set[str]:
+    out: Set[str] = set()
+    for rel, linted in project.files.items():
+        if rel == catalogue_rel:
+            continue
+        for node in ast.walk(linted.tree):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                out.add(node.value)
+    return out
+
+
+def check(project: Project) -> List[Finding]:
+    catalogue_rel = _find_file(project, _CATALOGUE_SUFFIX)
+    if catalogue_rel is None:
+        return []
+    cat_linted = project.files[catalogue_rel]
+    counters = _catalogue_entries(cat_linted, "COUNTER_CATALOGUE")
+    spans = _catalogue_entries(cat_linted, "SPAN_CATALOGUE")
+    bridge = _bridge_names(project, _find_file(project, _STATS_SUFFIX))
+
+    findings: List[Finding] = []
+
+    # -- forward: literal emissions must be catalogued ---------------------
+    emitted: Set[str] = set()
+    for rel, node, name in _emissions(project, catalogue_rel):
+        emitted.add(name)
+        if name in counters:
+            continue
+        linted = project.files[rel]
+        if linted.suppressed(node, MARKER):
+            continue
+        findings.append(
+            linted.finding(
+                node,
+                CODE,
+                f"metric {name!r} is emitted here but missing from "
+                f"COUNTER_CATALOGUE ({catalogue_rel}); document it there "
+                "or mark `# lint: catalogue-drift (why)`",
+            )
+        )
+
+    # -- forward: the JoinStats bridge must be fully catalogued ------------
+    for name in sorted(bridge - set(counters)):
+        anchor = next(iter(counters.values()), cat_linted.tree)
+        if cat_linted.suppressed(anchor, MARKER):
+            continue
+        findings.append(
+            cat_linted.finding(
+                anchor,
+                CODE,
+                f"JoinStats slot `{name[len('join.'):]}` is bridged to "
+                f"metric {name!r} by record_join_stats but missing from "
+                "COUNTER_CATALOGUE; the join.* family must mirror "
+                "JoinStats one-to-one",
+            )
+        )
+
+    # -- reverse: every catalogue entry must be live -----------------------
+    constants = _all_string_constants(project, catalogue_rel)
+    span_literals = {
+        name
+        for rel, linted in project.files.items()
+        if rel != catalogue_rel
+        for node in ast.walk(linted.tree)
+        if isinstance(node, ast.Call)
+        and getattr(node.func, "attr", getattr(node.func, "id", None))
+        == "trace_span"
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+        for name in [node.args[0].value]
+    }
+    for name, anchor in sorted(counters.items()):
+        if name in emitted or name in bridge or name in constants:
+            continue
+        if cat_linted.suppressed(anchor, MARKER):
+            continue
+        findings.append(
+            cat_linted.finding(
+                anchor,
+                CODE,
+                f"catalogued counter {name!r} is never emitted anywhere in "
+                "the project — dead metrics chart flat zeros; remove the "
+                "entry, wire the instrumentation, or mark "
+                "`# lint: catalogue-drift (why)`",
+            )
+        )
+    for name, anchor in sorted(spans.items()):
+        if name in span_literals or name in constants:
+            continue
+        if cat_linted.suppressed(anchor, MARKER):
+            continue
+        findings.append(
+            cat_linted.finding(
+                anchor,
+                CODE,
+                f"catalogued span {name!r} is never opened by any "
+                "trace_span call — remove the entry or wire the "
+                "instrumentation, or mark `# lint: catalogue-drift (why)`",
+            )
+        )
+    return findings
+
+
+CHECKER = ProjectChecker(
+    code=CODE,
+    name="catalogue-drift",
+    description="emitted metrics and obs/catalogue.py agree in both directions",
+    run=check,
+    marker=MARKER,
+)

@@ -1,0 +1,312 @@
+"""RL801 — public surfaces raise only the documented ``errors.py`` types.
+
+The README promises callers one exception contract: everything the
+library raises derives from ``repro.errors.ReproError`` (the hierarchy
+double-inherits from the matching builtins, so ``except ValueError``
+keeps working — but the *documented* catch is ``ReproError``). A bare
+``ValueError`` three calls below ``set_containment_join`` breaks that
+promise invisibly: it type-checks, passes the unit tests that assert on
+the builtin, and only burns a caller who wrote ``except ReproError``.
+
+This checker computes, for every project function, the set of exception
+types it can raise *or propagate* — a fixpoint over the call graph:
+
+* direct ``raise X(...)`` statements, with ``X`` resolved through
+  imports to a project class or a builtin name (dynamic ``raise
+  exc_cls(...)`` through a variable is untracked — no information, not
+  a finding);
+* plus every callee's raise-set, **minus** the types caught by
+  ``except`` clauses whose ``try`` body lexically contains the call
+  site (subclass-aware, for both the project hierarchy and builtins; a
+  handler containing a bare ``raise`` re-raises and subtracts nothing;
+  a bare ``except:``/``except BaseException`` subtracts everything).
+
+Surfaces checked: public module-level functions of
+``src/repro/core/api.py`` and ``main`` in ``src/repro/cli.py``. Allowed
+types: every class defined in ``src/repro/errors.py``, their project
+subclasses, and the control-flow builtins (``SystemExit``,
+``KeyboardInterrupt``, ``GeneratorExit``, ``StopIteration``,
+``NotImplementedError``). Findings anchor at the surface ``def`` line
+and name a witness chain; suppress there with
+``# lint: exception-contract (why)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..base import Finding
+from ..project import FunctionInfo, Project, ProjectChecker
+
+CODE = "RL801"
+MARKER = "exception-contract"
+
+_ERRORS_REL = "src/repro/errors.py"
+_SURFACES = {
+    "src/repro/core/api.py": None,  # every public module-level function
+    "src/repro/cli.py": {"main"},
+}
+_ALLOWED_BUILTINS = frozenset(
+    {
+        "SystemExit",
+        "KeyboardInterrupt",
+        "GeneratorExit",
+        "StopIteration",
+        "NotImplementedError",
+    }
+)
+
+
+class _Contract:
+    """Raise-set propagation over one project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        #: exception key -> base keys. Keys are ``rel::Class`` qualnames for
+        #: project classes, bare names for builtins.
+        self.bases: Dict[str, Tuple[str, ...]] = {}
+        for rel, classes in project.classes.items():
+            for info in classes.values():
+                key = f"{rel}::{info.name}"
+                resolved: List[str] = []
+                for base in info.bases:
+                    base_key = self._class_key(rel, base)
+                    if base_key is not None:
+                        resolved.append(base_key)
+                self.bases[key] = tuple(resolved)
+        self.raises: Dict[str, Set[str]] = {}
+
+    # -- type lattice ------------------------------------------------------
+
+    def _class_key(self, rel: str, dotted: str) -> Optional[str]:
+        info = self.project._resolve_class_name(rel, dotted)
+        if info is not None:
+            return f"{info.rel}::{info.name}"
+        tail = dotted.rsplit(".", 1)[-1]
+        if isinstance(getattr(builtins, tail, None), type):
+            return tail
+        return None
+
+    def is_subtype(self, key: str, base_key: str) -> bool:
+        sup = getattr(builtins, base_key, None) if "::" not in base_key else None
+        seen: Set[str] = set()
+        stack = [key]
+        while stack:
+            cur = stack.pop()
+            if cur == base_key:
+                return True
+            if cur in seen:
+                continue
+            seen.add(cur)
+            if "::" in cur:
+                stack.extend(self.bases.get(cur, ()))
+            else:
+                # A builtin (directly, or reached through project bases).
+                sub = getattr(builtins, cur, None)
+                if (
+                    isinstance(sub, type)
+                    and isinstance(sup, type)
+                    and issubclass(sub, sup)
+                ):
+                    return True
+        return False
+
+    # -- raise extraction --------------------------------------------------
+
+    def _raised_key(self, func: FunctionInfo, exc: ast.expr) -> Optional[str]:
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        if isinstance(target, ast.Name):
+            resolved = self.project.function_for_name(func.rel, target.id)
+            for qual in resolved:
+                if qual.endswith(".__init__"):
+                    return qual[: -len(".__init__")]
+            return self._class_key(func.rel, target.id)
+        if isinstance(target, ast.Attribute):
+            parts: List[str] = []
+            cur: ast.expr = target
+            while isinstance(cur, ast.Attribute):
+                parts.append(cur.attr)
+                cur = cur.value
+            if isinstance(cur, ast.Name):
+                dotted = ".".join([cur.id] + list(reversed(parts)))
+                return self._class_key(func.rel, dotted)
+        return None  # dynamic raise through a variable: untracked
+
+    def _handlers_for(
+        self, func: FunctionInfo, node: ast.AST
+    ) -> List[ast.ExceptHandler]:
+        """Handlers of every ``try`` whose *body* lexically contains ``node``."""
+        linted = func.linted
+        handlers: List[ast.ExceptHandler] = []
+        cur: Optional[ast.AST] = node
+        while cur is not None and cur is not func.node:
+            parent = linted.parent(cur)
+            if isinstance(parent, ast.Try) and self._in_body(parent, cur):
+                handlers.extend(parent.handlers)
+            cur = parent
+        return handlers
+
+    @staticmethod
+    def _in_body(try_node: ast.Try, child: ast.AST) -> bool:
+        return any(child is stmt for stmt in try_node.body)
+
+    def _handler_types(
+        self, func: FunctionInfo, handler: ast.ExceptHandler
+    ) -> Optional[List[str]]:
+        """Caught type keys; None = catch-all. [] = unresolvable (catches
+        nothing we can prove)."""
+        if handler.type is None:
+            return None
+        exprs = (
+            list(handler.type.elts)
+            if isinstance(handler.type, ast.Tuple)
+            else [handler.type]
+        )
+        keys: List[str] = []
+        for expr in exprs:
+            key = self._raised_key(func, expr)
+            if key is None and isinstance(expr, ast.Name):
+                key = self._class_key(func.rel, expr.id)
+            if key is not None:
+                if key in ("BaseException", "Exception"):
+                    return None
+                keys.append(key)
+        return keys
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(sub, ast.Raise) and sub.exc is None
+            for sub in ast.walk(handler)
+        )
+
+    def _subtract(
+        self, func: FunctionInfo, node: ast.AST, incoming: Set[str]
+    ) -> Set[str]:
+        """Remove types caught between ``node`` and the function boundary."""
+        surviving = set(incoming)
+        for handler in self._handlers_for(func, node):
+            if not surviving:
+                break
+            if self._reraises(handler):
+                continue
+            caught = self._handler_types(func, handler)
+            if caught is None:
+                return set()
+            surviving = {
+                key
+                for key in surviving
+                if not any(self.is_subtype(key, c) for c in caught)
+            }
+        return surviving
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def compute(self) -> None:
+        project = self.project
+        self.raises = {qual: set() for qual in project.functions}
+        self.witness: Dict[Tuple[str, str], str] = {}
+        for qual, func in project.functions.items():
+            for node in ast.walk(func.node):
+                if not isinstance(node, ast.Raise) or node.exc is None:
+                    continue
+                if func.linted.enclosing_function(node) is not func.node:
+                    continue
+                key = self._raised_key(func, node.exc)
+                if key is None:
+                    continue
+                for survivor in self._subtract(func, node, {key}):
+                    self.raises[qual].add(survivor)
+                    self.witness.setdefault(
+                        (qual, survivor), f"raised at {func.rel}:{node.lineno}"
+                    )
+
+        changed = True
+        rounds = 0
+        while changed and rounds < 50:
+            changed = False
+            rounds += 1
+            for qual, func in project.functions.items():
+                mine = self.raises[qual]
+                for site in project.callsites(func):
+                    incoming: Set[str] = set()
+                    for callee in site.callees:
+                        incoming |= self.raises.get(callee, set())
+                    if not incoming:
+                        continue
+                    for survivor in self._subtract(func, site.node, incoming):
+                        if survivor not in mine:
+                            mine.add(survivor)
+                            changed = True
+                        self.witness.setdefault(
+                            (qual, survivor),
+                            f"propagated via `{site.callees[0].split('::')[-1]}` "
+                            f"({func.rel}:{site.node.lineno})",
+                        )
+
+
+def _allowed(contract: _Contract, project: Project, key: str) -> bool:
+    if "::" not in key:
+        return key in _ALLOWED_BUILTINS
+    for name in project.classes.get(_ERRORS_REL, {}):
+        if contract.is_subtype(key, f"{_ERRORS_REL}::{name}"):
+            return True
+    return False
+
+
+def _surfaces(project: Project) -> List[FunctionInfo]:
+    out: List[FunctionInfo] = []
+    for rel, wanted in _SURFACES.items():
+        for name, qual in project.module_functions.get(rel, {}).items():
+            if wanted is None:
+                if name.startswith("_"):
+                    continue
+            elif name not in wanted:
+                continue
+            out.append(project.functions[qual])
+    return out
+
+
+def check(project: Project) -> List[Finding]:
+    if _ERRORS_REL not in project.files:
+        return []  # fixture trees without an error hierarchy: nothing to enforce
+    surfaces = _surfaces(project)
+    if not surfaces:
+        return []
+    contract = _Contract(project)
+    contract.compute()
+    findings: List[Finding] = []
+    for func in surfaces:
+        if func.linted.suppressed(func.node, MARKER):
+            continue
+        bad = sorted(
+            key
+            for key in contract.raises.get(func.qualname, set())
+            if not _allowed(contract, project, key)
+        )
+        for key in bad:
+            shown = key.split("::")[-1]
+            via = contract.witness.get((func.qualname, key), "")
+            via_text = f" ({via})" if via else ""
+            findings.append(
+                func.linted.finding(
+                    func.node,
+                    CODE,
+                    f"public surface `{func.name}` can raise `{shown}`"
+                    f"{via_text}, which is outside the errors.py contract; "
+                    "raise a ReproError subclass or mark "
+                    "`# lint: exception-contract (why)`",
+                )
+            )
+    return findings
+
+
+CHECKER = ProjectChecker(
+    code=CODE,
+    name="exception-contract",
+    description="public API/CLI surfaces raise only errors.py types (call-graph raise-sets)",
+    run=check,
+    marker=MARKER,
+)

@@ -183,4 +183,5 @@ CHECKER = Checker(
     name="frozen-mutation",
     description="no mutation of frozen index storage outside the builder modules",
     run=check,
+    marker=MARKER,
 )

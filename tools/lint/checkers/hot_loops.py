@@ -6,13 +6,13 @@ instead of one Python frame per probe. A scalar ``for``/``while`` loop
 slipping into that module usually means someone "fixed" a kernel by
 iterating — a silent 10–100x regression the benchmarks only catch later.
 
-This checker flags every ``for``/``while`` statement in the configured
-hot-path modules unless the loop (or the line above it) carries an explicit
+This checker flags every ``for``/``while`` statement — and every
+comprehension or generator expression, which is the same per-element
+interpreter loop wearing nicer syntax — in the configured hot-path
+modules unless the loop (or the line above it) carries an explicit
 ``# lint: scalar-fallback (why)`` marker. The marker is a *claim reviewers
 can audit*: per-superstep driver loops and deliberate straggler fallbacks
-are fine, undeclared per-element iteration is not. Comprehensions and
-generator expressions are not flagged — they show up in setup code, not in
-the superstep loop, and rewriting them is a judgement call for review.
+are fine, undeclared per-element iteration is not.
 """
 
 from __future__ import annotations
@@ -28,22 +28,34 @@ MARKER = "scalar-fallback"
 #: Modules whose loops must be declared; relative-path suffixes.
 HOT_MODULES = ("index/kernels.py",)
 
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+_COMP_KIND = {
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+    ast.GeneratorExp: "generator expression",
+}
+
 
 def check(linted: LintedFile) -> List[Finding]:
     if not linted.rel.endswith(HOT_MODULES):
         return []
     findings: List[Finding] = []
     for node in ast.walk(linted.tree):
-        if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            kind = "`while` loop" if isinstance(node, ast.While) else "`for` loop"
+        elif isinstance(node, _COMPREHENSIONS):
+            kind = _COMP_KIND[type(node)]
+        else:
             continue
         if linted.suppressed(node, MARKER):
             continue
-        kind = "while" if isinstance(node, ast.While) else "for"
         findings.append(
             linted.finding(
                 node,
                 CODE,
-                f"scalar `{kind}` loop in hot-path module; vectorise it or "
+                f"scalar {kind} in hot-path module; vectorise it or "
                 "declare it with `# lint: scalar-fallback (why)`",
             )
         )
@@ -55,4 +67,5 @@ CHECKER = Checker(
     name="hot-loop",
     description="no undeclared scalar loops in hot-path (kernel) modules",
     run=check,
+    marker=MARKER,
 )

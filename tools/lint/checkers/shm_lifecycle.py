@@ -169,4 +169,5 @@ CHECKER = Checker(
     name="shm-lifecycle",
     description="SharedMemory creations paired with close()/unlink() cleanup",
     run=check,
+    marker=MARKER,
 )

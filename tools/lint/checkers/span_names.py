@@ -153,4 +153,5 @@ CHECKER = Checker(
     name="span-names",
     description="trace_span names are dotted lowercase catalogue literals",
     run=check,
+    marker=MARKER,
 )

@@ -1,8 +1,10 @@
 """Command-line front end: ``python -m tools.lint`` / ``repro-lint``.
 
 Exit status: 0 — clean; 1 — findings; 2 — usage errors (unknown check
-codes, missing paths). Output is one ``path:line:col: CODE message`` line
-per finding, ruff/gcc style, so editors and CI annotate it for free.
+codes, missing paths, unreadable baseline). Default output is one
+``path:line:col: CODE message`` line per finding, ruff/gcc style, so
+editors and CI annotate it for free; ``--format json`` and ``--format
+sarif`` emit machine-readable documents for artifact upload.
 """
 
 from __future__ import annotations
@@ -10,29 +12,48 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple, Union
 
-from .base import Checker, lint_paths
-from .checkers import ALL_CHECKERS
+from .base import Checker
+from .checkers import ALL_CHECKERS, ALL_PROJECT_CHECKERS, EVERY_CHECKER
+from .engine import lint_tree
+from .output import (
+    apply_baseline,
+    load_baseline,
+    render_json,
+    render_sarif,
+    render_text,
+    write_baseline,
+)
+from .project import ProjectChecker
 
 
-def _select_checkers(select: Optional[str]) -> List[Checker]:
+class UsageError(Exception):
+    """A bad invocation; the message goes to stderr and the exit code is 2."""
+
+
+def _select_checkers(
+    select: Optional[str],
+) -> Tuple[List[Checker], List[ProjectChecker]]:
     if not select:
-        return list(ALL_CHECKERS)
+        return list(ALL_CHECKERS), list(ALL_PROJECT_CHECKERS)
     wanted = {token.strip().upper() for token in select.split(",") if token.strip()}
-    by_code = {checker.code: checker for checker in ALL_CHECKERS}
-    by_name = {checker.name: checker for checker in ALL_CHECKERS}
-    chosen: List[Checker] = []
+    by_code = {checker.code: checker for checker in EVERY_CHECKER}
+    by_name = {checker.name: checker for checker in EVERY_CHECKER}
+    chosen: List[Union[Checker, ProjectChecker]] = []
     for token in sorted(wanted):
         checker = by_code.get(token) or by_name.get(token.lower())
         if checker is None:
-            raise SystemExit(
+            raise UsageError(
                 f"repro-lint: unknown check {token!r}; known: "
                 + ", ".join(sorted(by_code))
             )
         if checker not in chosen:
             chosen.append(checker)
-    return chosen
+    return (
+        [c for c in chosen if isinstance(c, Checker)],
+        [c for c in chosen if isinstance(c, ProjectChecker)],
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -54,32 +75,92 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--list-checks",
         action="store_true",
-        help="list registered checks and exit",
+        help="list registered checks (code, name, marker, description) and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="finding output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings to subtract",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        help="per-file finding cache (mtime+sha256 keyed) to read/update",
     )
     args = parser.parse_args(argv)
 
     if args.list_checks:
-        for checker in ALL_CHECKERS:
-            print(f"{checker.code}  {checker.name:<16} {checker.description}")
+        for checker in EVERY_CHECKER:
+            marker = checker.marker or "-"
+            print(
+                f"{checker.code}  {checker.name:<20} {marker:<22} "
+                f"{checker.description}"
+            )
         return 0
 
     try:
-        checkers = _select_checkers(args.select)
-    except SystemExit as exc:
-        if isinstance(exc.code, str):
-            print(exc.code, file=sys.stderr)
-            return 2
-        raise
+        return _run(args)
+    except UsageError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    file_checkers, project_checkers = _select_checkers(args.select)
 
     paths = [Path(p) for p in args.paths]
     missing = [str(p) for p in paths if not p.exists()]
     if missing:
-        print(f"repro-lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
-        return 2
+        raise UsageError(f"repro-lint: no such path(s): {', '.join(missing)}")
 
-    findings = lint_paths(paths, checkers, root=Path.cwd())
-    for finding in findings:
-        print(finding.render())
+    if args.write_baseline and not args.baseline:
+        raise UsageError("repro-lint: --write-baseline requires --baseline FILE")
+
+    findings = lint_tree(
+        paths,
+        file_checkers,
+        project_checkers,
+        root=Path.cwd(),
+        cache_path=Path(args.cache) if args.cache else None,
+    )
+
+    if args.write_baseline:
+        write_baseline(Path(args.baseline), findings)
+        print(
+            f"repro-lint: wrote {len(findings)} finding(s) to baseline "
+            f"{args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError) as exc:
+            raise UsageError(
+                f"repro-lint: unreadable baseline {args.baseline}: {exc}"
+            ) from exc
+        findings = apply_baseline(findings, baseline)
+
+    if args.format == "json":
+        print(render_json(findings))
+    elif args.format == "sarif":
+        print(render_sarif(findings, EVERY_CHECKER))
+    elif findings:
+        print(render_text(findings))
+
     if findings:
         print(
             f"repro-lint: {len(findings)} finding(s) in "

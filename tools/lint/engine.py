@@ -1,0 +1,194 @@
+"""The lint driver: parse once, run file checkers (cached), then project checkers.
+
+:func:`lint_tree` is what the CLI and the tests call. It expands the
+requested paths, parses each file into a
+:class:`~tools.lint.base.LintedFile` exactly once, runs the per-file
+checkers, builds one :class:`~tools.lint.project.Project` over every
+successfully parsed file, and runs the whole-program checkers on it.
+
+Caching
+-------
+With ``cache_path`` set, per-file checker findings are memoised keyed on
+``(size, mtime_ns, sha256)`` plus a salt covering the selected checker
+codes and the catalogue file's content (the one cross-file input the
+per-file checkers read). A hit skips re-running the file checkers for
+that file; the file is still *parsed* whenever project checkers are
+selected, because the symbol table needs every AST — the cache keeps the
+common CI pattern (two back-to-back runs for text + SARIF output) cheap,
+it does not make whole-program analysis incremental.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .base import (
+    Checker,
+    Finding,
+    LintedFile,
+    iter_python_files,
+)
+from .project import Project, ProjectChecker
+
+__all__ = ["lint_tree", "FindingCache"]
+
+#: Bump when finding semantics change so stale caches self-invalidate.
+_CACHE_VERSION = 1
+
+
+class FindingCache:
+    """Per-file finding memo, persisted as one JSON document."""
+
+    def __init__(self, path: Path, salt: str) -> None:
+        self.path = path
+        self.salt = salt
+        self._entries: Dict[str, dict] = {}
+        self._dirty = False
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+            if (
+                isinstance(raw, dict)
+                and raw.get("version") == _CACHE_VERSION
+                and raw.get("salt") == salt
+            ):
+                self._entries = raw.get("files", {})
+        except (OSError, ValueError):
+            pass
+
+    @staticmethod
+    def _fingerprint(path: Path, source: bytes) -> Tuple[int, int, str]:
+        stat = path.stat()
+        return (
+            stat.st_size,
+            stat.st_mtime_ns,
+            hashlib.sha256(source).hexdigest(),
+        )
+
+    def get(self, rel: str, path: Path, source: bytes) -> Optional[List[Finding]]:
+        entry = self._entries.get(rel)
+        if entry is None:
+            return None
+        size, mtime_ns, digest = self._fingerprint(path, source)
+        if (
+            entry.get("size") != size
+            or entry.get("mtime_ns") != mtime_ns
+            or entry.get("sha256") != digest
+        ):
+            return None
+        return [Finding(*row) for row in entry.get("findings", [])]
+
+    def put(
+        self, rel: str, path: Path, source: bytes, findings: Sequence[Finding]
+    ) -> None:
+        size, mtime_ns, digest = self._fingerprint(path, source)
+        self._entries[rel] = {
+            "size": size,
+            "mtime_ns": mtime_ns,
+            "sha256": digest,
+            "findings": [
+                [f.path, f.line, f.col, f.code, f.message] for f in findings
+            ],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": _CACHE_VERSION,
+            "salt": self.salt,
+            "files": self._entries,
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a cold cache next run is the only consequence
+
+
+def _cache_salt(
+    file_checkers: Sequence[Checker], root: Path
+) -> str:
+    """Checker selection + the cross-file inputs the file checkers read."""
+    parts = [",".join(sorted(c.code for c in file_checkers))]
+    catalogue = root / "src/repro/obs/catalogue.py"
+    if catalogue.is_file():
+        parts.append(
+            hashlib.sha256(catalogue.read_bytes()).hexdigest()
+        )
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+def _rel_of(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_tree(
+    paths: Sequence[Path],
+    file_checkers: Sequence[Checker],
+    project_checkers: Sequence[ProjectChecker] = (),
+    root: Optional[Path] = None,
+    cache_path: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint ``paths`` with per-file and whole-program checkers; sorted findings."""
+    base = root if root is not None else Path.cwd()
+    cache: Optional[FindingCache] = None
+    if cache_path is not None:
+        cache = FindingCache(cache_path, _cache_salt(file_checkers, base))
+
+    findings: List[Finding] = []
+    parsed: Dict[str, LintedFile] = {}
+    for path in iter_python_files(paths):
+        rel = _rel_of(path, base)
+        raw = path.read_bytes()
+        source = raw.decode("utf-8")
+
+        cached = cache.get(rel, path, raw) if cache is not None else None
+        need_parse = bool(project_checkers) or cached is None
+        linted: Optional[LintedFile] = None
+        if need_parse:
+            try:
+                linted = LintedFile(path, source, root=base)
+            except SyntaxError as exc:
+                if cached is None:
+                    syntax = Finding(
+                        path=rel,
+                        line=exc.lineno or 1,
+                        col=max(1, exc.offset or 1),
+                        code="RL000",
+                        message=f"syntax error: {exc.msg}",
+                    )
+                    findings.append(syntax)
+                    if cache is not None:
+                        cache.put(rel, path, raw, [syntax])
+                else:
+                    findings.extend(cached)
+                continue
+            parsed[rel] = linted
+
+        if cached is not None:
+            findings.extend(cached)
+        else:
+            assert linted is not None
+            file_findings: List[Finding] = []
+            for checker in file_checkers:
+                file_findings.extend(checker.run(linted))
+            findings.extend(file_findings)
+            if cache is not None:
+                cache.put(rel, path, raw, file_findings)
+
+    if project_checkers and parsed:
+        project = Project(parsed)
+        for project_checker in project_checkers:
+            findings.extend(project_checker.run(project))
+
+    if cache is not None:
+        cache.save()
+    return sorted(findings)

@@ -1,0 +1,136 @@
+"""Finding renderers (text / JSON / SARIF) and the baseline file.
+
+The baseline grandfathers findings without silencing the checker: a
+finding matches a baseline entry on ``(path, code, message)`` — line and
+column deliberately excluded, so unrelated edits that shift a
+grandfathered finding don't resurrect it, while any *new* finding (new
+message, new file) still fails the gate. The committed baseline is
+expected to be empty; it exists so a future emergency has a paved road
+that is visible in review instead of an ad-hoc ``--select`` dodge.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .base import Checker, Finding
+from .project import ProjectChecker
+
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]
+
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    return "\n".join(f.render() for f in findings)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    checkers: Iterable[Checker | ProjectChecker] = (),
+) -> str:
+    rules: List[Dict[str, object]] = [
+        {
+            "id": checker.code,
+            "name": checker.name,
+            "shortDescription": {"text": checker.description},
+        }
+        for checker in checkers
+    ]
+    results = [
+        {
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "startColumn": max(1, f.col),
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/internals.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def load_baseline(path: Path) -> Set[Tuple[str, str, str]]:
+    """``(path, code, message)`` triples grandfathered by ``path``."""
+    raw = json.loads(path.read_text(encoding="utf-8"))
+    entries = raw.get("findings", []) if isinstance(raw, dict) else []
+    out: Set[Tuple[str, str, str]] = set()
+    for entry in entries:
+        if isinstance(entry, dict):
+            out.add(
+                (
+                    str(entry.get("path", "")),
+                    str(entry.get("code", "")),
+                    str(entry.get("message", "")),
+                )
+            )
+    return out
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Set[Tuple[str, str, str]]
+) -> List[Finding]:
+    return [
+        f for f in findings if (f.path, f.code, f.message) not in baseline
+    ]
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    payload = {
+        "findings": [
+            {"path": f.path, "code": f.code, "message": f.message}
+            for f in sorted(findings)
+        ]
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,380 @@
+"""Whole-program structure for repro-lint: symbol table and call graph.
+
+A :class:`Project` is built once per lint run from the already-parsed
+:class:`~tools.lint.base.LintedFile` bundle of every file on the command
+line. It indexes module-level functions, classes and their methods,
+resolves imports between project modules, and answers "what does this
+call expression refer to?" — which is what the RL7xx/RL8xx/RL9xx
+checkers are built on.
+
+Resolution is deliberately pragmatic, tuned for this codebase's idiom
+rather than full Python semantics:
+
+* ``name(...)`` resolves through same-module ``def``s, ``from x import
+  name`` edges, and class constructors (``C()`` -> ``C.__init__``).
+* ``mod.func(...)`` resolves when ``mod`` is an imported project module.
+* ``self.meth(...)`` resolves within the enclosing class and its
+  project-defined bases.
+* ``obj.meth(...)`` on an unknown receiver has no *strict* resolution,
+  but :meth:`Project.methods_named` offers a *loose* any-class match for
+  checkers (RL701) that prefer over-approximation to blindness.
+
+Unresolvable calls (dynamic dispatch, external libraries) resolve to the
+empty tuple; checkers must treat that as "no information", never as
+"safe" or "unsafe" on its own.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .base import Finding, LintedFile
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "CallSite",
+    "Project",
+    "ProjectChecker",
+]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qualname: str  #: ``rel::name`` or ``rel::Class.name``
+    rel: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    linted: LintedFile
+    class_name: Optional[str] = None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and (textual) base names."""
+
+    name: str
+    rel: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...]  #: base expressions as dotted text, e.g. ``errors.ReproError``
+    methods: Dict[str, str] = field(default_factory=dict)  #: method -> qualname
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function, with its resolutions."""
+
+    node: ast.Call
+    #: Dotted text of the callee expression (``os.write``, ``self.cleanup``,
+    #: ``print``) — empty when the callee is not a name/attribute chain.
+    name_chain: str
+    #: Strictly resolved project callees (qualnames). Empty = unknown.
+    callees: Tuple[str, ...]
+
+
+def _dotted(node: ast.expr) -> str:
+    """``a.b.c`` as text for Name/Attribute chains, else ``""``."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _module_names(rel: str) -> List[str]:
+    """Dotted module names a project file answers to.
+
+    ``src/repro/core/api.py`` is importable as ``repro.core.api`` (the
+    ``src`` layout) — register both the full-path spelling and the
+    ``src``-stripped one so either import style resolves.
+    """
+    parts = rel[: -len(".py")].split("/") if rel.endswith(".py") else rel.split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if not parts:
+        return []
+    names = [".".join(parts)]
+    if parts[0] == "src" and len(parts) > 1:
+        names.append(".".join(parts[1:]))
+    return names
+
+
+class Project:
+    """Symbol table + call graph over one lint run's parsed files."""
+
+    def __init__(self, files: Dict[str, LintedFile]) -> None:
+        #: rel path -> parsed file, for every file that parsed cleanly.
+        self.files = files
+        #: dotted module name -> rel path.
+        self.modules: Dict[str, str] = {}
+        #: qualname -> FunctionInfo (module functions and methods).
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: rel -> module-level function name -> qualname.
+        self.module_functions: Dict[str, Dict[str, str]] = {}
+        #: rel -> class name -> ClassInfo.
+        self.classes: Dict[str, Dict[str, ClassInfo]] = {}
+        #: method name -> qualnames across all classes (loose index).
+        self._methods_named: Dict[str, List[str]] = {}
+        #: rel -> local alias -> ("module", dotted) | ("object", dotted_module, name).
+        self.imports: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        #: rel -> names assigned at module level (mutable-global candidates).
+        self.module_globals: Dict[str, Set[str]] = {}
+        self._callsites: Dict[str, List[CallSite]] = {}
+        for rel in files:
+            for dotted in _module_names(rel):
+                self.modules.setdefault(dotted, rel)
+        for rel, linted in files.items():
+            self._index_module(rel, linted)
+
+    # -- construction ------------------------------------------------------
+
+    def _index_module(self, rel: str, linted: LintedFile) -> None:
+        funcs: Dict[str, str] = {}
+        classes: Dict[str, ClassInfo] = {}
+        imports: Dict[str, Tuple[str, ...]] = {}
+        mod_globals: Set[str] = set()
+        package = _module_names(rel)[-1] if _module_names(rel) else ""
+
+        for stmt in linted.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{rel}::{stmt.name}"
+                funcs[stmt.name] = qual
+                self.functions[qual] = FunctionInfo(
+                    qualname=qual, rel=rel, name=stmt.name, node=stmt, linted=linted
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                info = ClassInfo(
+                    name=stmt.name,
+                    rel=rel,
+                    node=stmt,
+                    bases=tuple(filter(None, (_dotted(b) for b in stmt.bases))),
+                )
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qual = f"{rel}::{stmt.name}.{sub.name}"
+                        info.methods[sub.name] = qual
+                        self.functions[qual] = FunctionInfo(
+                            qualname=qual,
+                            rel=rel,
+                            name=sub.name,
+                            node=sub,
+                            linted=linted,
+                            class_name=stmt.name,
+                        )
+                        self._methods_named.setdefault(sub.name, []).append(qual)
+                classes[stmt.name] = info
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    imports[alias.asname or alias.name.split(".")[0]] = (
+                        "module",
+                        alias.name,
+                    )
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self._resolve_from(package, stmt)
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    target = f"{base}.{alias.name}" if base else alias.name
+                    if target in self.modules:
+                        imports[alias.asname or alias.name] = ("module", target)
+                    else:
+                        imports[alias.asname or alias.name] = (
+                            "object",
+                            base,
+                            alias.name,
+                        )
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for tgt in targets:
+                    for leaf in ast.walk(tgt):
+                        if isinstance(leaf, ast.Name):
+                            mod_globals.add(leaf.id)
+
+        self.module_functions[rel] = funcs
+        self.classes[rel] = classes
+        self.imports[rel] = imports
+        self.module_globals[rel] = mod_globals
+
+    @staticmethod
+    def _resolve_from(package: str, stmt: ast.ImportFrom) -> str:
+        """The absolute dotted module an ``ImportFrom`` draws from."""
+        if stmt.level == 0:
+            return stmt.module or ""
+        parts = package.split(".")
+        # level=1 strips the module's own name, deeper levels walk up.
+        parts = parts[: len(parts) - stmt.level]
+        if stmt.module:
+            parts.append(stmt.module)
+        return ".".join(parts)
+
+    # -- queries -----------------------------------------------------------
+
+    def module_rel(self, dotted: str) -> Optional[str]:
+        return self.modules.get(dotted)
+
+    def class_of(self, func: FunctionInfo) -> Optional[ClassInfo]:
+        if func.class_name is None:
+            return None
+        return self.classes.get(func.rel, {}).get(func.class_name)
+
+    def methods_named(self, name: str) -> Tuple[str, ...]:
+        """Loose resolution: every project method with this name."""
+        return tuple(self._methods_named.get(name, ()))
+
+    def function_for_name(self, rel: str, name: str) -> Tuple[str, ...]:
+        """Resolve a bare ``name`` used in module ``rel`` to qualnames."""
+        local = self.module_functions.get(rel, {}).get(name)
+        if local is not None:
+            return (local,)
+        cls = self.classes.get(rel, {}).get(name)
+        if cls is not None:
+            init = cls.methods.get("__init__")
+            return (init,) if init else ()
+        imp = self.imports.get(rel, {}).get(name)
+        if imp is None:
+            return ()
+        if imp[0] == "module":
+            return ()
+        _, module, orig = imp
+        target_rel = self.module_rel(module)
+        if target_rel is None:
+            return ()
+        if target_rel == rel and orig == name:  # self-import guard
+            return ()
+        return self.function_for_name(target_rel, orig)
+
+    def _class_chain(self, info: ClassInfo, seen: Set[str]) -> Iterable[ClassInfo]:
+        """``info`` and its project-defined base classes, MRO-ish order."""
+        key = f"{info.rel}::{info.name}"
+        if key in seen:
+            return
+        seen.add(key)
+        yield info
+        for base in info.bases:
+            resolved = self._resolve_class_name(info.rel, base)
+            if resolved is not None:
+                yield from self._class_chain(resolved, seen)
+
+    def _resolve_class_name(self, rel: str, dotted: str) -> Optional[ClassInfo]:
+        head, _, rest = dotted.partition(".")
+        if not rest:
+            local = self.classes.get(rel, {}).get(head)
+            if local is not None:
+                return local
+            imp = self.imports.get(rel, {}).get(head)
+            if imp is not None and imp[0] == "object":
+                target_rel = self.module_rel(imp[1])
+                if target_rel is not None:
+                    return self.classes.get(target_rel, {}).get(imp[2])
+            return None
+        # ``mod.Class``: resolve the module alias, then the class inside it.
+        imp = self.imports.get(rel, {}).get(head)
+        if imp is not None and imp[0] == "module":
+            target_rel = self.module_rel(imp[1])
+            if target_rel is not None and "." not in rest:
+                return self.classes.get(target_rel, {}).get(rest)
+        return None
+
+    def resolve_call(
+        self, func: FunctionInfo, call: ast.Call
+    ) -> Tuple[str, ...]:
+        """Strictly resolve one call inside ``func`` to project qualnames."""
+        callee = call.func
+        if isinstance(callee, ast.Name):
+            return self.function_for_name(func.rel, callee.id)
+        if isinstance(callee, ast.Attribute):
+            value = callee.value
+            if isinstance(value, ast.Name) and value.id == "self":
+                info = self.class_of(func)
+                if info is not None:
+                    for cls in self._class_chain(info, set()):
+                        qual = cls.methods.get(callee.attr)
+                        if qual is not None:
+                            return (qual,)
+                return ()
+            if isinstance(value, ast.Name):
+                # Module alias (``mod.func``) or classmethod-style ``C.meth``.
+                imp = self.imports.get(func.rel, {}).get(value.id)
+                if imp is not None and imp[0] == "module":
+                    target_rel = self.module_rel(imp[1])
+                    if target_rel is not None:
+                        return self.function_for_name(target_rel, callee.attr)
+                cls = self._resolve_class_name(func.rel, value.id)
+                if cls is not None:
+                    qual = cls.methods.get(callee.attr)
+                    return (qual,) if qual else ()
+        return ()
+
+    def callsites(self, func: FunctionInfo) -> List[CallSite]:
+        """Every call expression in ``func`` (memoised), with resolutions."""
+        cached = self._callsites.get(func.qualname)
+        if cached is not None:
+            return cached
+        sites: List[CallSite] = []
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Call):
+                # Skip calls that belong to a nested def (strictly
+                # intraprocedural ownership keeps raise-sets per function).
+                owner = func.linted.enclosing_function(node)
+                if owner is not func.node:
+                    continue
+                sites.append(
+                    CallSite(
+                        node=node,
+                        name_chain=_dotted(node.func),
+                        callees=self.resolve_call(func, node),
+                    )
+                )
+        self._callsites[func.qualname] = sites
+        return sites
+
+    def transitive_closure(
+        self, roots: Sequence[str], loose: bool = False
+    ) -> List[str]:
+        """Qualnames reachable from ``roots`` over the call graph.
+
+        With ``loose=True``, unresolved ``obj.meth(...)`` calls fan out to
+        *every* project method named ``meth`` — the over-approximation
+        RL701 wants for signal-handler closures.
+        """
+        seen: List[str] = []
+        seen_set: Set[str] = set()
+        stack = [q for q in roots if q in self.functions]
+        while stack:
+            qual = stack.pop()
+            if qual in seen_set:
+                continue
+            seen_set.add(qual)
+            seen.append(qual)
+            func = self.functions[qual]
+            for site in self.callsites(func):
+                targets = site.callees
+                if not targets and loose and isinstance(site.node.func, ast.Attribute):
+                    targets = self.methods_named(site.node.func.attr)
+                for target in targets:
+                    if target not in seen_set and target in self.functions:
+                        stack.append(target)
+        return seen
+
+
+@dataclass(frozen=True)
+class ProjectChecker:
+    """A whole-program check: runs once over the :class:`Project`."""
+
+    code: str
+    name: str
+    description: str
+    run: Callable[[Project], Iterable[Finding]] = field(compare=False)
+    marker: str = ""
