@@ -66,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_join.add_argument("--workers", type=int, default=None,
                         help="run the supervised parallel driver with this "
                         "many worker processes")
+    p_join.add_argument("--shards", type=int, default=None,
+                        help="run the sharded scale-out coordinator with "
+                        "this many independent nodes (each builds its own "
+                        "index; heartbeats, straggler speculation, "
+                        "whole-shard crash recovery); overrides --workers")
     p_join.add_argument("--retries", type=int, default=2,
                         help="re-dispatches per failed chunk (parallel only)")
     p_join.add_argument("--task-timeout", type=float, default=None,
@@ -175,7 +180,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         from .obs import MetricsRegistry
 
         registry = MetricsRegistry()
-    if args.workers is None:
+    if args.workers is None and args.shards is None:
         durable_flags = [
             name for name, value in (
                 ("--checkpoint", args.checkpoint),
@@ -187,9 +192,9 @@ def _cmd_join(args: argparse.Namespace) -> int:
         if durable_flags:
             raise InvalidParameterError(
                 f"{', '.join(durable_flags)} only apply to the parallel "
-                "driver; pass --workers as well"
+                "driver; pass --workers or --shards as well"
             )
-    if args.workers is not None:
+    if args.workers is not None or args.shards is not None:
         from contextlib import nullcontext
 
         from .core.parallel import parallel_join
@@ -201,8 +206,8 @@ def _cmd_join(args: argparse.Namespace) -> int:
         with scope, trace_span("join.run"):
             pairs, report = parallel_join(
                 r_collection, s_collection, method=args.method,
-                workers=args.workers, backend=args.backend,
-                retries=args.retries,
+                workers=args.workers, shards=args.shards,
+                backend=args.backend, retries=args.retries,
                 task_timeout=args.task_timeout, backoff=args.backoff,
                 fallback=not args.no_fallback, return_report=True,
                 checkpoint_dir=args.checkpoint, resume=args.resume,

@@ -95,6 +95,7 @@ def set_containment_join(
     stats: Optional[JoinStats] = None,
     backend: str = "python",
     workers: Optional[int] = None,
+    shards: Optional[int] = None,
     retries: Optional[int] = None,
     task_timeout: Optional[float] = None,
     backoff: Optional[float] = None,
@@ -147,8 +148,15 @@ def set_containment_join(
         crash), and ``deadline``/``memory_budget`` bound the run's wall
         clock and memory plan — see :func:`~repro.core.parallel
         .parallel_join` for the full durability contract. Supplying any of
-        these without ``workers`` is an error — they have no serial
-        meaning.
+        these without ``workers`` (or ``shards``) is an error — they have
+        no serial meaning.
+    shards:
+        When set, the join runs through the sharded scale-out coordinator
+        (:class:`~repro.core.shard.ShardCoordinator`) instead of the
+        worker pool: that many independent processes-as-nodes, each with
+        its own index copy, plus heartbeats, straggler speculation and
+        whole-shard crash recovery. The supervision and durability knobs
+        above apply unchanged; ``workers`` is ignored when both are set.
     metrics:
         Optional :class:`~repro.obs.registry.MetricsRegistry` installed
         for the duration of this call: phase spans (``join.run``,
@@ -174,7 +182,8 @@ def set_containment_join(
             return set_containment_join(
                 r_collection, s_collection, method=method, collect=collect,
                 callback=callback, stats=stats, backend=backend,
-                workers=workers, retries=retries, task_timeout=task_timeout,
+                workers=workers, shards=shards, retries=retries,
+                task_timeout=task_timeout,
                 backoff=backoff, checkpoint_dir=checkpoint_dir,
                 resume=resume, deadline=deadline,
                 memory_budget=memory_budget, **kwargs,
@@ -191,12 +200,12 @@ def set_containment_join(
         "memory_budget": memory_budget,
         "resume": resume if resume else None,
     }
-    if workers is None:
+    if workers is None and shards is None:
         set_knobs = [name for name, value in supervision.items() if value is not None]
         if set_knobs:
             raise InvalidParameterError(
                 f"{', '.join(set_knobs)} only apply to parallel joins; "
-                "pass workers= as well"
+                "pass workers= or shards= as well"
             )
     else:
         # Lazy import: parallel_join's workers call back into this function,
@@ -208,7 +217,7 @@ def set_containment_join(
         with trace_span("join.run"):
             pairs = parallel_join(
                 r_collection, s_collection, method=method, workers=workers,
-                backend=backend, **knobs, **kwargs,
+                shards=shards, backend=backend, **knobs, **kwargs,
             )
         sink = make_sink(collect, callback)
         for rid, sid in pairs:

@@ -54,7 +54,10 @@ import multiprocessing
 import time
 import uuid
 import warnings
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .shard import ShardPolicy
 
 from ..data.collection import SetCollection
 from ..errors import (
@@ -68,6 +71,7 @@ from ..index.inverted import InvertedIndex
 from ..index.storage import CSRInvertedIndex, HybridInvertedIndex, SharedCSRHandle
 from ..memory.meter import collection_footprint
 from ..obs.registry import active_or_null
+from ..obs.spans import trace_span
 from .api import BACKEND_METHODS, BACKENDS, set_containment_join
 from .order import build_order
 from .results import AttemptRecord, ChunkReport, JoinReport
@@ -81,7 +85,7 @@ from .runlog import (
 )
 from .supervisor import Supervisor
 
-__all__ = ["parallel_join", "split_collection"]
+__all__ = ["parallel_join", "split_collection", "build_method_index"]
 
 #: How the superset-side index ships to a worker: tagged payload resolved
 #: by :func:`_resolve_index` — ("direct"|"pickle", index), ("shm", handle),
@@ -147,6 +151,36 @@ def split_collection(
             "expected 'contiguous' or 'round_robin'"
         )
     return out
+
+
+def build_method_index(
+    s_collection: SetCollection,
+    method: str,
+    backend: str,
+    index: Optional[Union[InvertedIndex, CSRInvertedIndex]] = None,
+) -> Optional[Union[InvertedIndex, CSRInvertedIndex]]:
+    """The superset-side index this ``(method, backend)`` pair consumes.
+
+    One decision point shared by the driver (which builds once and ships
+    the result to every worker) and by shard nodes (which build their own
+    copy in-process — sharded runs share no memory across nodes). The
+    array-probing methods take the CSR/hybrid index directly; the
+    partitioned methods need the python index API (anchor lists,
+    ``build_local``) whatever the backend and repack per partition; the
+    baselines build their own structures and take no index at all. A
+    caller-provided ``index`` is converted when the backend needs the
+    array form, and passed through otherwise.
+    """
+    if backend != "python" and method in _ARRAY_INDEX_METHODS:
+        cls = HybridInvertedIndex if backend == "hybrid" else CSRInvertedIndex
+        if index is None:
+            return cls.build(s_collection)
+        if isinstance(index, InvertedIndex):
+            return cls.from_index(index)
+        return index
+    if index is None and method in _INDEX_METHODS:
+        return InvertedIndex.build(s_collection)
+    return index
 
 
 def _resolve_index(
@@ -221,6 +255,7 @@ def _admit_memory(
     max_chunks: int,
     backend: str,
     allow_split: bool,
+    index_shared: Optional[bool] = None,
 ) -> Tuple[int, int, List[str]]:
     """Fit the run under ``memory_budget`` bytes; returns the adjusted plan.
 
@@ -233,6 +268,11 @@ def _admit_memory(
     chunk split is fixed by the manifest) only caps workers. Raises
     :class:`InvalidParameterError` when even the minimal configuration
     (one worker, single-record chunks) exceeds the budget.
+
+    ``index_shared`` overrides the backend-derived sharing assumption:
+    sharded runs pass ``False`` because every shard node builds its own
+    index copy (no cross-shard shared memory), so even the array backends
+    pay the index per concurrent node there.
     """
     per_entry = _PY_BYTES_PER_ENTRY
     index_bytes = s_entries * (
@@ -240,7 +280,9 @@ def _admit_memory(
         if backend in ("csr", "hybrid")
         else _PY_BYTES_PER_ENTRY
     )
-    shared_index = backend in ("csr", "hybrid")
+    shared_index = (
+        backend in ("csr", "hybrid") if index_shared is None else index_shared
+    )
     fixed = index_bytes if shared_index else 0
     per_worker_index = 0 if shared_index else index_bytes
     avail = budget - fixed
@@ -300,6 +342,8 @@ def parallel_join(
     deadline: Optional[float] = None,
     memory_budget: Optional[int] = None,
     cancel: Optional[CancelToken] = None,
+    shards: Optional[int] = None,
+    shard_policy: Optional["ShardPolicy"] = None,
     **kwargs: Any,
 ) -> Union[List[Tuple[int, int]], Tuple[List[Tuple[int, int]], JoinReport]]:
     """Join with ``workers`` processes (defaults to the CPU count).
@@ -345,6 +389,17 @@ def parallel_join(
     ``memory_budget=`` (bytes) admission-controls the plan — oversized
     chunks are split and concurrency capped, each decision recorded in the
     report and warned as :class:`~repro.errors.DegradedExecutionWarning`.
+
+    **Sharding.** ``shards=N`` replaces the shared-memory worker pool with
+    the scale-out coordinator (:class:`~repro.core.shard.ShardCoordinator`):
+    N independent long-lived *nodes*, each building its own index copy —
+    no cross-shard shared memory — with per-shard heartbeats, straggler
+    speculation, and whole-shard crash recovery (``shard_policy=`` tunes
+    the thresholds). ``workers`` is ignored in this mode; ``retries``,
+    ``backoff``/``backoff_cap``, ``fallback``, ``faults`` and the whole
+    durability contract above apply unchanged, so a killed coordinator
+    resumes a sharded run exactly like a killed driver resumes a pooled
+    one.
     """
     workers = workers if workers is not None else multiprocessing.cpu_count()
     if workers < 1:
@@ -366,11 +421,29 @@ def parallel_join(
         )
     if resume and checkpoint_dir is None:
         raise InvalidParameterError("resume=True requires checkpoint_dir=")
+    if shards is not None and shards < 1:
+        raise InvalidParameterError(f"shards must be >= 1, got {shards}")
+    if shard_policy is not None and shards is None:
+        raise InvalidParameterError("shard_policy= requires shards=")
     if faults is None:
         faults = FaultPlan.from_env()
 
+    use_shards = shards is not None
+    policy: Optional["ShardPolicy"] = None
+    if use_shards:
+        # Lazy import: shard.py consumes this module's job machinery, so
+        # the modules are mutually recursive by design (as with api.py).
+        from .shard import ShardCoordinator, ShardPolicy
+
+        policy = shard_policy if shard_policy is not None else ShardPolicy()
+
     n_records = len(r_collection)
-    num_chunks = workers
+    if shards is not None and policy is not None:
+        # More chunks than shards keeps requeue/speculation granular: a
+        # dead shard re-runs a slice of its work, not all of it.
+        num_chunks = shards * policy.chunks_per_shard
+    else:
+        num_chunks = workers
     runlog: Optional[RunLog] = None
     completed: Dict[int, List[Tuple[int, int]]] = {}
     discarded: List[int] = []
@@ -393,16 +466,22 @@ def parallel_join(
 
     admission_notes: List[str] = []
     if memory_budget is not None and n_records > 0:
-        num_chunks, workers, admission_notes = _admit_memory(
+        concurrency = shards if shards is not None else workers
+        num_chunks, concurrency, admission_notes = _admit_memory(
             memory_budget,
             collection_footprint(r_collection),
             collection_footprint(s_collection),
-            workers,
+            concurrency,
             num_chunks,
             max_chunks=n_records,
             backend=backend,
             allow_split=runlog is None,
+            index_shared=False if use_shards else None,
         )
+        if use_shards:
+            shards = concurrency
+        else:
+            workers = concurrency
         for note in admission_notes:
             warnings.warn(note, DegradedExecutionWarning, stacklevel=2)
 
@@ -461,19 +540,13 @@ def parallel_join(
         ) + 1
         extra["order"] = build_order(s_collection, universe=universe)
 
-    shared_index = index
-    if backend != "python" and method in _ARRAY_INDEX_METHODS:
-        cls = HybridInvertedIndex if backend == "hybrid" else CSRInvertedIndex
-        if shared_index is None:
-            shared_index = cls.build(s_collection)
-        elif isinstance(shared_index, InvertedIndex):
-            shared_index = cls.from_index(shared_index)
-    elif shared_index is None and method in _INDEX_METHODS:
-        # Partitioned methods need the python index API in-worker whatever
-        # the probing backend; they repack per partition themselves.
-        shared_index = InvertedIndex.build(s_collection)
+    shared_index = (
+        None
+        if use_shards
+        else build_method_index(s_collection, method, backend, index)
+    )
 
-    in_process = len(chunks) == 1 or workers == 1
+    in_process = not use_shards and (len(chunks) == 1 or workers == 1)
     handle: Optional[SharedCSRHandle] = None
     fork_token: Optional[int] = None
     own_token = cancel is None
@@ -541,6 +614,35 @@ def parallel_join(
                     cancel=token,
                     deadline_mark=deadline_mark,
                 )
+            elif shards is not None and policy is not None:
+                coordinator = ShardCoordinator(
+                    chunks=chunks,
+                    s_collection=s_collection,
+                    method=method,
+                    backend=backend,
+                    extra=extra,
+                    kwargs=kwargs,
+                    shards=shards,
+                    policy=policy,
+                    retries=retries,
+                    backoff=backoff,
+                    backoff_cap=backoff_cap,
+                    fallback=fallback,
+                    plan=faults,
+                    make_job=make_job,
+                    runner=_join_chunk,
+                    on_result=on_result,
+                    cancel=token,
+                    deadline_mark=deadline_mark,
+                    completed=completed,
+                )
+                by_chunk = coordinator.run()
+                with trace_span("shard.merge"):
+                    # Deterministic merge order — chunk id, not settle
+                    # order — keeps the pair set byte-identical to serial
+                    # however speculation and requeues shuffled the work.
+                    results = [by_chunk[i] for i in range(len(chunks))]
+                report = coordinator.report
             else:
                 supervisor = Supervisor(
                     num_chunks=len(chunks),

@@ -26,6 +26,7 @@ __all__ = [
     "make_sink",
     "AttemptRecord",
     "ChunkReport",
+    "ShardReport",
     "JoinReport",
 ]
 
@@ -182,11 +183,16 @@ class AttemptRecord:
     ``mode`` is the index-payload path the attempt used — ``"shm"``,
     ``"fork"``, ``"pickle"``, ``"none"`` (no shared index), ``"direct"``
     (in-process fast path), ``"local"`` (the in-process degradation
-    fallback) or ``"checkpoint"`` (the result was loaded from a verified
-    spill, not computed). ``outcome`` is ``"ok"``, ``"error"`` (worker
-    raised), ``"crash"`` (worker died without a result), ``"timeout"``
-    (killed at the ``task_timeout`` deadline) or ``"resumed"`` (settled
-    from the checkpoint with ``number=0`` and zero duration).
+    fallback), ``"shard"`` (dispatched to a shard node, see
+    :mod:`repro.core.shard`) or ``"checkpoint"`` (the result was loaded
+    from a verified spill, not computed). ``outcome`` is ``"ok"``,
+    ``"error"`` (worker raised), ``"crash"`` (worker died without a
+    result), ``"timeout"`` (killed at the ``task_timeout`` deadline),
+    ``"resumed"`` (settled from the checkpoint with ``number=0`` and zero
+    duration) or ``"superseded"`` (a duplicate shard dispatch that lost
+    the first-settle-wins race — its result, if any, was discarded).
+
+    ``shard`` is the shard-node id the attempt ran on (sharded runs only).
     """
 
     number: int
@@ -194,6 +200,7 @@ class AttemptRecord:
     outcome: str
     duration: float
     error: Optional[str] = None
+    shard: Optional[int] = None
 
 
 @dataclass
@@ -224,6 +231,26 @@ class ChunkReport:
 
 
 @dataclass
+class ShardReport:
+    """One shard node's history across a sharded run (all incarnations).
+
+    ``incarnations`` counts processes spawned under this shard id (1 for a
+    shard that never died); ``deaths`` counts hard exits *detected* —
+    EOF/exit-code crashes and heartbeat-miss kills alike — so
+    ``incarnations == deaths`` means the shard was dead at run end and
+    ``incarnations == deaths + 1`` means its last incarnation survived.
+    ``settled`` lists the chunk ids this shard won, in settle order.
+    """
+
+    shard: int
+    incarnations: int = 1
+    settled: List[int] = field(default_factory=list)
+    deaths: int = 0
+    heartbeat_misses: int = 0
+    last_error: Optional[str] = None
+
+
+@dataclass
 class JoinReport:
     """Structured account of a supervised :func:`parallel_join` run.
 
@@ -244,6 +271,14 @@ class JoinReport:
     resumed_chunks: List[int] = field(default_factory=list)
     reexecuted_chunks: List[int] = field(default_factory=list)
     checkpoint_dir: Optional[str] = None
+    #: Sharded-run provenance (``shards=``): one :class:`ShardReport` per
+    #: shard id, chunk ids that received a speculative duplicate dispatch,
+    #: the subset of those the *speculative* attempt won, and how many dead
+    #: shard incarnations were respawned.
+    shards: List["ShardReport"] = field(default_factory=list)
+    speculated_chunks: List[int] = field(default_factory=list)
+    speculation_wins: List[int] = field(default_factory=list)
+    shard_restarts: int = 0
 
     @property
     def total_attempts(self) -> int:
@@ -275,6 +310,19 @@ class JoinReport:
         ]
         if self.fault_plan:
             lines.append(f"fault plan: {self.fault_plan}")
+        if self.shards:
+            lines.append(
+                f"shards={len(self.shards)} restarts={self.shard_restarts} "
+                f"speculated={len(self.speculated_chunks)} "
+                f"speculation_wins={len(self.speculation_wins)}"
+            )
+            for s in self.shards:
+                state = "dead" if s.deaths >= s.incarnations else "alive"
+                lines.append(
+                    f"  shard {s.shard}: incarnations={s.incarnations} "
+                    f"deaths={s.deaths} settled={len(s.settled)} [{state}]"
+                    + (f" last_error={s.last_error}" if s.last_error else "")
+                )
         if self.checkpoint_dir is not None:
             lines.append(
                 f"checkpoint: {self.checkpoint_dir} "

@@ -65,7 +65,7 @@ from ..obs.spans import trace_span
 from .results import AttemptRecord, ChunkReport, JoinReport
 from .runlog import CancelToken
 
-__all__ = ["Supervisor", "SHM_FAILURE_THRESHOLD"]
+__all__ = ["Supervisor", "SHM_FAILURE_THRESHOLD", "interruptible_wait"]
 
 #: Attempt-outcome label -> counter name (see repro.obs.catalogue).
 _OUTCOME_COUNTERS = {
@@ -82,6 +82,36 @@ SHM_FAILURE_THRESHOLD = 2
 #: Grace period between SIGTERM and SIGKILL for a worker past its deadline,
 #: and the join() allowance for a worker that already sent its result.
 _KILL_GRACE = 1.0
+
+def interruptible_wait(
+    timeout: float,
+    cancel: Optional[CancelToken] = None,
+    deadline_mark: Optional[float] = None,
+    extra: Tuple[Any, ...] = (),
+) -> None:
+    """Sleep up to ``timeout`` seconds, waking early on any abort signal.
+
+    A capped-backoff delay must never outlive the reasons to keep waiting:
+    a cancellation (SIGINT/SIGTERM routed into the :class:`CancelToken`),
+    the run's absolute deadline, or any handle in ``extra`` becoming ready
+    (the shard coordinator passes live process sentinels here, so a shard
+    dying mid-backoff reschedules its work immediately). Anything with a
+    ``fileno()`` — tokens, pipe connections, raw sentinel fds — is a valid
+    ``extra`` entry. Falls back to a plain bounded sleep when there is
+    nothing to watch.
+    """
+    if deadline_mark is not None:
+        timeout = min(timeout, max(0.0, deadline_mark - time.monotonic()))
+    if timeout <= 0:
+        return
+    handles: List[Any] = list(extra)
+    if cancel is not None:
+        handles.append(cancel)
+    if handles:
+        wait(handles, timeout=timeout)
+    else:
+        time.sleep(timeout)
+
 
 #: A job tuple as consumed by ``repro.core.parallel._join_chunk``.
 _Job = Tuple[Any, ...]
@@ -327,12 +357,15 @@ class Supervisor:
             timeout = self._next_wakeup(pending, time.monotonic())
             handles: List[Any] = [a.conn for a in self._running]
             handles.extend(a.process.sentinel for a in self._running)
-            if self._cancel is not None:
-                handles.append(self._cancel)
             if handles:
+                if self._cancel is not None:
+                    handles.append(self._cancel)
                 wait(handles, timeout=timeout)
-            elif timeout is not None and timeout > 0:
-                time.sleep(timeout)
+            elif timeout is not None:
+                # Nothing in flight — everything pending sits in a capped
+                # retry backoff. The wait must still abort the moment a
+                # cancel or the deadline lands, not sleep the backoff out.
+                interruptible_wait(timeout, self._cancel, self._deadline_at)
             self._check_abort()
             for attempt in list(self._running):
                 outcome = self._poll(attempt)

@@ -20,17 +20,28 @@ defined points of the worker lifecycle:
   truncated spill *bypassing* the atomic-rename protocol and then exits
   (what a torn write looks like after a power cut), and ``diskfull`` makes
   the spill raise ``ENOSPC`` (checkpointing degrades to off; the join
-  itself continues).
+  itself continues);
+* **shard** — in a shard node (:mod:`repro.core.shard`), as it picks up a
+  job: ``kill`` hard-exits the whole node (the coordinator sees EOF plus
+  the exit code — a dead machine), ``hang`` stops the node's heartbeats
+  and sleeps (a live-but-wedged machine, caught only by heartbeat-miss
+  detection), and ``slow`` sleeps while heartbeats *continue* (a healthy
+  straggler, caught only by runtime-quantile speculation).
 
 Spec grammar (``REPRO_FAULTS`` environment variable or ``FaultPlan.parse``)::
 
     spec    = rule (";" rule)*          # "," also accepted as a separator
     rule    = chunk ":" attempt ":" action ["@" prob] ["=" arg]
+            | "shard" ":" shard ":" shard_action ["@" prob] ["=" arg]
     chunk   = int | "*"                 # chunk id (0-based) or any chunk
     attempt = int | "*"                 # attempt number (1-based) or any
+    shard   = int | "*"                 # shard id (0-based) or any shard
     action  = "crash" | "hang" | "raise" | "shmfail"
             | "driverkill" | "diskfull" | "torn"
-    arg     = float                     # hang duration seconds (default 3600)
+    shard_action = "kill" | "hang" | "slow"
+    arg     = float                     # hang/slow duration seconds, or for
+                                        # shard kill the last incarnation
+                                        # that still dies (respawns survive)
     prob    = float in (0, 1]           # fire probability (default 1)
 
 Unknown actions are rejected at parse time with an error naming the valid
@@ -38,7 +49,9 @@ set. Examples: ``*:1:crash`` crashes every worker exactly once (each
 chunk's first attempt); ``0:*:hang=120`` hangs chunk 0 on every attempt;
 ``*:1:crash@0.5`` crashes roughly half the chunks' first attempts;
 ``1:*:driverkill`` kills the driver immediately after chunk 1's result is
-durably checkpointed.
+durably checkpointed; ``shard:0:kill=1`` kills shard 0's first incarnation
+at its first job pickup (its respawn completes normally);
+``shard:2:slow=30`` makes shard 2 a 30-second straggler on every job.
 
 Probabilistic rules stay **reproducible**: whether a rule fires is a pure
 function of ``(seed, chunk, attempt, action)`` hashed through SHA-256 —
@@ -63,6 +76,7 @@ __all__ = [
     "FaultPlan",
     "ACTIONS",
     "CHECKPOINT_ACTIONS",
+    "SHARD_ACTIONS",
     "FAULTS_ENV",
     "FAULTS_SEED_ENV",
 ]
@@ -80,12 +94,20 @@ ACTIONS = ("crash", "hang", "raise", "shmfail", "driverkill", "diskfull", "torn"
 #: these target the *driver* process, not a worker.
 CHECKPOINT_ACTIONS = ("driverkill", "diskfull", "torn")
 
+#: Actions legal on the ``shard`` stage — they target a whole shard node
+#: (:mod:`repro.core.shard`), not one chunk attempt.
+SHARD_ACTIONS = ("kill", "hang", "slow")
+
 #: Exit code used by injected crashes, distinctive in worker exit status.
 CRASH_EXIT_CODE = 66
 
 #: Default sleep for ``hang`` — long enough that any sane ``task_timeout``
 #: expires first.
 DEFAULT_HANG_SECONDS = 3600.0
+
+#: Default sleep for a shard ``slow`` fault — long enough to trip any sane
+#: speculation threshold, short enough not to stall a test run forever.
+DEFAULT_SLOW_SECONDS = 2.0
 
 
 class FaultInjected(ReproError, RuntimeError):
@@ -100,6 +122,11 @@ class FaultRule:
     the spec grammar). ``attempt`` numbering is 1-based — attempt 1 is the
     first dispatch, so ``attempt=1`` rules model transient faults that a
     single retry absorbs.
+
+    ``stage="shard"`` rules reuse the ``chunk`` slot for the *shard id*
+    (``attempt`` is always ``None`` for them) and carry a
+    :data:`SHARD_ACTIONS` action; they fire when the named shard picks up
+    any job, whatever the chunk.
     """
 
     chunk: Optional[int]
@@ -107,11 +134,24 @@ class FaultRule:
     action: str
     arg: Optional[float] = None
     prob: float = 1.0
+    stage: str = "task"
 
     def __post_init__(self) -> None:
-        if self.action not in ACTIONS:
+        if self.stage == "shard":
+            if self.action not in SHARD_ACTIONS:
+                raise InvalidParameterError(
+                    f"unknown shard fault action {self.action!r}; "
+                    f"expected one of {SHARD_ACTIONS}"
+                )
+        elif self.stage == "task":
+            if self.action not in ACTIONS:
+                raise InvalidParameterError(
+                    f"unknown fault action {self.action!r}; "
+                    f"expected one of {ACTIONS}"
+                )
+        else:
             raise InvalidParameterError(
-                f"unknown fault action {self.action!r}; expected one of {ACTIONS}"
+                f"unknown fault stage {self.stage!r}; expected 'task' or 'shard'"
             )
         if not 0.0 < self.prob <= 1.0:
             raise InvalidParameterError(
@@ -119,8 +159,15 @@ class FaultRule:
             )
 
     def matches(self, chunk: int, attempt: int) -> bool:
-        return (self.chunk is None or self.chunk == chunk) and (
-            self.attempt is None or self.attempt == attempt
+        return (
+            self.stage == "task"
+            and (self.chunk is None or self.chunk == chunk)
+            and (self.attempt is None or self.attempt == attempt)
+        )
+
+    def matches_shard(self, shard_id: int) -> bool:
+        return self.stage == "shard" and (
+            self.chunk is None or self.chunk == shard_id
         )
 
 
@@ -143,9 +190,18 @@ def _parse_rule(text: str) -> FaultRule:
     if len(parts) != 3:
         raise InvalidParameterError(
             f"bad fault rule {text!r}: expected 'chunk:attempt:action[@prob][=arg]'"
+            " or 'shard:<id>:action[@prob][=arg]'"
         )
-    chunk = _parse_part(parts[0].strip(), "chunk")
-    attempt = _parse_part(parts[1].strip(), "attempt")
+    stage = "task"
+    attempt: Optional[int] = None
+    if parts[0].strip() == "shard":
+        # The first field cannot collide with the chunk grammar: chunk ids
+        # are integers or '*', never the literal word "shard".
+        stage = "shard"
+        chunk = _parse_part(parts[1].strip(), "shard")
+    else:
+        chunk = _parse_part(parts[0].strip(), "chunk")
+        attempt = _parse_part(parts[1].strip(), "attempt")
     action = parts[2].strip()
     arg: Optional[float] = None
     prob = 1.0
@@ -165,7 +221,7 @@ def _parse_rule(text: str) -> FaultRule:
             raise InvalidParameterError(
                 f"bad fault probability {prob_text!r} in rule {text!r}"
             ) from None
-    return FaultRule(chunk, attempt, action.strip(), arg=arg, prob=prob)
+    return FaultRule(chunk, attempt, action.strip(), arg=arg, prob=prob, stage=stage)
 
 
 class FaultPlan:
@@ -271,6 +327,39 @@ class FaultPlan:
                 "shared-memory attach failure"
             )
 
+    def rule_for_shard(
+        self, shard_id: int, incarnation: int, chunk: int
+    ) -> Optional[FaultRule]:
+        """The shard-stage rule (if any) firing as this job is picked up.
+
+        Like :meth:`rule_for_checkpoint` this returns the rule instead of
+        applying it — ``hang`` must first silence the node's heartbeat
+        thread and ``kill`` must take down the whole process, so
+        :mod:`repro.core.shard` interprets the action at the exact protocol
+        point each one models. A ``kill`` rule with an ``arg`` fires only
+        while ``incarnation <= arg``, so ``shard:0:kill=1`` kills the first
+        incarnation and lets the respawn live (the restart-recovery test
+        shape); without an arg every incarnation dies. Probabilistic rules
+        hash ``(seed, shard, incarnation, chunk, action)``, so parent and
+        respawned nodes agree deterministically on what fires where.
+        """
+        for rule in self.rules:
+            if not rule.matches_shard(shard_id):
+                continue
+            if rule.action == "kill" and rule.arg is not None and incarnation > rule.arg:
+                continue
+            if rule.prob < 1.0:
+                key = (
+                    f"{self.seed}:shard:{shard_id}:{incarnation}:"
+                    f"{chunk}:{rule.action}"
+                ).encode()
+                digest = hashlib.sha256(key).digest()
+                fraction = int.from_bytes(digest[:8], "big") / 2**64
+                if fraction >= rule.prob:
+                    continue
+            return rule
+        return None
+
     def rule_for_checkpoint(self, chunk: int, attempt: int) -> Optional[FaultRule]:
         """The driver-stage rule (if any) for this chunk's spill.
 
@@ -282,12 +371,16 @@ class FaultPlan:
         return self.rule_for(chunk, attempt, CHECKPOINT_ACTIONS)
 
     def describe(self) -> str:
-        """Human-readable one-liner for logs and reports."""
+        """Spec-grammar one-liner for logs and reports (reparses to itself)."""
 
         def part(rule: FaultRule) -> str:
             c = "*" if rule.chunk is None else str(rule.chunk)
-            a = "*" if rule.attempt is None else str(rule.attempt)
             suffix = "" if rule.prob >= 1.0 else f"@{rule.prob}"
+            if rule.arg is not None:
+                suffix += f"={rule.arg:g}"
+            if rule.stage == "shard":
+                return f"shard:{c}:{rule.action}{suffix}"
+            a = "*" if rule.attempt is None else str(rule.attempt)
             return f"{c}:{a}:{rule.action}{suffix}"
 
         return ";".join(part(rule) for rule in self.rules)

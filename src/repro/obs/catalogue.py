@@ -32,6 +32,8 @@ SPAN_CATALOGUE = frozenset(
         "tree.traverse",  # Algorithm 2: repeated postorder traversals
         "probe.loop",  # the cross-cutting probe loop over R's records
         "parallel.supervise",  # the supervisor's dispatch/retry event loop
+        "shard.dispatch",  # the shard coordinator's assign/heartbeat/respawn loop
+        "shard.merge",  # merging settled shard results in chunk-id order
         "checkpoint.write",  # one durable chunk spill (temp → fsync → rename)
         "checkpoint.resume",  # scanning/validating spills on a resumed run
         "pubsub.rebuild",  # broker subscription-tree rebuild (compaction)
@@ -97,6 +99,13 @@ COUNTER_CATALOGUE = {
     "supervisor.deadline_aborts": "runs aborted at the overall deadline",
     "supervisor.memory_splits": "admission-control chunk-split decisions",
     "supervisor.memory_caps": "admission-control worker-cap decisions",
+    # -- shard.*: the scale-out coordinator --
+    "shard.assigned": "chunk dispatches sent to shard nodes (incl. duplicates)",
+    "shard.settled": "chunks settled by a shard result (first settle wins)",
+    "shard.speculated": "speculative duplicate dispatches issued for stragglers",
+    "shard.speculation_wins": "chunks won by the speculative attempt",
+    "shard.restarts": "dead shard incarnations respawned",
+    "shard.heartbeat_misses": "shards declared dead for missing heartbeats",
     # -- checkpoint.*: the durable run log --
     "checkpoint.chunks_written": "chunk spills durably committed",
     "checkpoint.bytes_written": "bytes committed to chunk spills",
