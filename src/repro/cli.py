@@ -7,6 +7,7 @@ Subcommands
 ``generate``  — write a synthetic Zipf or real-world-surrogate dataset file.
 ``stats``     — print Table II-style statistics and the z-value of a file.
 ``compare``   — run several methods on one dataset and print a comparison.
+``serve``     — resident join service over a line-delimited JSON socket.
 
 All dataset files are one whitespace-separated set per line; ``--tokens``
 treats tokens as strings (hashed through a shared dictionary), otherwise
@@ -158,6 +159,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_self.add_argument("--seed", type=int, default=0)
     p_self.add_argument("--methods", default=None,
                         help="comma-separated subset (default: all)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="resident join service over a line-delimited JSON socket",
+    )
+    p_serve.add_argument(
+        "dataset", nargs="?", default=None,
+        help="optional dataset file to pre-load into the resident index",
+    )
+    p_serve.add_argument("--tokens", action="store_true",
+                         help="treat dataset tokens as strings")
+    p_serve.add_argument("--max-sets", type=int, default=None)
+    p_serve.add_argument("--socket", default=None, metavar="PATH",
+                         help="serve on a unix domain socket at PATH")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="TCP bind host (with --port)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="serve on TCP host:port (0 picks a free port)")
+    p_serve.add_argument("--backend", default="csr", choices=["csr", "hybrid"],
+                         help="resident index representation")
+    p_serve.add_argument("--compact-ratio", type=float, default=0.5,
+                         help="tombstone fraction that triggers compaction")
+    p_serve.add_argument("--delta-ratio", type=float, default=0.25,
+                         help="delta-to-base token fraction that triggers "
+                         "compaction")
+    p_serve.add_argument("--memory-budget", type=int, default=None,
+                         metavar="BYTES",
+                         help="refuse writes once the resident footprint "
+                         "reaches BYTES (admission control)")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="requests drained per connection per wake")
+    p_serve.add_argument("--metrics", nargs="?", const="", default=None,
+                         metavar="PATH",
+                         help="collect serve.* counters and spans; prints "
+                         "the phase table to stderr at shutdown, or writes "
+                         "the JSON report to PATH when one is given")
     return parser
 
 
@@ -364,6 +401,69 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    from .core.runlog import CancelToken, signal_cancellation
+    from .serve.server import JoinServer
+    from .serve.state import ServeState
+
+    if (args.socket is None) == (args.port is None):
+        raise InvalidParameterError(
+            "pass exactly one of --socket PATH or --port N"
+        )
+    s_collection = None
+    if args.dataset is not None:
+        s_collection, __ = _load(args.dataset, args.tokens, args.max_sets)
+    registry = None
+    if args.metrics is not None:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    from .obs.registry import use_registry
+
+    scope = use_registry(registry) if registry is not None else nullcontext()
+    token = CancelToken()
+    with scope:
+        state = ServeState(
+            s_collection,
+            backend=args.backend,
+            compact_ratio=args.compact_ratio,
+            delta_ratio=args.delta_ratio,
+            memory_budget=args.memory_budget,
+        )
+        server = JoinServer(
+            state,
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            cancel=token,
+        )
+        address = server.address
+        if isinstance(address, tuple):
+            print(f"# listening on {address[0]}:{address[1]}", file=sys.stderr)
+        else:
+            print(f"# listening on {address}", file=sys.stderr)
+        sys.stderr.flush()
+        try:
+            with signal_cancellation(token):
+                server.serve_forever()
+        finally:
+            server.close()
+        if registry is not None:
+            state.flush_latency_gauges(registry)
+    if registry is not None:
+        from .obs.export import phase_table, write_json
+
+        if args.metrics:
+            write_json(registry, args.metrics)
+            print(f"# metrics written to {args.metrics}", file=sys.stderr)
+        else:
+            print(phase_table(registry), file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -377,6 +477,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workloads": _cmd_workloads,
         "compare": _cmd_compare,
         "selftest": _cmd_selftest,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -23,6 +23,10 @@ __all__ = [
     "JoinCancelledError",
     "DeadlineExceededError",
     "DegradedExecutionWarning",
+    "ServeError",
+    "ServeProtocolError",
+    "AdmissionRejectedError",
+    "RequestDeadlineError",
 ]
 
 
@@ -137,6 +141,43 @@ class DegradedExecutionWarning(UserWarning):
     chunk — shm → pickle payload, or worker → in-process execution — so
     callers notice that results were computed correctly but more slowly.
     Not a :class:`ReproError`: the join still returned the exact pair set.
+    """
+
+
+class ServeError(ReproError):
+    """The resident join server failed to start, bind, or tear down.
+
+    Wraps the ``OSError`` family at the serve boundary so the CLI's
+    exception contract (RL801: everything crossing ``cli.main`` is an
+    :mod:`repro.errors` type) holds for socket failures too.
+    """
+
+
+class ServeProtocolError(ServeError):
+    """A client request violated the line-delimited JSON protocol.
+
+    Answered over the wire as an ``error_kind: "bad_request"`` response;
+    only malformed *transport* (unparseable framing on a stream that can
+    no longer be trusted) tears the connection down.
+    """
+
+
+class AdmissionRejectedError(ServeError):
+    """A write was refused by the server's memory-budget admission control.
+
+    The request was well-formed; the server declined it because accepting
+    the bytes would push the resident footprint past ``--memory-budget``.
+    Mapped to ``error_kind: "admission_rejected"`` — clients may retry
+    after deletes or a compaction shrink the footprint.
+    """
+
+
+class RequestDeadlineError(ServeError):
+    """A request's deadline expired before or while it was being served.
+
+    Mirrors :class:`DeadlineExceededError` at request granularity: the
+    batch-query loop polls the deadline between records and abandons the
+    remainder. Mapped to ``error_kind: "deadline_exceeded"``.
     """
 
 

@@ -8,9 +8,12 @@ from .kernels import (
     cross_cut_collection_csr,
     cross_cut_record_csr,
 )
-from .prefix_tree import PrefixTree, TreeNode
+from .prefix_tree import IncrementalPrefixTree, PrefixTree, TreeNode, TrieSnapshot
 from .storage import (
     CSRInvertedIndex,
+    DeltaSegment,
+    IncrementalIndex,
+    IndexSnapshot,
     SharedCSRHandle,
     load_collection_binary,
     load_index,
@@ -31,9 +34,14 @@ from .search import (
 __all__ = [
     "InvertedIndex",
     "CSRInvertedIndex",
+    "DeltaSegment",
+    "IncrementalIndex",
+    "IndexSnapshot",
     "SharedCSRHandle",
     "PrefixTree",
     "TreeNode",
+    "TrieSnapshot",
+    "IncrementalPrefixTree",
     "save_collection_binary",
     "load_collection_binary",
     "save_index",

@@ -25,12 +25,25 @@ be reused across runs and across partition-local indexes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.order import GlobalOrder
 from ..data.collection import SetCollection
+from ..errors import InvalidParameterError
+from ..obs import registry as _obs
 
-__all__ = ["TreeNode", "PrefixTree"]
+__all__ = ["TreeNode", "PrefixTree", "TrieSnapshot", "IncrementalPrefixTree"]
 
 #: Shared empty rid-list; identity-compared nowhere, equality everywhere.
 _EMPTY: Tuple[int, ...] = ()
@@ -188,6 +201,50 @@ class PrefixTree:
             stack.extend(node.children)
         self.compressed = True
 
+    # -- incremental rebuild ------------------------------------------------
+
+    def live_paths(
+        self, dead: AbstractSet[int]
+    ) -> Iterator[Tuple[Tuple[int, ...], List[int]]]:
+        """``(path elements in tree order, surviving rids)`` per end-marker.
+
+        Paths accumulate the element tuples along each root-to-end-marker
+        walk, so they come out already sorted in ``self.order`` (for
+        Patricia trees the merged tuples concatenate back into the original
+        ordered prefix). End-markers whose rids are all in ``dead`` are
+        skipped entirely.
+        """
+        stack: List[Tuple[TreeNode, Tuple[int, ...]]] = [(self.root, ())]
+        while stack:
+            node, prefix = stack.pop()
+            for child in node.children:
+                rids = child.terminal_rids
+                if rids is not None:
+                    live = [r for r in rids if r not in dead]
+                    if live:
+                        yield prefix, live
+                else:
+                    stack.append((child, prefix + child.elements))
+
+    def compacted(self, dead: AbstractSet[int]) -> "PrefixTree":
+        """A fresh tree without the ``dead`` rids; ``self`` is untouched.
+
+        This is the build half of the epoch-swap scheme used by
+        :class:`IncrementalPrefixTree`: the caller keeps serving reads from
+        ``self`` while the survivor sets are re-inserted into a new tree,
+        then swaps the reference. Paths from :meth:`live_paths` are already
+        in tree order, so no re-sort happens here. The new tree shares
+        ``self.order`` and is re-compressed when ``self`` was.
+        """
+        tree = PrefixTree(self.order)
+        for prefix, rids in self.live_paths(dead):
+            for rid in rids:
+                tree.insert(prefix, rid)
+        if self.compressed:
+            tree.compress()
+        tree.freeze()
+        return tree
+
     # -- introspection -----------------------------------------------------
 
     def iter_nodes(self) -> Iterable[TreeNode]:
@@ -229,3 +286,205 @@ class PrefixTree:
         return [
             (c.elements[0], c) for c in self.root.children if not c.is_end_marker
         ]
+
+
+# -- incremental maintenance (epoch-swapped snapshots) ------------------------
+
+
+class TrieSnapshot:
+    """An immutable epoch view over an :class:`IncrementalPrefixTree`.
+
+    The snapshot pins the tree object, a frozen copy of the tombstone set
+    and the rid high-watermark at creation time. Later inserts land in the
+    shared tree but carry rids ``>= rid_bound`` and are filtered at the
+    end-markers; later deletes mutate the writer's tombstone set, not the
+    frozen copy here; and a compaction swaps the writer onto a *new* tree,
+    leaving this one intact. A pinned reader therefore never blocks and
+    never observes a half-compacted structure.
+
+    The contract is single-writer, non-interleaved walks: a
+    :meth:`subsets_of` traversal must not be suspended mid-iteration while
+    the writer mutates (the serve loop guarantees this by handling requests
+    to completion, one at a time).
+    """
+
+    __slots__ = ("epoch", "tree", "dead", "rid_bound", "live_count")
+
+    def __init__(
+        self,
+        epoch: int,
+        tree: PrefixTree,
+        dead: FrozenSet[int],
+        rid_bound: int,
+        live_count: int,
+    ) -> None:
+        self.epoch = epoch
+        self.tree = tree
+        self.dead = dead
+        self.rid_bound = rid_bound
+        self.live_count = live_count
+
+    def subsets_of(self, elements: Iterable[int]) -> List[int]:
+        """Rids of live stored sets that are subsets of ``elements``.
+
+        The walk descends only through children whose elements all appear
+        in the event — the same traversal as ``Broker.publish`` — so the
+        cost is proportional to the part of the tree the event covers, not
+        to the number of stored sets.
+        """
+        ids: Set[int] = set(elements)
+        dead = self.dead
+        bound = self.rid_bound
+        out: List[int] = []
+        stack = [self.tree.root]
+        while stack:
+            node = stack.pop()
+            for child in node.children:
+                rids = child.terminal_rids
+                if rids is not None:
+                    out.extend(r for r in rids if r < bound and r not in dead)
+                elif all(e in ids for e in child.elements):
+                    stack.append(child)
+        out.sort()
+        return out
+
+    def __len__(self) -> int:
+        return self.live_count
+
+
+class IncrementalPrefixTree:
+    """A prefix tree with inserts, tombstone deletes and epoch compaction.
+
+    Generalises the pubsub broker's ``compact_ratio`` scheme (the broker
+    keeps its own deferred-drop variant because its matching walk runs
+    inside the writer object itself): inserts go straight into the live
+    tree under a dense, monotone rid discipline; deletes are tombstones;
+    and once tombstones exceed ``compact_ratio`` of the live population the
+    tree is rebuilt without them via :meth:`PrefixTree.compacted` and
+    swapped in under a new epoch. Readers hold :meth:`snapshot` views and
+    are never invalidated by the swap.
+
+    Elements are non-negative ints ordered by an identity
+    :class:`~repro.core.order.GlobalOrder` that grows with the universe —
+    frequency tuning is pointless under churn, exactly as in the broker.
+    """
+
+    def __init__(
+        self, compact_ratio: float = 0.5, *, auto_compact: bool = True
+    ) -> None:
+        if not 0.0 < compact_ratio <= 1.0:
+            raise InvalidParameterError(
+                f"compact_ratio must be in (0, 1], got {compact_ratio}"
+            )
+        self._order = GlobalOrder([], "element_id")
+        self._tree = PrefixTree(self._order)
+        self._dead: Set[int] = set()
+        # Live rids by membership, not by count: after a compaction wipes
+        # the tombstone set, a count alone cannot tell "already compacted
+        # away" from "still live" for an old rid.
+        self._members: Set[int] = set()
+        self._epoch = 0
+        self._next_rid = 0
+        self._compact_ratio = compact_ratio
+        self._auto_compact = auto_compact
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Bumped by every compaction; snapshots carry the epoch they pin."""
+        return self._epoch
+
+    @property
+    def live_count(self) -> int:
+        return len(self._members)
+
+    @property
+    def dead_count(self) -> int:
+        return len(self._dead)
+
+    @property
+    def tree(self) -> PrefixTree:
+        """The live tree (for footprint metering; do not mutate)."""
+        return self._tree
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, elements: Iterable[int], rid: Optional[int] = None) -> int:
+        """Insert one set; returns its rid.
+
+        Rids are assigned densely from 0. Passing ``rid`` explicitly is an
+        assert-sync seam for callers that mirror another structure's id
+        space (the serve layer keeps trie rids equal to index sids): it
+        must equal the next dense rid or the call raises.
+        """
+        record = sorted({int(e) for e in elements})
+        if not record:
+            raise InvalidParameterError("cannot insert an empty set")
+        if record[0] < 0:
+            raise InvalidParameterError(
+                f"element ids must be non-negative, got {record[0]}"
+            )
+        if rid is None:
+            rid = self._next_rid
+        elif rid != self._next_rid:
+            raise InvalidParameterError(
+                f"rids are dense and monotone: expected {self._next_rid}, "
+                f"got {rid}"
+            )
+        self._next_rid = rid + 1
+        self._order.extend_to(record[-1] + 1)
+        self._tree.insert(self._order.sort_record(record), rid)
+        self._members.add(rid)
+        return rid
+
+    def mark_dead(self, rid: int) -> bool:
+        """Tombstone one rid; True if it was live.
+
+        A clean no-op (returns False) for rids never issued or already
+        dead. Crossing the ``compact_ratio`` threshold triggers an
+        immediate compaction when ``auto_compact`` is on.
+        """
+        if rid not in self._members:
+            return False
+        self._members.discard(rid)
+        self._dead.add(rid)
+        if self._auto_compact and len(self._dead) > self._compact_ratio * max(
+            len(self._members), 1
+        ):
+            self.compact()
+        return True
+
+    def compact(self) -> int:
+        """Rebuild without tombstones, swap the tree in, bump the epoch.
+
+        Existing snapshots keep the old tree and stay fully readable
+        throughout; only readers that take a *new* snapshot see the new
+        epoch.
+        """
+        self._tree = self._tree.compacted(self._dead)
+        self._dead = set()
+        self._epoch += 1
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("tree.trie_compactions")
+        return self._epoch
+
+    # -- reading ------------------------------------------------------------
+
+    def snapshot(self) -> TrieSnapshot:
+        """Pin the current epoch for reading (cheap: no tree copy)."""
+        return TrieSnapshot(
+            self._epoch,
+            self._tree,
+            frozenset(self._dead),
+            self._next_rid,
+            len(self._members),
+        )
+
+    def subsets_of(self, elements: Iterable[int]) -> List[int]:
+        """Query the current state through a fresh snapshot."""
+        return self.snapshot().subsets_of(elements)

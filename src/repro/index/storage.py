@@ -48,7 +48,18 @@ import weakref
 from itertools import chain
 from multiprocessing import shared_memory
 from types import FrameType
-from typing import Any, BinaryIO, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    BinaryIO,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -56,10 +67,14 @@ from ..data.collection import SetCollection
 from ..errors import DatasetError, InvalidParameterError, ShmAttachError
 from ..obs import registry as _obs
 from .inverted import EMPTY_LIST, InvertedIndex
+from .search import contains_sorted
 
 __all__ = [
     "CSRInvertedIndex",
     "HybridInvertedIndex",
+    "DeltaSegment",
+    "IndexSnapshot",
+    "IncrementalIndex",
     "SharedCSRHandle",
     "attach_shared_index",
     "save_collection_binary",
@@ -614,6 +629,39 @@ class CSRInvertedIndex:
             return None
         return elems * self.stride, starts, ends
 
+    def supersets_of(self, record: Sequence[int]) -> np.ndarray:
+        """Positions of indexed sets containing every element of ``record``.
+
+        The point-query face of the containment join: the record's
+        inverted lists are intersected smallest-first, with membership
+        answered by one batched ``np.searchsorted`` per list, so the cost
+        is proportional to the smallest list, not to ``|S|``. Returns an
+        ascending int64 array of set ids; an empty record matches every
+        indexed set. Positions equal external sids only for a global index
+        (``universe == range(inf_sid)``) — the only kind
+        :class:`IncrementalIndex` builds.
+        """
+        elems = sorted({int(e) for e in record})
+        if not elems:
+            return np.arange(self.inf_sid, dtype=np.int64)
+        lists: List[np.ndarray] = []
+        for e in elems:
+            lst = self.get_list(e)
+            if lst.shape[0] == 0:
+                return np.zeros(0, dtype=np.int64)
+            lists.append(lst)
+        lists.sort(key=lambda lst: lst.shape[0])
+        cand = lists[0].astype(np.int64)
+        for lst in lists[1:]:
+            if cand.shape[0] == 0:
+                break
+            # side="left": a hit lands exactly on its occurrence, so after
+            # clipping, a miss (insertion point == len) compares unequal.
+            idx = np.searchsorted(lst, cand)
+            np.minimum(idx, lst.shape[0] - 1, out=idx)
+            cand = cand[lst[idx] == cand]
+        return cand
+
     @property
     def construction_cost(self) -> int:
         """Tokens touched while building — ``Σ|S|`` in the paper's cost model."""
@@ -919,6 +967,57 @@ class HybridInvertedIndex(CSRInvertedIndex):
         """Number of elements carrying a bitmap row."""
         return int(self.dense_ids.shape[0])
 
+    def supersets_of(self, record: Sequence[int]) -> np.ndarray:
+        """Bitmap-accelerated point query.
+
+        Dense elements contribute by AND-ing their bitmap rows word-wise —
+        ``O(inf_sid / 64)`` per dense element regardless of list length,
+        which is exactly where the CSR intersection is weakest. Sparse
+        elements intersect as in the base class; the AND-ed mask then
+        filters the survivors with one shift per candidate. An all-dense
+        record never touches the CSR arrays at all: the mask is bit-scanned
+        directly (``np.unpackbits`` over the little-endian word bytes).
+        """
+        elems = sorted({int(e) for e in record})
+        if not elems:
+            return np.arange(self.inf_sid, dtype=np.int64)
+        words = self.bitmap_words
+        mask: Optional[np.ndarray] = None
+        sparse: List[np.ndarray] = []
+        for e in elems:
+            row = int(self.dense_map[e]) if 0 <= e < self.num_slots else -1
+            if row >= 0:
+                row_words = self.bitmap[row * words: (row + 1) * words]
+                if mask is None:
+                    mask = row_words.copy()
+                else:
+                    mask &= row_words
+            else:
+                lst = self.get_list(e)
+                if lst.shape[0] == 0:
+                    return np.zeros(0, dtype=np.int64)
+                sparse.append(lst)
+        if sparse:
+            sparse.sort(key=lambda lst: lst.shape[0])
+            cand = sparse[0].astype(np.int64)
+            for lst in sparse[1:]:
+                if cand.shape[0] == 0:
+                    break
+                idx = np.searchsorted(lst, cand)
+                np.minimum(idx, lst.shape[0] - 1, out=idx)
+                cand = cand[lst[idx] == cand]
+            if mask is not None and cand.shape[0]:
+                # uint64 >> int64 would promote to float; keep both uint64.
+                bits = np.right_shift(
+                    mask[cand >> 6], (cand & 63).astype(np.uint64)
+                )
+                cand = cand[(bits & np.uint64(1)) != 0]
+            return cand
+        if mask is None or not mask.shape[0]:
+            return np.zeros(0, dtype=np.int64)
+        bits = np.unpackbits(mask.view(np.uint8), bitorder="little")
+        return np.flatnonzero(bits[: self.inf_sid]).astype(np.int64)
+
     def nbytes(self) -> int:
         """CSR bytes plus the bitmap rows and the dense-id table."""
         return int(
@@ -974,3 +1073,303 @@ def _check_key_space(num_slots: int, stride: int) -> None:
             f"key space ({num_slots} slots x stride {stride}); use the "
             "python backend"
         )
+
+
+# -- incremental maintenance (delta segment + tombstones + epoch swaps) -------
+
+#: A delta may grow to this many tokens before the ``delta_ratio`` trigger
+#: applies, so a small (or empty) base does not force a rebuild per append.
+_DELTA_TOKEN_FLOOR = 4096
+
+#: Bytes-per-token model for the python-object delta (list slot + boxed int
+#: + dict overhead amortised); only used for admission-control estimates.
+_DELTA_TOKEN_BYTES = 64
+
+
+class DeltaSegment:
+    """The mutable in-memory tail of an :class:`IncrementalIndex`.
+
+    Appends land here as plain python postings lists per element. Sids are
+    handed out monotonically, so appending keeps every list sorted — the
+    same invariant :meth:`repro.index.inverted.InvertedIndex.append_set`
+    relies on. A delta stays small by construction: compaction folds it
+    into the frozen CSR base once it outgrows ``delta_ratio`` of the base.
+    """
+
+    __slots__ = ("postings", "records", "tokens")
+
+    def __init__(self) -> None:
+        self.postings: Dict[int, List[int]] = {}
+        self.records: Dict[int, Tuple[int, ...]] = {}
+        self.tokens = 0
+
+    def append(self, sid: int, record: Tuple[int, ...]) -> None:
+        """Add one canonical (sorted, deduped) record under ``sid``."""
+        for e in record:
+            self.postings.setdefault(e, []).append(sid)
+        self.records[sid] = record
+        self.tokens += len(record)
+
+    def supersets_of(self, elems: Sequence[int], sid_bound: int) -> List[int]:
+        """Delta sids ``< sid_bound`` whose record contains every element.
+
+        ``elems`` must be sorted and deduplicated. Candidates come from
+        the shortest posting list; each is verified against its record
+        tuple by binary search. Output is ascending (postings are).
+        """
+        smallest: Optional[List[int]] = None
+        for e in elems:
+            lst = self.postings.get(e)
+            if not lst:
+                return []
+            if smallest is None or len(lst) < len(smallest):
+                smallest = lst
+        if smallest is None:
+            # Empty query: every set is a superset of the empty set.
+            # ``records`` iterates in insertion order == ascending sid.
+            return [sid for sid in self.records if sid < sid_bound]
+        out: List[int] = []
+        for sid in smallest:
+            if sid >= sid_bound:
+                break
+            rec = self.records[sid]
+            if all(contains_sorted(rec, e) for e in elems):
+                out.append(sid)
+        return out
+
+
+class IndexSnapshot:
+    """An immutable epoch view over an :class:`IncrementalIndex`.
+
+    ``base`` (with its position → external-sid map ``base_sids``) is a
+    frozen CSR/hybrid index over the records that were live at the last
+    compaction; ``delta`` holds everything appended since. ``sid_bound``
+    pins the append high-watermark — later appends mutate the shared delta
+    postings but are filtered here — and ``tombstones`` is a frozen copy
+    of the deletes. A compaction replaces the writer's base *and* delta
+    with brand-new objects, so a pinned snapshot keeps serving exactly the
+    state it captured, without blocking and without ever observing a
+    half-compacted structure.
+    """
+
+    __slots__ = ("epoch", "base", "base_sids", "delta", "sid_bound", "tombstones")
+
+    def __init__(
+        self,
+        epoch: int,
+        base: CSRInvertedIndex,
+        base_sids: np.ndarray,
+        delta: DeltaSegment,
+        sid_bound: int,
+        tombstones: FrozenSet[int],
+    ) -> None:
+        self.epoch = epoch
+        self.base = base
+        self.base_sids = base_sids
+        self.delta = delta
+        self.sid_bound = sid_bound
+        self.tombstones = tombstones
+
+    def supersets_of(self, record: Sequence[int]) -> List[int]:
+        """External sids of live sets containing every element of ``record``.
+
+        Ascending: base positions map through the ascending ``base_sids``,
+        every delta sid postdates every base sid, and tombstones only
+        remove entries.
+        """
+        elems = sorted({int(e) for e in record})
+        hits: List[int] = []
+        if self.base.inf_sid:
+            positions = self.base.supersets_of(elems)
+            if positions.shape[0]:
+                hits = self.base_sids[positions].tolist()
+        hits.extend(self.delta.supersets_of(elems, self.sid_bound))
+        tomb = self.tombstones
+        if tomb:
+            hits = [s for s in hits if s not in tomb]
+        return hits
+
+
+class IncrementalIndex:
+    """A mutable set-containment index: frozen base + delta + tombstones.
+
+    The resident server's workhorse. Writes:
+
+    * :meth:`append` assigns the next sid and lands the record in the
+      mutable :class:`DeltaSegment`;
+    * :meth:`delete` tombstones a sid (base and delta alike);
+    * :meth:`compact` rebuilds the frozen base from every live record,
+      drops the delta and the tombstones, and bumps the epoch. It runs
+      automatically once tombstones exceed ``compact_ratio`` of the live
+      population (generalising the broker's scheme) or the delta outgrows
+      ``delta_ratio`` of the base's postings.
+
+    Reads go through :meth:`snapshot` (see :class:`IndexSnapshot`); the
+    single-writer, non-interleaved-walk contract of
+    :class:`~repro.index.prefix_tree.TrieSnapshot` applies here too.
+
+    External sids are dense from 0 and stable across compactions: the base
+    packs live records in ascending sid order and ``base_sids`` maps base
+    positions back to external sids.
+    """
+
+    def __init__(
+        self,
+        s_collection: Optional[SetCollection] = None,
+        *,
+        backend: str = "csr",
+        compact_ratio: float = 0.5,
+        delta_ratio: float = 0.25,
+        auto_compact: bool = True,
+        dense_threshold: Optional[int] = None,
+    ) -> None:
+        if backend not in ("csr", "hybrid"):
+            raise InvalidParameterError(
+                f"backend must be 'csr' or 'hybrid', got {backend!r}"
+            )
+        if not 0.0 < compact_ratio <= 1.0:
+            raise InvalidParameterError(
+                f"compact_ratio must be in (0, 1], got {compact_ratio}"
+            )
+        if delta_ratio <= 0.0:
+            raise InvalidParameterError(
+                f"delta_ratio must be positive, got {delta_ratio}"
+            )
+        self._backend = backend
+        self._compact_ratio = compact_ratio
+        self._delta_ratio = delta_ratio
+        self._auto_compact = auto_compact
+        self._dense_threshold = dense_threshold
+        self._live: Dict[int, Tuple[int, ...]] = {}
+        if s_collection is not None:
+            for sid, rec in enumerate(s_collection.records):
+                self._live[sid] = rec
+        self._next_sid = len(self._live)
+        self._base, self._base_sids = self._build_base()
+        self._delta = DeltaSegment()
+        self._tombstones: Set[int] = set()
+        self._epoch = 0
+
+    def _build_base(self) -> Tuple[CSRInvertedIndex, np.ndarray]:
+        pairs = sorted(self._live.items())
+        collection = SetCollection((rec for _, rec in pairs), validate=False)
+        if not pairs or self._backend == "csr":
+            # An empty hybrid base degenerates to CSR: there is nothing to
+            # profile for a dense threshold and nothing to pack.
+            base: CSRInvertedIndex = CSRInvertedIndex.build(collection)
+        else:
+            base = HybridInvertedIndex.build(
+                collection, dense_threshold=self._dense_threshold
+            )
+        base_sids = np.fromiter(
+            (sid for sid, _ in pairs), dtype=np.int64, count=len(pairs)
+        )
+        return base, base_sids
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def epoch(self) -> int:
+        """Bumped by every compaction; snapshots carry the epoch they pin."""
+        return self._epoch
+
+    @property
+    def num_tombstones(self) -> int:
+        return len(self._tombstones)
+
+    @property
+    def delta_tokens(self) -> int:
+        return self._delta.tokens
+
+    def __len__(self) -> int:
+        """Live records (appends minus deletes)."""
+        return len(self._live)
+
+    def get_record(self, sid: int) -> Optional[Tuple[int, ...]]:
+        """The live record under ``sid``, or None if absent/tombstoned."""
+        return self._live.get(sid)
+
+    def nbytes(self) -> int:
+        """Approximate resident bytes: exact for the frozen arrays, a
+        per-token object model for the python delta. Admission control's
+        input."""
+        delta_bytes = _DELTA_TOKEN_BYTES * (
+            self._delta.tokens + len(self._delta.records)
+        )
+        return (
+            self._base.nbytes() + int(self._base_sids.nbytes) + delta_bytes
+        )
+
+    # -- mutation -----------------------------------------------------------
+
+    def append(self, record: Sequence[int]) -> int:
+        """Append one set; returns its (dense, stable) sid."""
+        rec = tuple(sorted({int(e) for e in record}))
+        if not rec:
+            raise InvalidParameterError("cannot append an empty set")
+        if rec[0] < 0:
+            raise InvalidParameterError(
+                f"element ids must be non-negative, got {rec[0]}"
+            )
+        sid = self._next_sid
+        self._next_sid = sid + 1
+        self._live[sid] = rec
+        self._delta.append(sid, rec)
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("index.incremental_appends")
+        if self._auto_compact and self._delta.tokens > self._delta_ratio * max(
+            self._base.size_in_entries(), _DELTA_TOKEN_FLOOR
+        ):
+            self.compact()
+        return sid
+
+    def delete(self, sid: int) -> bool:
+        """Tombstone one sid; True if it was live (no-op otherwise)."""
+        if self._live.pop(sid, None) is None:
+            return False
+        self._tombstones.add(sid)
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("index.incremental_deletes")
+        if self._auto_compact and len(
+            self._tombstones
+        ) > self._compact_ratio * max(len(self._live), 1):
+            self.compact()
+        return True
+
+    def compact(self) -> int:
+        """Fold delta + tombstones into a fresh base; bump the epoch.
+
+        Pinned snapshots keep the old base/delta objects and stay fully
+        readable throughout.
+        """
+        self._base, self._base_sids = self._build_base()
+        self._delta = DeltaSegment()
+        self._tombstones = set()
+        self._epoch += 1
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("index.incremental_compactions")
+        return self._epoch
+
+    # -- reading ------------------------------------------------------------
+
+    def snapshot(self) -> IndexSnapshot:
+        """Pin the current epoch for reading (cheap: no array copies)."""
+        return IndexSnapshot(
+            self._epoch,
+            self._base,
+            self._base_sids,
+            self._delta,
+            self._next_sid,
+            frozenset(self._tombstones),
+        )
+
+    def supersets_of(self, record: Sequence[int]) -> List[int]:
+        """Query the current state through a fresh snapshot."""
+        return self.snapshot().supersets_of(record)

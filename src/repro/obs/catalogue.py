@@ -37,6 +37,8 @@ SPAN_CATALOGUE = frozenset(
         "checkpoint.write",  # one durable chunk spill (temp → fsync → rename)
         "checkpoint.resume",  # scanning/validating spills on a resumed run
         "pubsub.rebuild",  # broker subscription-tree rebuild (compaction)
+        "serve.request",  # one request dispatched by the resident server
+        "serve.compact",  # an explicit compact op on the resident structures
     }
 )
 
@@ -121,4 +123,27 @@ COUNTER_CATALOGUE = {
     "pubsub.delivered": "subscription matches delivered",
     "pubsub.compactions": "tombstone compactions scheduled",
     "pubsub.rebuilds": "subscription-tree rebuilds",
+    # -- incremental maintenance (resident index/trie) --
+    "index.incremental_appends": "records appended to the delta segment",
+    "index.incremental_deletes": "records tombstoned in the resident index",
+    "index.incremental_compactions": "resident index base rebuilds",
+    "tree.trie_compactions": "resident prefix-trie compactions",
+    # -- serve.*: the resident join service --
+    "serve.connections": "client connections accepted",
+    "serve.requests": "requests dispatched",
+    "serve.batches": "non-empty request batches drained",
+    "serve.errors": "error responses sent",
+    "serve.queries": "containment point queries answered",
+    "serve.appends": "append ops applied",
+    "serve.deletes": "delete ops that removed a live record",
+    "serve.deadline_rejections": "requests refused at their deadline",
+    "serve.admission_rejections": "writes refused by the memory budget",
+    "serve.request_seconds": "request service time histogram",
+    "serve.publish_seconds": "publish service time histogram",
+    "serve.query_seconds": "query service time histogram",
+    "serve.resident_bytes": "resident footprint gauge (analytic model)",
+    "serve.publish_p50_ms": "publish latency p50 gauge (ring window)",
+    "serve.publish_p99_ms": "publish latency p99 gauge (ring window)",
+    "serve.query_p50_ms": "query latency p50 gauge (ring window)",
+    "serve.query_p99_ms": "query latency p99 gauge (ring window)",
 }

@@ -24,7 +24,7 @@ reason to use a trie-shaped registry at all.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Set
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from ..core.order import GlobalOrder
 from ..data.collection import ElementDictionary
@@ -76,6 +76,9 @@ class Broker:
         self._compact_ratio = compact_ratio
         self._walking = False
         self._compact_pending = False
+        # Reentrant subscribes buffered while a publish walks the tree:
+        # ``(encoded keywords, sub_id)``, applied after the walk.
+        self._pending_inserts: List[Tuple[List[int], int]] = []
         self.published = 0
         self.delivered = 0
 
@@ -91,11 +94,21 @@ class Broker:
             reg.inc("pubsub.subscribed")
         encoded = sorted(self._dictionary.encode(k) for k in sub.keywords)
         if self._tree is not None:
-            # Incremental insert: extend the frozen order for new keywords,
-            # then sort in tree order.
-            self._tree.order.extend_to(len(self._dictionary))
-            self._tree.insert(self._tree.order.sort_record(encoded), sub.sub_id)
-            self._tree_members.add(sub.sub_id)
+            if self._walking:
+                # Reentrant subscribe from a delivery handler: the publish
+                # walk is iterating node.children, so inserting now would
+                # mutate those lists under the active traversal (revisiting
+                # or skipping siblings, possibly delivering the new
+                # subscription to the in-flight event). Buffer the insert;
+                # publish applies it once the walk finishes, mirroring
+                # _compact_pending.
+                self._pending_inserts.append((encoded, sub.sub_id))
+            else:
+                # Incremental insert: extend the frozen order for new
+                # keywords, then sort in tree order.
+                self._tree.order.extend_to(len(self._dictionary))
+                self._tree.insert(self._tree.order.sort_record(encoded), sub.sub_id)
+                self._tree_members.add(sub.sub_id)
         return sub.sub_id
 
     def unsubscribe(self, sub_id: int) -> None:
@@ -113,6 +126,15 @@ class Broker:
         reg = _obs.ACTIVE
         if reg is not None:
             reg.inc("pubsub.unsubscribed")
+        if not self._subscriptions:
+            # The registry emptied: without this, a dead trie full of
+            # tombstones (and a stale _tree_members set that would
+            # double-count tombstones for recycled trees) survives into
+            # the next subscribe. Drop everything; mid-walk this defers
+            # like any other compaction.
+            if self._tree is not None:
+                self._schedule_compaction()
+            return
         if sub_id in self._tree_members:
             self._tombstones += 1
             if self._tombstones > self._compact_ratio * max(len(self._subscriptions), 1):
@@ -125,10 +147,19 @@ class Broker:
         if self._walking:
             self._compact_pending = True
         else:
-            self._tree = None
+            self._drop_tree()
             reg = _obs.ACTIVE
             if reg is not None:
                 reg.inc("pubsub.compactions")
+
+    def _drop_tree(self) -> None:
+        # Forget the trie and every piece of its bookkeeping; the next
+        # publish rebuilds lazily from the live registry. Buffered
+        # reentrant inserts are covered by that rebuild too.
+        self._tree = None
+        self._tree_members = set()
+        self._tombstones = 0
+        self._pending_inserts.clear()
 
     def __len__(self) -> int:
         return len(self._subscriptions)
@@ -165,6 +196,11 @@ class Broker:
         if reg is not None:
             reg.inc("pubsub.published")
         if not self._subscriptions:
+            # Publishing into an empty registry must also shed a stale
+            # trie (every id in it is a tombstone by now) — see
+            # unsubscribe; _schedule_compaction defers when reentrant.
+            if self._tree is not None:
+                self._schedule_compaction()
             return delivery
         if self._tree is None:
             self._tree = self._build_tree()
@@ -193,16 +229,34 @@ class Broker:
             self._walking = False
             if self._compact_pending:
                 self._compact_pending = False
-                self._tree = None
+                self._drop_tree()
                 reg = _obs.ACTIVE
                 if reg is not None:
                     reg.inc("pubsub.compactions")
+            elif self._pending_inserts:
+                self._apply_pending_inserts()
         matched.sort()
         self.delivered += len(matched)
         reg = _obs.ACTIVE
         if reg is not None:
             reg.inc("pubsub.delivered", len(matched))
         return delivery
+
+    def _apply_pending_inserts(self) -> None:
+        # Splice in subscribes buffered during the walk, now that the tree
+        # survived it. Ids unsubscribed again before the walk ended are
+        # skipped: they never reached _tree_members, so their cancel
+        # counted no tombstone and the lazy rebuild owes them nothing.
+        tree = self._tree
+        if tree is None:
+            self._pending_inserts.clear()
+            return
+        tree.order.extend_to(len(self._dictionary))
+        for encoded, sub_id in self._pending_inserts:
+            if sub_id in self._subscriptions:
+                tree.insert(tree.order.sort_record(encoded), sub_id)
+                self._tree_members.add(sub_id)
+        self._pending_inserts.clear()
 
     def _is_live(self, sub_id: int) -> bool:
         # The seam the matching walk filters tombstones through; kept as a
@@ -211,8 +265,31 @@ class Broker:
         return sub_id in self._subscriptions
 
     def matches(self, keywords: Iterable[Hashable]) -> List[int]:
-        """Like :meth:`publish` but without touching the counters."""
+        """Like :meth:`publish` but without touching the counters.
+
+        Both counter systems are restored: the instance tallies
+        (``published``/``delivered``) and the registry's
+        ``pubsub.published``/``pubsub.delivered`` — restore-or-delete, so
+        a probe on a fresh registry leaves no zero-valued entries behind.
+        A lazy rebuild or compaction triggered by the walk still counts:
+        those record real state changes, not traffic.
+        """
         saved_published, saved_delivered = self.published, self.delivered
-        delivery = self.publish(keywords)
-        self.published, self.delivered = saved_published, saved_delivered
+        reg = _obs.ACTIVE
+        saved_counts: Dict[str, Optional[float]] = {}
+        if reg is not None:
+            saved_counts = {
+                name: reg.counters.get(name)
+                for name in ("pubsub.published", "pubsub.delivered")
+            }
+        try:
+            delivery = self.publish(keywords)
+        finally:
+            self.published, self.delivered = saved_published, saved_delivered
+            if reg is not None:
+                for name, value in saved_counts.items():
+                    if value is None:
+                        reg.counters.pop(name, None)
+                    else:
+                        reg.counters[name] = value
         return delivery.matched

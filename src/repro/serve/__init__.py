@@ -1,0 +1,33 @@
+"""The resident join service (``lcjoin serve``).
+
+A long-lived, single-threaded server that keeps the hot containment
+structures loaded — an :class:`~repro.index.storage.IncrementalIndex`
+(CSR/hybrid base + delta + tombstones) for superset point queries, an
+:class:`~repro.index.prefix_tree.IncrementalPrefixTree` for subset
+queries, and the pubsub :class:`~repro.pubsub.broker.Broker` — and
+answers requests over a line-delimited JSON socket protocol with request
+batching, per-request deadlines and memory-budget admission control.
+
+Layout:
+
+* :mod:`~repro.serve.protocol` — framing, request/response envelopes,
+  error kinds;
+* :mod:`~repro.serve.state`    — the resident structures and op handlers;
+* :mod:`~repro.serve.server`   — the ``selectors`` event loop;
+* :mod:`~repro.serve.client`   — a small blocking client (tests, CI
+  smoke, scripting).
+"""
+
+from .client import ServeClient
+from .protocol import MAX_LINE_BYTES, decode_line, encode_message
+from .server import JoinServer
+from .state import ServeState
+
+__all__ = [
+    "JoinServer",
+    "ServeClient",
+    "ServeState",
+    "MAX_LINE_BYTES",
+    "decode_line",
+    "encode_message",
+]

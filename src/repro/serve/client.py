@@ -1,0 +1,190 @@
+"""A small blocking client for the resident join service.
+
+Used by the test suite, the CI smoke job, and scripting against a local
+``lcjoin serve``. One request, one response, in order — the server
+answers lines in the order it reads them, so a blocking client needs no
+id bookkeeping beyond pairing for sanity.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import (
+    AdmissionRejectedError,
+    RequestDeadlineError,
+    ServeError,
+    ServeProtocolError,
+)
+from . import protocol
+
+__all__ = ["ServeClient"]
+
+#: error_kind -> exception raised by :meth:`ServeClient.request`.
+_KIND_TO_ERROR = {
+    protocol.KIND_BAD_REQUEST: ServeProtocolError,
+    protocol.KIND_UNKNOWN_OP: ServeProtocolError,
+    protocol.KIND_DEADLINE: RequestDeadlineError,
+    protocol.KIND_ADMISSION: AdmissionRejectedError,
+    protocol.KIND_INTERNAL: ServeError,
+    protocol.KIND_SHUTTING_DOWN: ServeError,
+}
+
+
+class ServeClient:
+    """Connect to a :class:`~repro.serve.server.JoinServer`.
+
+    Pass either ``socket_path`` (unix domain) or ``host``/``port`` (TCP),
+    mirroring the server's constructor. Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        *,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ServeError("pass exactly one of socket_path or port")
+        try:
+            if socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(timeout)
+                sock.connect(socket_path)
+            else:
+                sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServeError(f"cannot connect to the serve socket: {exc}") from exc
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._next_id = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- core ----------------------------------------------------------------
+
+    def request(
+        self,
+        op: str,
+        *,
+        deadline_ms: Optional[float] = None,
+        **params: Any,
+    ) -> Any:
+        """Send one request, wait for its response, return the result.
+
+        Error responses are raised as the matching :mod:`repro.errors`
+        type (see ``_KIND_TO_ERROR``).
+        """
+        response = self._roundtrip(self._envelope(op, deadline_ms, params))
+        return self._unwrap(response)
+
+    def batch(
+        self, requests: Sequence[Tuple[str, Dict[str, Any]]]
+    ) -> List[Dict[str, Any]]:
+        """Send a ``batch`` op; return the raw per-request response list.
+
+        Unlike :meth:`request`, sub-request errors are returned, not
+        raised — a batch is expected to be partially successful.
+        """
+        payload = [
+            self._envelope(op, None, dict(params)) for op, params in requests
+        ]
+        result = self.request("batch", requests=payload)
+        responses = result["responses"]
+        if not isinstance(responses, list):
+            raise ServeError("malformed batch response")
+        return responses
+
+    def _envelope(
+        self, op: str, deadline_ms: Optional[float], params: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        self._next_id += 1
+        obj: Dict[str, Any] = {"id": self._next_id, "op": op}
+        if deadline_ms is not None:
+            obj["deadline_ms"] = deadline_ms
+        for key, value in params.items():
+            obj[key] = value
+        return obj
+
+    def _roundtrip(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            self._sock.sendall(protocol.encode_message(obj))
+            line = self._rfile.readline(protocol.MAX_LINE_BYTES + 1)
+        except OSError as exc:
+            raise ServeError(f"serve connection failed: {exc}") from exc
+        if not line.endswith(b"\n"):
+            raise ServeError("server closed the connection mid-response")
+        return protocol.decode_line(line.rstrip(b"\n"))
+
+    @staticmethod
+    def _unwrap(response: Dict[str, Any]) -> Any:
+        if response.get("ok"):
+            return response.get("result")
+        kind = response.get("error_kind", protocol.KIND_INTERNAL)
+        message = str(response.get("error", "unknown server error"))
+        raise _KIND_TO_ERROR.get(kind, ServeError)(message)
+
+    # -- convenience wrappers -------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def subscribe(self, keywords: Sequence[int]) -> int:
+        return int(self.request("subscribe", keywords=list(keywords))["sub_id"])
+
+    def unsubscribe(self, sub_id: int) -> bool:
+        return bool(self.request("unsubscribe", sub_id=sub_id)["removed"])
+
+    def publish(self, keywords: Sequence[Any]) -> List[int]:
+        return list(self.request("publish", keywords=list(keywords))["matched"])
+
+    def append(self, record: Sequence[int]) -> int:
+        return int(self.request("append", record=list(record))["sid"])
+
+    def delete(self, sid: int) -> bool:
+        return bool(self.request("delete", sid=sid)["removed"])
+
+    def query(
+        self,
+        record: Union[Sequence[int], None] = None,
+        *,
+        records: Optional[Sequence[Sequence[int]]] = None,
+        direction: str = "super",
+        deadline_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {"direction": direction}
+        if record is not None:
+            params["record"] = list(record)
+        if records is not None:
+            params["records"] = [list(r) for r in records]
+        return self.request("query", deadline_ms=deadline_ms, **params)
+
+    def compact(self) -> Dict[str, Any]:
+        return self.request("compact")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("metrics")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")

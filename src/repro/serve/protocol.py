@@ -1,0 +1,140 @@
+"""Wire protocol of the resident join service: line-delimited JSON.
+
+One request per line, one response per line, both UTF-8 JSON objects —
+trivially debuggable with ``nc``/``socat`` and language-neutral. Framing
+is the newline; a single line is capped at :data:`MAX_LINE_BYTES` so a
+hostile or broken client cannot balloon the server's read buffer.
+
+Request envelope::
+
+    {"id": 7, "op": "query", "record": [1, 2, 3], "deadline_ms": 50}
+
+``id`` is echoed back verbatim (any JSON scalar; clients use it to pair
+batched responses). ``deadline_ms`` is an optional per-request budget,
+measured from the moment the server parses the line; a request that
+cannot finish in time is answered with ``deadline_exceeded`` rather than
+served late. Every other key is the op's payload.
+
+Response envelope::
+
+    {"id": 7, "ok": true, "result": {...}}
+    {"id": 7, "ok": false, "error": "...", "error_kind": "bad_request"}
+
+``error_kind`` is machine-readable (:data:`ERROR_KINDS`); ``error`` is a
+human-readable message.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..errors import ServeProtocolError
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "OPS",
+    "ERROR_KINDS",
+    "encode_message",
+    "decode_line",
+    "ok_response",
+    "error_response",
+]
+
+#: Hard cap on one request/response line (framing guard, not admission
+#: control — the memory budget governs resident state, this governs a
+#: single message).
+MAX_LINE_BYTES = 1 << 20
+
+#: Every op the server answers. ``batch`` wraps a list of sub-requests;
+#: it cannot nest.
+OPS = frozenset(
+    {
+        "ping",
+        "subscribe",
+        "unsubscribe",
+        "publish",
+        "append",
+        "delete",
+        "query",
+        "compact",
+        "stats",
+        "metrics",
+        "batch",
+        "shutdown",
+    }
+)
+
+KIND_BAD_REQUEST = "bad_request"
+KIND_UNKNOWN_OP = "unknown_op"
+KIND_DEADLINE = "deadline_exceeded"
+KIND_ADMISSION = "admission_rejected"
+KIND_INTERNAL = "internal"
+KIND_SHUTTING_DOWN = "shutting_down"
+
+ERROR_KINDS = frozenset(
+    {
+        KIND_BAD_REQUEST,
+        KIND_UNKNOWN_OP,
+        KIND_DEADLINE,
+        KIND_ADMISSION,
+        KIND_INTERNAL,
+        KIND_SHUTTING_DOWN,
+    }
+)
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One JSON object, compact separators, newline-terminated."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one protocol line into its envelope dict.
+
+    Raises :class:`ServeProtocolError` for anything that is not a JSON
+    object — the caller decides whether that is answerable (a parseable
+    stream with one bad line) or fatal for the connection (broken
+    framing).
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ServeProtocolError(
+            f"line of {len(line)} bytes exceeds the {MAX_LINE_BYTES}-byte cap"
+        )
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServeProtocolError(f"not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ServeProtocolError(
+            f"expected a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def ok_response(request_id: Any, result: Any) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Any, kind: str, message: str
+) -> Dict[str, Any]:
+    if kind not in ERROR_KINDS:  # defensive: keep the wire enum closed
+        kind = KIND_INTERNAL
+    return {"id": request_id, "ok": False, "error": message, "error_kind": kind}
+
+
+def request_deadline(obj: Dict[str, Any], now: float) -> Optional[float]:
+    """The request's absolute monotonic deadline, or None.
+
+    ``deadline_ms`` counts from ``now`` (the parse instant, passed in by
+    the event loop so one clock read covers a whole drained batch).
+    """
+    raw = obj.get("deadline_ms")
+    if raw is None:
+        return None
+    if not isinstance(raw, (int, float)) or isinstance(raw, bool) or raw < 0:
+        raise ServeProtocolError(
+            f"deadline_ms must be a non-negative number, got {raw!r}"
+        )
+    return now + float(raw) / 1000.0

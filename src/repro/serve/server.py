@@ -1,0 +1,399 @@
+"""The resident server's event loop: single-threaded ``selectors``.
+
+Single-threaded on purpose: the obs registry is not thread-safe, and the
+snapshot contract of the incremental structures (no writer mutation while
+a walk is suspended mid-iteration) is trivially upheld when every request
+runs to completion before the next byte is read. Concurrency comes from
+batching instead — a wake drains up to ``max_batch`` already-buffered
+requests per connection before going back to ``select``, so pipelined
+clients amortise the loop overhead without any locking.
+
+Shutdown paths: the ``shutdown`` op (answered, then the loop drains write
+buffers and exits), or a :class:`~repro.core.runlog.CancelToken` whose
+pipe fd sits in the selector — SIGINT/SIGTERM routed through
+``signal_cancellation`` wakes the loop immediately, exactly like the
+supervisor's dispatch loop.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import selectors
+import socket
+import time
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..core.runlog import CancelToken
+from ..errors import (
+    AdmissionRejectedError,
+    RequestDeadlineError,
+    ServeError,
+    ServeProtocolError,
+)
+from ..obs import registry as _obs
+from ..obs.spans import trace_span
+from . import protocol
+from .state import ServeState
+
+__all__ = ["JoinServer"]
+
+_RECV_CHUNK = 1 << 16
+
+#: While draining write buffers after shutdown, give slow readers this
+#: many seconds before their connection is dropped with the bytes unsent.
+_DRAIN_TIMEOUT = 5.0
+
+
+class _Conn:
+    """Per-connection buffers."""
+
+    __slots__ = ("sock", "inbuf", "outbuf", "lines")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.lines: List[bytes] = []
+
+
+class JoinServer:
+    """Serve a :class:`ServeState` over a unix or TCP socket.
+
+    Exactly one of ``socket_path`` (unix domain) or ``port`` (TCP on
+    ``host``; 0 picks a free port) must be given. The listener is bound
+    in the constructor — ``address`` is valid immediately, so a caller
+    can print it before :meth:`serve_forever` blocks.
+    """
+
+    def __init__(
+        self,
+        state: ServeState,
+        *,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        max_batch: int = 64,
+        max_line: int = protocol.MAX_LINE_BYTES,
+        cancel: Optional[CancelToken] = None,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ServeError("pass exactly one of socket_path or port")
+        if max_batch <= 0:
+            raise ServeError(f"max_batch must be positive, got {max_batch}")
+        self.state = state
+        self.max_batch = max_batch
+        self.max_line = max_line
+        self.cancel = cancel
+        self._conns: Dict[int, _Conn] = {}
+        self._shutting_down = False
+        self._socket_path = socket_path
+        try:
+            if socket_path is not None:
+                # A stale socket file from a dead server blocks bind();
+                # remove it only if it is a socket (never clobber a file).
+                with contextlib.suppress(OSError):
+                    import stat
+
+                    if stat.S_ISSOCK(os.stat(socket_path).st_mode):
+                        os.unlink(socket_path)
+                listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                listener.bind(socket_path)
+            else:
+                listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                listener.bind((host, port))
+            listener.listen(128)
+            listener.setblocking(False)
+        except OSError as exc:
+            raise ServeError(f"cannot bind the serve socket: {exc}") from exc
+        self._listener = listener
+        # Self-pipe: stop() writes a byte to wake a loop parked in select
+        # from another thread (test harnesses, embedding applications).
+        self._wake_r, self._wake_w = os.pipe()
+        os.set_blocking(self._wake_r, False)
+
+    @property
+    def address(self) -> Union[str, Tuple[str, int]]:
+        """The bound address: the socket path, or ``(host, port)``."""
+        if self._socket_path is not None:
+            return self._socket_path
+        addr = self._listener.getsockname()
+        return (addr[0], addr[1])
+
+    # -- the loop ----------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Answer requests until a ``shutdown`` op or a cancel fires."""
+        sel = selectors.DefaultSelector()
+        sel.register(self._listener, selectors.EVENT_READ, "accept")
+        sel.register(self._wake_r, selectors.EVENT_READ, "cancel")
+        if self.cancel is not None:
+            sel.register(self.cancel.fileno(), selectors.EVENT_READ, "cancel")
+        drain_deadline: Optional[float] = None
+        try:
+            while True:
+                if self._shutting_down and not any(
+                    c.outbuf for c in self._conns.values()
+                ):
+                    return
+                if self._shutting_down:
+                    if drain_deadline is None:
+                        drain_deadline = time.monotonic() + _DRAIN_TIMEOUT
+                    elif time.monotonic() > drain_deadline:
+                        return
+                # Buffered complete lines (beyond a max_batch cut) must be
+                # served even if the socket stays silent.
+                backlog = any(c.lines for c in self._conns.values())
+                timeout = 0.0 if backlog else (0.1 if self._shutting_down else None)
+                events = sel.select(timeout)
+                for key, mask in events:
+                    tag = key.data
+                    if tag == "accept":
+                        self._accept(sel)
+                    elif tag == "cancel":
+                        self._begin_shutdown(sel)
+                    else:
+                        conn = self._conns.get(key.fd)
+                        if conn is None:
+                            continue
+                        if mask & selectors.EVENT_READ:
+                            self._on_readable(sel, conn)
+                        if key.fd in self._conns and mask & selectors.EVENT_WRITE:
+                            self._flush(sel, conn)
+                for conn in list(self._conns.values()):
+                    if conn.lines:
+                        self._serve_lines(sel, conn)
+        finally:
+            sel.close()
+            self.close()
+
+    def stop(self) -> None:
+        """Ask the loop to shut down; safe to call from any thread."""
+        self._shutting_down = True
+        with contextlib.suppress(OSError):
+            os.write(self._wake_w, b"s")
+
+    def close(self) -> None:
+        """Close the listener and every connection (idempotent)."""
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        for conn in list(self._conns.values()):
+            with contextlib.suppress(OSError):
+                conn.sock.close()
+        self._conns.clear()
+        for fd in (self._wake_r, self._wake_w):
+            if fd >= 0:
+                with contextlib.suppress(OSError):
+                    os.close(fd)
+        self._wake_r = self._wake_w = -1
+        if self._socket_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self._socket_path)
+
+    # -- connection handling ------------------------------------------------
+
+    def _accept(self, sel: selectors.BaseSelector) -> None:
+        if self._shutting_down:
+            return
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            conn = _Conn(sock)
+            self._conns[sock.fileno()] = conn
+            sel.register(sock, selectors.EVENT_READ, "conn")
+            reg = _obs.ACTIVE
+            if reg is not None:
+                reg.inc("serve.connections")
+
+    def _drop(self, sel: selectors.BaseSelector, conn: _Conn) -> None:
+        fd = conn.sock.fileno()
+        with contextlib.suppress(KeyError, ValueError):
+            sel.unregister(conn.sock)
+        self._conns.pop(fd, None)
+        with contextlib.suppress(OSError):
+            conn.sock.close()
+
+    def _on_readable(self, sel: selectors.BaseSelector, conn: _Conn) -> None:
+        try:
+            data = conn.sock.recv(_RECV_CHUNK)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._drop(sel, conn)
+            return
+        if not data:
+            self._drop(sel, conn)
+            return
+        conn.inbuf += data
+        while True:
+            newline = conn.inbuf.find(b"\n")
+            if newline < 0:
+                break
+            line = bytes(conn.inbuf[:newline])
+            del conn.inbuf[: newline + 1]
+            if line:
+                conn.lines.append(line)
+        if len(conn.inbuf) > self.max_line:
+            # Framing is broken (no newline within the cap): this stream
+            # cannot be re-synchronised, so answer once and hang up.
+            self._send(
+                sel,
+                conn,
+                protocol.error_response(
+                    None,
+                    protocol.KIND_BAD_REQUEST,
+                    f"no newline within {self.max_line} bytes",
+                ),
+            )
+            self._flush(sel, conn)
+            self._drop(sel, conn)
+
+    # -- request handling ----------------------------------------------------
+
+    def _serve_lines(self, sel: selectors.BaseSelector, conn: _Conn) -> None:
+        batch = conn.lines[: self.max_batch]
+        del conn.lines[: len(batch)]
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("serve.batches")
+        now = time.monotonic()
+        for line in batch:
+            response = self._handle_line(line, now)
+            self._send(sel, conn, response)
+            if self._shutting_down:
+                conn.lines.clear()
+                break
+        self._flush(sel, conn)
+
+    def _handle_line(self, line: bytes, now: float) -> Dict[str, Any]:
+        try:
+            obj = protocol.decode_line(line)
+        except ServeProtocolError as exc:
+            return self._error(None, protocol.KIND_BAD_REQUEST, str(exc))
+        return self._handle_request(obj, now, allow_batch=True)
+
+    def _handle_request(
+        self, obj: Dict[str, Any], now: float, *, allow_batch: bool
+    ) -> Dict[str, Any]:
+        request_id = obj.get("id")
+        op = obj.get("op")
+        if not isinstance(op, str):
+            return self._error(
+                request_id, protocol.KIND_BAD_REQUEST, "missing string 'op'"
+            )
+        if op not in protocol.OPS:
+            return self._error(
+                request_id, protocol.KIND_UNKNOWN_OP, f"unknown op {op!r}"
+            )
+        if self._shutting_down:
+            return self._error(
+                request_id, protocol.KIND_SHUTTING_DOWN, "server is shutting down"
+            )
+        started = time.perf_counter()
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("serve.requests")
+        with trace_span("serve.request"):
+            response = self._dispatch(request_id, op, obj, now, allow_batch)
+        elapsed = time.perf_counter() - started
+        self.state.latency["request"].record(elapsed)
+        if reg is not None:
+            reg.observe("serve.request_seconds", elapsed)
+        return response
+
+    def _dispatch(
+        self,
+        request_id: Any,
+        op: str,
+        obj: Dict[str, Any],
+        now: float,
+        allow_batch: bool,
+    ) -> Dict[str, Any]:
+        try:
+            deadline = protocol.request_deadline(obj, now)
+            self.state.check_deadline(deadline)
+            if op == "shutdown":
+                self._shutting_down = True
+                return protocol.ok_response(request_id, {"stopping": True})
+            if op == "batch":
+                if not allow_batch:
+                    raise ServeProtocolError("batch ops cannot nest")
+                requests = obj.get("requests")
+                if not isinstance(requests, list):
+                    raise ServeProtocolError("batch needs a 'requests' list")
+                responses = []
+                for sub in requests:
+                    if not isinstance(sub, dict):
+                        responses.append(
+                            self._error(
+                                None,
+                                protocol.KIND_BAD_REQUEST,
+                                "batch entries must be objects",
+                            )
+                        )
+                        continue
+                    responses.append(
+                        self._handle_request(sub, now, allow_batch=False)
+                    )
+                    if self._shutting_down:
+                        break
+                return protocol.ok_response(request_id, {"responses": responses})
+            result = self.state.handle(op, obj, deadline)
+            return protocol.ok_response(request_id, result)
+        except RequestDeadlineError as exc:
+            return self._error(request_id, protocol.KIND_DEADLINE, str(exc))
+        except AdmissionRejectedError as exc:
+            return self._error(request_id, protocol.KIND_ADMISSION, str(exc))
+        except ServeProtocolError as exc:
+            return self._error(request_id, protocol.KIND_BAD_REQUEST, str(exc))
+        except Exception as exc:  # a bug must not kill the resident loop
+            return self._error(
+                request_id, protocol.KIND_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+
+    def _error(self, request_id: Any, kind: str, message: str) -> Dict[str, Any]:
+        reg = _obs.ACTIVE
+        if reg is not None:
+            reg.inc("serve.errors")
+        return protocol.error_response(request_id, kind, message)
+
+    def _begin_shutdown(self, sel: selectors.BaseSelector) -> None:
+        self._shutting_down = True
+        with contextlib.suppress(OSError):
+            while os.read(self._wake_r, 64):
+                pass
+        with contextlib.suppress(KeyError, ValueError):
+            sel.unregister(self._wake_r)
+        if self.cancel is not None:
+            with contextlib.suppress(KeyError, ValueError):
+                sel.unregister(self.cancel.fileno())
+
+    # -- writing -------------------------------------------------------------
+
+    def _send(
+        self, sel: selectors.BaseSelector, conn: _Conn, message: Dict[str, Any]
+    ) -> None:
+        conn.outbuf += protocol.encode_message(message)
+
+    def _flush(self, sel: selectors.BaseSelector, conn: _Conn) -> None:
+        if not conn.outbuf:
+            return
+        try:
+            sent = conn.sock.send(conn.outbuf)
+            del conn.outbuf[:sent]
+        except BlockingIOError:
+            pass
+        except OSError:
+            self._drop(sel, conn)
+            return
+        events = selectors.EVENT_READ
+        if conn.outbuf:
+            events |= selectors.EVENT_WRITE
+        with contextlib.suppress(KeyError, ValueError):
+            sel.modify(conn.sock, events, "conn")

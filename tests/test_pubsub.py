@@ -164,6 +164,61 @@ class TestIncrementalConsistency:
         broker.subscribe({"astronomy"})
         assert broker.publish({"astronomy"}).matched == [4]
 
+    def test_reentrant_subscribe_during_publish_is_buffered(self, monkeypatch):
+        # A delivery handler subscribing mid-walk must not mutate
+        # node.children under the traversal: the insert is buffered and
+        # applied after the walk, so the new subscription is not matched
+        # by the in-flight event but is by the next one.
+        b = Broker()
+        first = b.subscribe({"common"})
+        b.publish({"common"})  # build the tree
+        tree = b._tree
+        real_is_live = Broker._is_live
+        added = []
+
+        def subscribing_is_live(self, sub_id):
+            if not added:
+                added.append(self.subscribe({"common"}))
+                assert self._tree is tree, "tree swapped mid-walk"
+                assert added[0] not in self._tree_members, (
+                    "reentrant subscribe mutated the tree under the walk"
+                )
+            return real_is_live(self, sub_id)
+
+        monkeypatch.setattr(Broker, "_is_live", subscribing_is_live)
+        delivery = b.publish({"common"})
+        monkeypatch.setattr(Broker, "_is_live", real_is_live)
+        assert added, "reentrant subscribe never triggered"
+        # The in-flight event does not see the buffered subscription.
+        assert delivery.matched == [first]
+        # The next publish does — applied exactly once, no duplicates.
+        follow_up = b.publish({"common"})
+        assert follow_up.matched == [first, added[0]]
+
+    def test_reentrant_subscribe_then_unsubscribe_mid_walk(self, monkeypatch):
+        # A buffered insert whose id is unsubscribed before the walk ends
+        # must be skipped entirely (it never reached the tree, so no
+        # tombstone may be counted for it either).
+        b = Broker()
+        first = b.subscribe({"common"})
+        b.publish({"common"})
+        real_is_live = Broker._is_live
+        fired = []
+
+        def churn_is_live(self, sub_id):
+            if not fired:
+                doomed = self.subscribe({"common"})
+                self.unsubscribe(doomed)
+                fired.append(doomed)
+            return real_is_live(self, sub_id)
+
+        monkeypatch.setattr(Broker, "_is_live", churn_is_live)
+        b.publish({"common"})
+        monkeypatch.setattr(Broker, "_is_live", real_is_live)
+        assert fired
+        assert b._tombstones == 0
+        assert b.publish({"common"}).matched == [first]
+
     def test_randomized_against_bruteforce(self):
         rng = random.Random(7)
         vocab = [f"w{i}" for i in range(12)]
@@ -184,3 +239,73 @@ class TestIncrementalConsistency:
                     sid for sid, kws in live.items() if kws <= event
                 )
                 assert b.publish(event).matched == expected
+
+
+class TestEmptyRegistryReset:
+    def test_last_unsubscribe_drops_tree(self, broker):
+        # Draining the registry entirely must drop the stale trie, not
+        # leave it holding tombstoned paths for ids that may be reused
+        # conceptually by later subscriptions.
+        broker.publish({"sports"})  # build the tree
+        for sub_id in range(4):
+            broker.unsubscribe(sub_id)
+        assert len(broker) == 0
+        assert broker._tree is None
+        assert broker._tombstones == 0
+        assert broker._tree_members == set()
+
+    def test_resubscribe_after_drain_matches(self, broker):
+        broker.publish({"sports"})
+        for sub_id in range(4):
+            broker.unsubscribe(sub_id)
+        new_id = broker.subscribe({"sports"})
+        assert broker.publish({"sports"}).matched == [new_id]
+        # And the incremental path keeps working on the fresh tree.
+        another = broker.subscribe({"sports", "tennis"})
+        d = broker.publish({"sports", "tennis"})
+        assert d.matched == [new_id, another]
+
+    def test_publish_on_drained_broker_drops_tree(self, broker):
+        broker.publish({"sports"})
+        for sub_id in range(4):
+            broker.unsubscribe(sub_id)
+        assert broker.publish({"sports"}).matched == []
+        assert broker._tree is None
+
+
+class TestMatchesCounterIsolation:
+    def test_matches_does_not_leak_into_registry(self, broker):
+        from repro.obs import MetricsRegistry
+        from repro.obs.registry import use_registry
+
+        with use_registry(MetricsRegistry()) as reg:
+            assert broker.matches({"politics"}) == [1]
+            # The read-only probe must not create the publish counters.
+            assert "pubsub.published" not in reg.counters
+            assert "pubsub.delivered" not in reg.counters
+
+    def test_matches_restores_prior_counter_values(self, broker):
+        from repro.obs import MetricsRegistry
+        from repro.obs.registry import use_registry
+
+        with use_registry(MetricsRegistry()) as reg:
+            broker.publish({"sports", "tennis", "politics"})
+            published = reg.counters["pubsub.published"]
+            delivered = reg.counters["pubsub.delivered"]
+            assert broker.matches({"politics"}) == [1]
+            assert reg.counters["pubsub.published"] == published
+            assert reg.counters["pubsub.delivered"] == delivered
+
+    def test_matches_rebuild_counters_still_count(self):
+        # matches() may legitimately trigger a tree build — that is a
+        # real state change and stays visible; only the publish/delivery
+        # tallies are shielded.
+        from repro.obs import MetricsRegistry
+        from repro.obs.registry import use_registry
+
+        b = Broker()
+        b.subscribe({"a"})
+        with use_registry(MetricsRegistry()) as reg:
+            assert b.matches({"a"}) == [0]
+            assert reg.counters.get("pubsub.rebuilds", 0) >= 1
+            assert "pubsub.published" not in reg.counters
