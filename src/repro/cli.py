@@ -19,7 +19,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .bench.report import format_measurements
 from .bench.runner import run_experiment
@@ -190,6 +190,22 @@ def build_parser() -> argparse.ArgumentParser:
                          "reaches BYTES (admission control)")
     p_serve.add_argument("--max-batch", type=int, default=64,
                          help="requests drained per connection per wake")
+    p_serve.add_argument("--data-dir", default=None, metavar="DIR",
+                         help="make the state durable: write-ahead-log every "
+                         "acknowledged write under DIR and recover the exact "
+                         "pre-crash state on restart")
+    p_serve.add_argument("--follow", default=None, metavar="ADDR",
+                         help="run as a warm-standby replica of the primary "
+                         "at ADDR (host:port, or a unix socket path); "
+                         "requires --data-dir, answers reads, refuses "
+                         "writes until promoted")
+    p_serve.add_argument("--snapshot-every", type=int, default=512,
+                         metavar="OPS",
+                         help="ops between snapshot checkpoints (with "
+                         "--data-dir)")
+    p_serve.add_argument("--poll-interval", type=float, default=0.05,
+                         metavar="SECONDS",
+                         help="replication poll cadence (with --follow)")
     p_serve.add_argument("--metrics", nargs="?", const="", default=None,
                          metavar="PATH",
                          help="collect serve.* counters and spans; prints "
@@ -401,6 +417,17 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_follow(addr: str) -> Dict[str, Any]:
+    """``host:port`` → TCP connect args; anything else is a socket path."""
+    host, sep, port_text = addr.rpartition(":")
+    if sep and host and "/" not in addr:
+        try:
+            return {"host": host, "port": int(port_text)}
+        except ValueError:
+            pass
+    return {"socket_path": addr}
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
@@ -411,6 +438,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if (args.socket is None) == (args.port is None):
         raise InvalidParameterError(
             "pass exactly one of --socket PATH or --port N"
+        )
+    if args.follow is not None and args.data_dir is None:
+        raise InvalidParameterError("--follow requires --data-dir")
+    if args.follow is not None and args.dataset is not None:
+        raise InvalidParameterError(
+            "--follow streams its state from the primary; "
+            "drop the dataset argument"
         )
     s_collection = None
     if args.dataset is not None:
@@ -425,13 +459,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     scope = use_registry(registry) if registry is not None else nullcontext()
     token = CancelToken()
     with scope:
-        state = ServeState(
-            s_collection,
-            backend=args.backend,
-            compact_ratio=args.compact_ratio,
-            delta_ratio=args.delta_ratio,
-            memory_budget=args.memory_budget,
-        )
+        replicator = None
+        if args.data_dir is not None:
+            from .faults import FaultPlan
+            from .serve.wal import DurableServeState
+
+            # The ambient REPRO_FAULTS spec reaches the log only here —
+            # in-process embedders pass an explicit plan or none at all.
+            state: ServeState = DurableServeState(
+                s_collection,
+                data_dir=args.data_dir,
+                backend=args.backend,
+                compact_ratio=args.compact_ratio,
+                delta_ratio=args.delta_ratio,
+                memory_budget=args.memory_budget,
+                plan=FaultPlan.from_env(),
+                snapshot_every=args.snapshot_every,
+            )
+            if args.follow is not None:
+                from .serve.replica import Replicator
+
+                replicator = Replicator(state, **_parse_follow(args.follow))
+        else:
+            state = ServeState(
+                s_collection,
+                backend=args.backend,
+                compact_ratio=args.compact_ratio,
+                delta_ratio=args.delta_ratio,
+                memory_budget=args.memory_budget,
+            )
         server = JoinServer(
             state,
             socket_path=args.socket,
@@ -439,6 +495,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             max_batch=args.max_batch,
             cancel=token,
+            tick=replicator.tick if replicator is not None else None,
+            tick_interval=args.poll_interval,
         )
         address = server.address
         if isinstance(address, tuple):
@@ -451,6 +509,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 server.serve_forever()
         finally:
             server.close()
+            if replicator is not None:
+                replicator.close()
+            if args.data_dir is not None:
+                state.shutdown_flush()
         if registry is not None:
             state.flush_latency_gauges(registry)
     if registry is not None:

@@ -25,8 +25,11 @@ __all__ = [
     "DegradedExecutionWarning",
     "ServeError",
     "ServeProtocolError",
+    "ServeConnectionError",
+    "ServeReadOnlyError",
     "AdmissionRejectedError",
     "RequestDeadlineError",
+    "WalError",
 ]
 
 
@@ -169,6 +172,36 @@ class AdmissionRejectedError(ServeError):
     the bytes would push the resident footprint past ``--memory-budget``.
     Mapped to ``error_kind: "admission_rejected"`` — clients may retry
     after deletes or a compaction shrink the footprint.
+    """
+
+
+class ServeConnectionError(ServeError):
+    """The client's transport to the server failed (connect, send, read).
+
+    A *transport* failure, distinct from a server-sent error response: the
+    request may or may not have been applied. :class:`ServeClient` retries
+    these — with capped backoff, and only for idempotent ops — when
+    ``retries=`` is enabled; everything else fails fast.
+    """
+
+
+class ServeReadOnlyError(ServeError):
+    """A mutating op was sent to a server that cannot accept writes.
+
+    Raised by a warm-standby replica (writes go to the primary until the
+    replica is promoted). Mapped to ``error_kind: "read_only"``.
+    """
+
+
+class WalError(ServeError):
+    """The serve write-ahead log could not append, sync, or replay.
+
+    Covers an append or fsync failure (after which the server degrades to
+    read-only: an op whose log record is not durable must never be
+    acknowledged), a replay divergence (a checksummed record re-applied to
+    the recovered state produced a different result), and a generation
+    fence refusal during replication. Mapped to ``error_kind:
+    "wal_error"``.
     """
 
 

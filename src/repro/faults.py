@@ -26,22 +26,34 @@ defined points of the worker lifecycle:
   the exit code — a dead machine), ``hang`` stops the node's heartbeats
   and sleeps (a live-but-wedged machine, caught only by heartbeat-miss
   detection), and ``slow`` sleeps while heartbeats *continue* (a healthy
-  straggler, caught only by runtime-quantile speculation).
+  straggler, caught only by runtime-quantile speculation);
+* **serve** — in the resident join service's write-ahead log
+  (:mod:`repro.serve.wal`), keyed on the op-log *sequence number*:
+  ``kill`` hard-exits the server right after a matching record is fsync'd
+  (the settle point: the write is durable but the ack never leaves),
+  ``torn`` writes a deliberately truncated log record and exits (a power
+  cut mid-append), ``diskfull`` makes the append raise ``ENOSPC`` (the
+  op is refused and the log degrades to read-only), and ``lag`` delays a
+  warm-standby replica's apply loop by ``arg`` seconds.
 
 Spec grammar (``REPRO_FAULTS`` environment variable or ``FaultPlan.parse``)::
 
     spec    = rule (";" rule)*          # "," also accepted as a separator
     rule    = chunk ":" attempt ":" action ["@" prob] ["=" arg]
             | "shard" ":" shard ":" shard_action ["@" prob] ["=" arg]
+            | "serve" [":" seq] ":" serve_action ["@" prob] ["=" arg]
     chunk   = int | "*"                 # chunk id (0-based) or any chunk
     attempt = int | "*"                 # attempt number (1-based) or any
     shard   = int | "*"                 # shard id (0-based) or any shard
+    seq     = int | "*"                 # op-log seq (1-based) or any record
     action  = "crash" | "hang" | "raise" | "shmfail"
             | "driverkill" | "diskfull" | "torn"
     shard_action = "kill" | "hang" | "slow"
-    arg     = float                     # hang/slow duration seconds, or for
+    serve_action = "kill" | "torn" | "diskfull" | "lag"
+    arg     = float                     # hang/slow/lag duration seconds; for
                                         # shard kill the last incarnation
-                                        # that still dies (respawns survive)
+                                        # that still dies, for serve kill the
+                                        # last *boot* that still dies
     prob    = float in (0, 1]           # fire probability (default 1)
 
 Unknown actions are rejected at parse time with an error naming the valid
@@ -51,7 +63,11 @@ chunk's first attempt); ``0:*:hang=120`` hangs chunk 0 on every attempt;
 ``1:*:driverkill`` kills the driver immediately after chunk 1's result is
 durably checkpointed; ``shard:0:kill=1`` kills shard 0's first incarnation
 at its first job pickup (its respawn completes normally);
-``shard:2:slow=30`` makes shard 2 a 30-second straggler on every job.
+``shard:2:slow=30`` makes shard 2 a 30-second straggler on every job;
+``serve:3:kill`` kills the serve process as op-log record 3 settles;
+``serve:kill=1`` (seq defaults to ``*``) kills a durable server at its
+first settle point, but only on its first boot — the recovered process
+survives, which is the restart-recovery test shape.
 
 Probabilistic rules stay **reproducible**: whether a rule fires is a pure
 function of ``(seed, chunk, attempt, action)`` hashed through SHA-256 —
@@ -77,6 +93,8 @@ __all__ = [
     "ACTIONS",
     "CHECKPOINT_ACTIONS",
     "SHARD_ACTIONS",
+    "SERVE_ACTIONS",
+    "STAGE_ACTIONS",
     "FAULTS_ENV",
     "FAULTS_SEED_ENV",
 ]
@@ -97,6 +115,20 @@ CHECKPOINT_ACTIONS = ("driverkill", "diskfull", "torn")
 #: Actions legal on the ``shard`` stage — they target a whole shard node
 #: (:mod:`repro.core.shard`), not one chunk attempt.
 SHARD_ACTIONS = ("kill", "hang", "slow")
+
+#: Actions legal on the ``serve`` stage — they target the resident join
+#: service's write-ahead log (:mod:`repro.serve.wal`), keyed on op-log seq.
+SERVE_ACTIONS = ("kill", "torn", "diskfull", "lag")
+
+#: The single stage registry: every stage a rule may carry, with its legal
+#: action set. ``FaultRule.__post_init__`` validates against this mapping
+#: and enumerates its keys in the unknown-stage error, so adding a stage
+#: cannot drift from the validation message again.
+STAGE_ACTIONS = {
+    "task": ACTIONS,
+    "shard": SHARD_ACTIONS,
+    "serve": SERVE_ACTIONS,
+}
 
 #: Exit code used by injected crashes, distinctive in worker exit status.
 CRASH_EXIT_CODE = 66
@@ -126,7 +158,9 @@ class FaultRule:
     ``stage="shard"`` rules reuse the ``chunk`` slot for the *shard id*
     (``attempt`` is always ``None`` for them) and carry a
     :data:`SHARD_ACTIONS` action; they fire when the named shard picks up
-    any job, whatever the chunk.
+    any job, whatever the chunk. ``stage="serve"`` rules reuse the slot
+    for the write-ahead-log *sequence number* (1-based) and carry a
+    :data:`SERVE_ACTIONS` action.
     """
 
     chunk: Optional[int]
@@ -137,21 +171,16 @@ class FaultRule:
     stage: str = "task"
 
     def __post_init__(self) -> None:
-        if self.stage == "shard":
-            if self.action not in SHARD_ACTIONS:
-                raise InvalidParameterError(
-                    f"unknown shard fault action {self.action!r}; "
-                    f"expected one of {SHARD_ACTIONS}"
-                )
-        elif self.stage == "task":
-            if self.action not in ACTIONS:
-                raise InvalidParameterError(
-                    f"unknown fault action {self.action!r}; "
-                    f"expected one of {ACTIONS}"
-                )
-        else:
+        legal = STAGE_ACTIONS.get(self.stage)
+        if legal is None:
             raise InvalidParameterError(
-                f"unknown fault stage {self.stage!r}; expected 'task' or 'shard'"
+                f"unknown fault stage {self.stage!r}; "
+                f"expected one of {tuple(sorted(STAGE_ACTIONS))}"
+            )
+        if self.action not in legal:
+            raise InvalidParameterError(
+                f"unknown {self.stage} fault action {self.action!r}; "
+                f"expected one of {legal}"
             )
         if not 0.0 < self.prob <= 1.0:
             raise InvalidParameterError(
@@ -168,6 +197,11 @@ class FaultRule:
     def matches_shard(self, shard_id: int) -> bool:
         return self.stage == "shard" and (
             self.chunk is None or self.chunk == shard_id
+        )
+
+    def matches_serve(self, seq: int) -> bool:
+        return self.stage == "serve" and (
+            self.chunk is None or self.chunk == seq
         )
 
 
@@ -187,22 +221,35 @@ def _parse_part(token: str, what: str) -> Optional[int]:
 
 def _parse_rule(text: str) -> FaultRule:
     parts = text.split(":")
-    if len(parts) != 3:
-        raise InvalidParameterError(
-            f"bad fault rule {text!r}: expected 'chunk:attempt:action[@prob][=arg]'"
-            " or 'shard:<id>:action[@prob][=arg]'"
-        )
     stage = "task"
     attempt: Optional[int] = None
-    if parts[0].strip() == "shard":
-        # The first field cannot collide with the chunk grammar: chunk ids
-        # are integers or '*', never the literal word "shard".
+    if parts and parts[0].strip() == "serve":
+        # Stage names cannot collide with the chunk grammar: chunk ids are
+        # integers or '*', never a stage word. The seq field is optional —
+        # ``serve:kill`` means any record, like ``serve:*:kill``.
+        stage = "serve"
+        if len(parts) == 2:
+            chunk = None
+        elif len(parts) == 3:
+            chunk = _parse_part(parts[1].strip(), "seq")
+        else:
+            raise InvalidParameterError(
+                f"bad fault rule {text!r}: expected "
+                "'serve[:seq]:action[@prob][=arg]'"
+            )
+    elif len(parts) != 3:
+        raise InvalidParameterError(
+            f"bad fault rule {text!r}: expected 'chunk:attempt:action[@prob][=arg]',"
+            " 'shard:<id>:action[@prob][=arg]'"
+            " or 'serve[:seq]:action[@prob][=arg]'"
+        )
+    elif parts[0].strip() == "shard":
         stage = "shard"
         chunk = _parse_part(parts[1].strip(), "shard")
     else:
         chunk = _parse_part(parts[0].strip(), "chunk")
         attempt = _parse_part(parts[1].strip(), "attempt")
-    action = parts[2].strip()
+    action = parts[-1].strip()
     arg: Optional[float] = None
     prob = 1.0
     if "=" in action:
@@ -360,6 +407,41 @@ class FaultPlan:
             return rule
         return None
 
+    def rule_for_serve(
+        self, seq: int, actions: Sequence[str], boots: int = 1
+    ) -> Optional[FaultRule]:
+        """The serve-stage rule (if any) firing for op-log record ``seq``.
+
+        Returned, not applied: ``kill``/``torn`` must interleave with the
+        append/fsync protocol itself, so :mod:`repro.serve.wal` interprets
+        the rule at the exact point each action models. A ``kill`` rule
+        with an ``arg`` fires only while ``boots <= arg`` — the durable
+        server counts its boots in the data-dir meta file, so
+        ``serve:kill=1`` kills the first boot at its first settle point
+        and lets the recovered process live (``torn`` gates on boots the
+        same way: both kill the process, so an ungated wildcard rule
+        would otherwise crash-loop every recovery). Probabilistic rules
+        hash ``(seed, "serve", seq, action)``; parent and recovered
+        processes agree deterministically on what fires where.
+        """
+        for rule in self.rules:
+            if rule.action not in actions or not rule.matches_serve(seq):
+                continue
+            if (
+                rule.action in ("kill", "torn")
+                and rule.arg is not None
+                and boots > rule.arg
+            ):
+                continue
+            if rule.prob < 1.0:
+                key = f"{self.seed}:serve:{seq}:{rule.action}".encode()
+                digest = hashlib.sha256(key).digest()
+                fraction = int.from_bytes(digest[:8], "big") / 2**64
+                if fraction >= rule.prob:
+                    continue
+            return rule
+        return None
+
     def rule_for_checkpoint(self, chunk: int, attempt: int) -> Optional[FaultRule]:
         """The driver-stage rule (if any) for this chunk's spill.
 
@@ -378,8 +460,8 @@ class FaultPlan:
             suffix = "" if rule.prob >= 1.0 else f"@{rule.prob}"
             if rule.arg is not None:
                 suffix += f"={rule.arg:g}"
-            if rule.stage == "shard":
-                return f"shard:{c}:{rule.action}{suffix}"
+            if rule.stage in ("shard", "serve"):
+                return f"{rule.stage}:{c}:{rule.action}{suffix}"
             a = "*" if rule.attempt is None else str(rule.attempt)
             return f"{c}:{a}:{rule.action}{suffix}"
 

@@ -473,6 +473,65 @@ class IncrementalPrefixTree:
             reg.inc("tree.trie_compactions")
         return self._epoch
 
+    # -- serialization -------------------------------------------------------
+
+    def dump_state(self) -> Dict[str, object]:
+        """The exact logical state as JSON-serializable primitives.
+
+        ``paths`` walks *every* end-marker — dead rids included, because
+        their nodes are still in the tree until the next compaction and
+        the node count is part of the byte-exact footprint. The
+        incremental tree is uncompressed (one element per node), so its
+        shape is a canonical function of this path set and
+        :meth:`restore_state` reproduces ``num_nodes`` exactly.
+        """
+        return {
+            "epoch": self._epoch,
+            "next_rid": self._next_rid,
+            "dead": sorted(self._dead),
+            "paths": [
+                [list(prefix), list(rids)]
+                for prefix, rids in self._tree.live_paths(frozenset())
+            ],
+        }
+
+    @classmethod
+    def restore_state(
+        cls,
+        payload: Dict[str, object],
+        *,
+        compact_ratio: float = 0.5,
+        auto_compact: bool = True,
+    ) -> "IncrementalPrefixTree":
+        """Rebuild the exact tree a :meth:`dump_state` payload captured.
+
+        Inserts go through :attr:`PrefixTree.insert` directly — the dense
+        monotone rid discipline of :meth:`insert` does not apply to a
+        replayed path set, whose rids arrive in tree order, not issue
+        order.
+        """
+        trie = cls(compact_ratio, auto_compact=auto_compact)
+        paths = payload["paths"]
+        universe = 0
+        for prefix, _rids in paths:  # type: ignore[union-attr]
+            if prefix:
+                universe = max(universe, int(prefix[-1]) + 1)
+        trie._order.extend_to(universe)
+        for prefix, rids in paths:  # type: ignore[union-attr]
+            elements = tuple(int(e) for e in prefix)
+            for rid in rids:
+                trie._tree.insert(elements, int(rid))
+        trie._dead = {int(rid) for rid in payload["dead"]}  # type: ignore[union-attr]
+        seen = {
+            int(rid)
+            for _prefix, rids in paths  # type: ignore[union-attr]
+            for rid in rids
+        }
+        trie._members = seen - trie._dead
+        trie._next_rid = int(payload["next_rid"])  # type: ignore[arg-type]
+        trie._epoch = int(payload["epoch"])  # type: ignore[arg-type]
+        return trie
+
     # -- reading ------------------------------------------------------------
 
     def snapshot(self) -> TrieSnapshot:

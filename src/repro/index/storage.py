@@ -54,6 +54,7 @@ from typing import (
     Dict,
     FrozenSet,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
@@ -1248,6 +1249,11 @@ class IncrementalIndex:
         self._base, self._base_sids = self._build_base()
         self._delta = DeltaSegment()
         self._tombstones: Set[int] = set()
+        # Tombstoned records keep their payload here until the next
+        # compaction: the frozen base still carries their postings, and
+        # :meth:`dump_state` must serialize the base *content* (not just
+        # the live view) to reproduce identical CSR arrays on restore.
+        self._dead_records: Dict[int, Tuple[int, ...]] = {}
         self._epoch = 0
 
     def _build_base(self) -> Tuple[CSRInvertedIndex, np.ndarray]:
@@ -1330,9 +1336,11 @@ class IncrementalIndex:
 
     def delete(self, sid: int) -> bool:
         """Tombstone one sid; True if it was live (no-op otherwise)."""
-        if self._live.pop(sid, None) is None:
+        record = self._live.pop(sid, None)
+        if record is None:
             return False
         self._tombstones.add(sid)
+        self._dead_records[sid] = record
         reg = _obs.ACTIVE
         if reg is not None:
             reg.inc("index.incremental_deletes")
@@ -1351,11 +1359,89 @@ class IncrementalIndex:
         self._base, self._base_sids = self._build_base()
         self._delta = DeltaSegment()
         self._tombstones = set()
+        self._dead_records = {}
         self._epoch += 1
         reg = _obs.ACTIVE
         if reg is not None:
             reg.inc("index.incremental_compactions")
         return self._epoch
+
+    # -- serialization -------------------------------------------------------
+
+    def dump_state(self) -> Dict[str, object]:
+        """The exact logical state as JSON-serializable primitives.
+
+        ``base`` lists the records the frozen base was built from — the
+        live-at-last-compaction set, *including* records tombstoned since
+        (their postings are still packed in the CSR arrays, so they are
+        part of the byte-exact footprint). ``delta`` lists every record
+        appended since the last compaction, tombstoned or not, in append
+        order. :meth:`restore_state` replays this into a structurally
+        identical index: same arrays, same ``nbytes``, same epoch.
+        """
+        base: List[List[object]] = []
+        for sid in self._base_sids.tolist():
+            record = self._live.get(sid)
+            if record is None:
+                record = self._delta.records.get(sid)
+            if record is None:
+                record = self._dead_records[sid]
+            base.append([sid, list(record)])
+        return {
+            "epoch": self._epoch,
+            "next_sid": self._next_sid,
+            "base": base,
+            "delta": [
+                [sid, list(record)]
+                for sid, record in self._delta.records.items()
+            ],
+            "tombstones": sorted(self._tombstones),
+        }
+
+    @classmethod
+    def restore_state(
+        cls,
+        payload: Mapping[str, object],
+        *,
+        backend: str = "csr",
+        compact_ratio: float = 0.5,
+        delta_ratio: float = 0.25,
+        auto_compact: bool = True,
+        dense_threshold: Optional[int] = None,
+    ) -> "IncrementalIndex":
+        """Rebuild the exact index a :meth:`dump_state` payload captured.
+
+        Construction order mirrors the live history: the base is built
+        from the dumped base records alone, the delta is re-appended on
+        top, then tombstones are re-applied — so postings, ``base_sids``
+        and the delta's token counts come out identical without ever
+        consulting the auto-compaction triggers.
+        """
+        index = cls(
+            None,
+            backend=backend,
+            compact_ratio=compact_ratio,
+            delta_ratio=delta_ratio,
+            auto_compact=auto_compact,
+            dense_threshold=dense_threshold,
+        )
+        index._live = {
+            int(sid): tuple(int(e) for e in record)
+            for sid, record in payload["base"]  # type: ignore[union-attr]
+        }
+        index._base, index._base_sids = index._build_base()
+        for sid, record in payload["delta"]:  # type: ignore[union-attr]
+            rec = tuple(int(e) for e in record)
+            index._live[int(sid)] = rec
+            index._delta.append(int(sid), rec)
+        for sid in payload["tombstones"]:  # type: ignore[union-attr]
+            record = index._live.pop(int(sid), None)
+            index._tombstones.add(int(sid))
+            if record is not None:
+                index._dead_records[int(sid)] = record
+        index._next_sid = int(payload["next_sid"])  # type: ignore[arg-type]
+        index._epoch = int(payload["epoch"])  # type: ignore[arg-type]
+        return index
 
     # -- reading ------------------------------------------------------------
 

@@ -39,6 +39,10 @@ SPAN_CATALOGUE = frozenset(
         "pubsub.rebuild",  # broker subscription-tree rebuild (compaction)
         "serve.request",  # one request dispatched by the resident server
         "serve.compact",  # an explicit compact op on the resident structures
+        "wal.replay",  # recovery replay of the op-log tail past the snapshot
+        "wal.snapshot",  # one atomic snapshot checkpoint write
+        "replica.poll",  # one wal_fetch poll-and-apply step of a replica
+        "replica.promote",  # failover: a replica taking over as primary
     }
 )
 
@@ -146,4 +150,22 @@ COUNTER_CATALOGUE = {
     "serve.publish_p99_ms": "publish latency p99 gauge (ring window)",
     "serve.query_p50_ms": "query latency p50 gauge (ring window)",
     "serve.query_p99_ms": "query latency p99 gauge (ring window)",
+    "serve.read_only_rejections": "writes refused by a read-only replica",
+    # -- wal.*: the serve write-ahead log --
+    "wal.appends": "op records appended to the write-ahead log",
+    "wal.bytes_appended": "bytes appended to the write-ahead log",
+    "wal.fsyncs": "group-commit fsyncs (one per drained request batch)",
+    "wal.last_seq": "last appended-and-synced log sequence gauge",
+    "wal.append_errors": "append/fsync failures degrading the log to read-only",
+    "wal.records_replayed": "log records re-applied during recovery",
+    "wal.torn_tail_truncated": "torn log tails truncated on recovery",
+    "wal.snapshots_written": "snapshot checkpoints atomically written",
+    "wal.snapshot_fallbacks": "unusable snapshots degraded to full-log replay",
+    # -- replica.*: warm-standby replication --
+    "replica.polls": "wal_fetch polls issued against the primary",
+    "replica.records_applied": "streamed records applied in sid-lockstep",
+    "replica.poll_errors": "polls that failed (transport or refusal)",
+    "replica.fenced": "streams refused by the generation/lineage fence",
+    "replica.promotions": "replicas promoted to primary",
+    "replica.lag_records": "records behind the primary gauge",
 }

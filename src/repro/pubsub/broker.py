@@ -258,6 +258,76 @@ class Broker:
                 self._tree_members.add(sub_id)
         self._pending_inserts.clear()
 
+    # -- serialization -------------------------------------------------------
+
+    def dump_state(self) -> Dict[str, object]:
+        """The exact logical state as JSON-serializable primitives.
+
+        ``keywords`` lists the dictionary's vocabulary in id order, so the
+        restored broker assigns the same encoded id to every keyword
+        regardless of hash-iteration order in the restoring process. The
+        lazily built subscription tree (when present) is serialized as its
+        encoded path set — cancelled members' paths included, because they
+        stay in the tree until compaction and count toward the footprint.
+        """
+        tree: Optional[Dict[str, object]] = None
+        if self._tree is not None:
+            tree = {
+                "paths": [
+                    [list(prefix), list(rids)]
+                    for prefix, rids in self._tree.live_paths(frozenset())
+                ],
+                "members": sorted(self._tree_members),
+                "tombstones": self._tombstones,
+            }
+        subscriptions = []
+        for sub in self._subscriptions.values():
+            encoded = sorted(self._dictionary.encode(k) for k in sub.keywords)
+            subscriptions.append(
+                [sub.sub_id, [self._dictionary.decode(e) for e in encoded]]
+            )
+        return {
+            "keywords": [
+                self._dictionary.decode(eid)
+                for eid in range(len(self._dictionary))
+            ],
+            "subscriptions": subscriptions,
+            "next_id": self._next_id,
+            "published": self.published,
+            "delivered": self.delivered,
+            "tree": tree,
+        }
+
+    @classmethod
+    def restore_state(
+        cls, payload: Dict[str, object], *, compact_ratio: float = 0.5
+    ) -> "Broker":
+        """Rebuild the exact broker a :meth:`dump_state` payload captured."""
+        broker = cls(compact_ratio)
+        for keyword in payload["keywords"]:  # type: ignore[union-attr]
+            broker._dictionary.encode(keyword)
+        for sub_id, keywords in payload["subscriptions"]:  # type: ignore[union-attr]
+            broker._subscriptions[int(sub_id)] = Subscription(
+                int(sub_id), frozenset(keywords)
+            )
+        broker._next_id = int(payload["next_id"])  # type: ignore[arg-type]
+        broker.published = int(payload["published"])  # type: ignore[arg-type]
+        broker.delivered = int(payload["delivered"])  # type: ignore[arg-type]
+        dumped_tree = payload["tree"]
+        if dumped_tree is not None:
+            order = GlobalOrder(list(range(len(broker._dictionary))), "element_id")
+            tree = PrefixTree(order)
+            for prefix, rids in dumped_tree["paths"]:  # type: ignore[index]
+                elements = tuple(int(e) for e in prefix)
+                for rid in rids:
+                    tree.insert(elements, int(rid))
+            broker._tree = tree
+            broker._tree_members = {
+                int(rid) for rid in dumped_tree["members"]  # type: ignore[index]
+            }
+            broker._tombstones = int(dumped_tree["tombstones"])  # type: ignore[index]
+        return broker
+
     def _is_live(self, sub_id: int) -> bool:
         # The seam the matching walk filters tombstones through; kept as a
         # method so delivery-time cancellation (tests included) has a

@@ -4,18 +4,29 @@ Used by the test suite, the CI smoke job, and scripting against a local
 ``lcjoin serve``. One request, one response, in order — the server
 answers lines in the order it reads them, so a blocking client needs no
 id bookkeeping beyond pairing for sanity.
+
+Transport failures raise :class:`~repro.errors.ServeConnectionError`.
+With ``retries=`` the client reconnects and retries them — with capped
+exponential backoff, and **only for idempotent ops**
+(:data:`_IDEMPOTENT_OPS`): a write whose connection died mid-roundtrip
+may or may not have been applied, so retrying it could double-apply;
+those fail fast and leave the decision to the caller.
 """
 
 from __future__ import annotations
 
 import socket
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import (
     AdmissionRejectedError,
     RequestDeadlineError,
+    ServeConnectionError,
     ServeError,
     ServeProtocolError,
+    ServeReadOnlyError,
+    WalError,
 )
 from . import protocol
 
@@ -29,7 +40,13 @@ _KIND_TO_ERROR = {
     protocol.KIND_ADMISSION: AdmissionRejectedError,
     protocol.KIND_INTERNAL: ServeError,
     protocol.KIND_SHUTTING_DOWN: ServeError,
+    protocol.KIND_READ_ONLY: ServeReadOnlyError,
+    protocol.KIND_WAL: WalError,
 }
+
+#: Ops safe to resend after a transport failure: they mutate nothing, so
+#: an invisible first delivery costs nothing.
+_IDEMPOTENT_OPS = frozenset({"ping", "stats", "query", "metrics"})
 
 
 class ServeClient:
@@ -46,32 +63,67 @@ class ServeClient:
         host: str = "127.0.0.1",
         port: Optional[int] = None,
         timeout: float = 30.0,
+        retries: int = 0,
+        retry_backoff: float = 0.05,
+        retry_backoff_cap: float = 1.0,
     ) -> None:
         if (socket_path is None) == (port is None):
             raise ServeError("pass exactly one of socket_path or port")
-        try:
-            if socket_path is not None:
-                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                sock.settimeout(timeout)
-                sock.connect(socket_path)
-            else:
-                sock = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise ServeError(f"cannot connect to the serve socket: {exc}") from exc
-        self._sock = sock
-        self._rfile = sock.makefile("rb")
+        if retries < 0:
+            raise ServeError(f"retries must be >= 0, got {retries}")
+        if retry_backoff <= 0 or retry_backoff_cap < retry_backoff:
+            raise ServeError(
+                "retry_backoff must be positive and <= retry_backoff_cap, "
+                f"got {retry_backoff}/{retry_backoff_cap}"
+            )
+        self._socket_path = socket_path
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
+        self._sock: Optional[socket.socket] = None
+        self._rfile: Optional[Any] = None
         self._next_id = 0
+        self._connect()
 
     # -- lifecycle -----------------------------------------------------------
 
-    def close(self) -> None:
+    def _connect(self) -> None:
         try:
-            self._rfile.close()
+            if self._socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self._timeout)
+                sock.connect(self._socket_path)
+            else:
+                sock = socket.create_connection(
+                    (self._host, self._port), timeout=self._timeout
+                )
+        except OSError as exc:
+            raise ServeConnectionError(
+                f"cannot connect to the serve socket: {exc}"
+            ) from exc
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def _disconnect(self) -> None:
+        rfile, self._rfile = self._rfile, None
+        sock, self._sock = self._sock, None
+        try:
+            if rfile is not None:
+                rfile.close()
+        except OSError:
+            pass
         finally:
-            try:
-                self._sock.close()
-            except OSError:
-                pass
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        self._disconnect()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -91,10 +143,27 @@ class ServeClient:
         """Send one request, wait for its response, return the result.
 
         Error responses are raised as the matching :mod:`repro.errors`
-        type (see ``_KIND_TO_ERROR``).
+        type (see ``_KIND_TO_ERROR``). Transport failures
+        (:class:`~repro.errors.ServeConnectionError`) are retried up to
+        ``retries`` times with capped exponential backoff — but only for
+        the idempotent ops; a non-idempotent op fails fast on the first
+        transport error.
         """
-        response = self._roundtrip(self._envelope(op, deadline_ms, params))
-        return self._unwrap(response)
+        attempts = self.retries if op in _IDEMPOTENT_OPS else 0
+        delay = self.retry_backoff
+        while True:
+            try:
+                response = self._roundtrip(
+                    self._envelope(op, deadline_ms, params)
+                )
+            except ServeConnectionError:
+                if attempts <= 0:
+                    raise
+                attempts -= 1
+                time.sleep(delay)
+                delay = min(delay * 2.0, self.retry_backoff_cap)
+                continue
+            return self._unwrap(response)
 
     def batch(
         self, requests: Sequence[Tuple[str, Dict[str, Any]]]
@@ -125,13 +194,19 @@ class ServeClient:
         return obj
 
     def _roundtrip(self, obj: Dict[str, Any]) -> Dict[str, Any]:
+        if self._sock is None:
+            self._connect()  # lazy reconnect after a dropped transport
         try:
             self._sock.sendall(protocol.encode_message(obj))
             line = self._rfile.readline(protocol.MAX_LINE_BYTES + 1)
         except OSError as exc:
-            raise ServeError(f"serve connection failed: {exc}") from exc
+            self._disconnect()
+            raise ServeConnectionError(f"serve connection failed: {exc}") from exc
         if not line.endswith(b"\n"):
-            raise ServeError("server closed the connection mid-response")
+            self._disconnect()
+            raise ServeConnectionError(
+                "server closed the connection mid-response"
+            )
         return protocol.decode_line(line.rstrip(b"\n"))
 
     @staticmethod
@@ -188,3 +263,11 @@ class ServeClient:
 
     def shutdown(self) -> Dict[str, Any]:
         return self.request("shutdown")
+
+    def wal_fetch(
+        self, after_seq: int = 0, max_records: int = 512
+    ) -> Dict[str, Any]:
+        return self.request("wal_fetch", after_seq=after_seq, max=max_records)
+
+    def promote(self) -> Dict[str, Any]:
+        return self.request("promote")

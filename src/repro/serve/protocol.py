@@ -62,6 +62,8 @@ OPS = frozenset(
         "metrics",
         "batch",
         "shutdown",
+        "wal_fetch",
+        "promote",
     }
 )
 
@@ -71,6 +73,8 @@ KIND_DEADLINE = "deadline_exceeded"
 KIND_ADMISSION = "admission_rejected"
 KIND_INTERNAL = "internal"
 KIND_SHUTTING_DOWN = "shutting_down"
+KIND_READ_ONLY = "read_only"
+KIND_WAL = "wal_error"
 
 ERROR_KINDS = frozenset(
     {
@@ -80,6 +84,8 @@ ERROR_KINDS = frozenset(
         KIND_ADMISSION,
         KIND_INTERNAL,
         KIND_SHUTTING_DOWN,
+        KIND_READ_ONLY,
+        KIND_WAL,
     }
 )
 

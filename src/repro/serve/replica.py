@@ -1,0 +1,243 @@
+"""Warm-standby replication: follow a primary's op log, promote on death.
+
+A replica is a :class:`~repro.serve.wal.DurableServeState` started in
+read-only mode (``lcjoin serve --follow <addr>``) plus a
+:class:`Replicator` ticked by the server's event loop. Each tick polls
+the primary with the ordinary ``wal_fetch`` op — replication rides the
+existing NDJSON protocol, no side channel — and applies the fetched
+records in sequence lockstep: log first (the record's content is already
+fixed by the primary), then re-apply the op and insist on the recorded
+result. The replica therefore answers read-only queries from a state
+that is *provably* a prefix of the primary's.
+
+Failover is :meth:`Replicator.promote`: a best-effort final catch-up,
+stop following, bump the log **generation**, append a ``promote`` control
+record under the new generation, checkpoint, and start taking writes.
+The generation is the fence — every record carries it, and both
+:meth:`~repro.serve.wal.WriteAheadLog.append_replicated` and recovery
+refuse records from a generation behind the local one, so a deposed
+primary that comes back cannot push its stale lineage into the new one;
+it must re-seed from an empty data-dir. Divergence the fence cannot see
+from one record (a dead primary resurrected with *extra* unreplicated
+records) is caught by the lag check: a primary whose ``last_seq`` is
+behind ours is not our primary anymore.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import Any, Dict, Optional
+
+from ..errors import (
+    DegradedExecutionWarning,
+    ServeConnectionError,
+    ServeError,
+    WalError,
+)
+from ..obs import registry as _obs
+from ..obs.spans import trace_span
+from .client import ServeClient
+from .wal import DurableServeState, WalRecord
+
+__all__ = ["Replicator"]
+
+#: Default sleep injected by a ``serve:lag`` fault with no ``=arg``.
+DEFAULT_LAG_SECONDS = 0.2
+
+#: How many records one ``wal_fetch`` asks for (byte-capped server-side).
+DEFAULT_FETCH_LIMIT = 512
+
+
+class Replicator:
+    """The follow-the-primary loop attached to one replica state.
+
+    Constructing it flips the state into its replica role (read-only,
+    ``promote`` armed). :meth:`tick` is cheap when there is nothing to
+    do and never raises — transport errors are counted and retried on
+    the next tick (the primary being down is the *expected* failure
+    here), while a fence or divergence permanently stops following.
+    """
+
+    def __init__(
+        self,
+        state: DurableServeState,
+        *,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 10.0,
+        fetch_limit: int = DEFAULT_FETCH_LIMIT,
+    ) -> None:
+        self.state = state
+        self.wal = state.wal
+        self._connect_args = {
+            "socket_path": socket_path,
+            "host": host,
+            "port": port,
+            "timeout": timeout,
+        }
+        self._client: Optional[ServeClient] = None
+        self.fetch_limit = fetch_limit
+        self.following = True
+        state.role = "replica"
+        state.read_only = True
+        state.replicator = self
+
+    # -- the poll loop -----------------------------------------------------
+
+    def tick(self) -> None:
+        """One replication step; safe to call from the event loop."""
+        if not self.following:
+            return
+        reg = _obs.ACTIVE
+        try:
+            self._poll()
+        except ServeConnectionError:
+            # The primary is unreachable — dead, restarting, or not yet
+            # up. Keep trying: a recovered primary resumes the stream,
+            # and a dead one is handled by an explicit promote.
+            self._drop_client()
+            if reg is not None:
+                reg.inc("replica.poll_errors")
+        except WalError as exc:
+            self._drop_client()
+            self.following = False
+            if reg is not None:
+                reg.inc("replica.poll_errors")
+            warnings.warn(
+                f"replication stopped: {exc}",
+                DegradedExecutionWarning,
+                stacklevel=2,
+            )
+        except ServeError as exc:
+            # A server-sent error (e.g. the peer is not durable and has
+            # no wal_fetch): following it is pointless.
+            self._drop_client()
+            self.following = False
+            if reg is not None:
+                reg.inc("replica.poll_errors")
+            warnings.warn(
+                f"replication stopped: the primary refused wal_fetch ({exc})",
+                DegradedExecutionWarning,
+                stacklevel=2,
+            )
+
+    def _poll(self) -> None:
+        client = self._ensure_client()
+        reg = _obs.ACTIVE
+        with trace_span("replica.poll"):
+            if reg is not None:
+                reg.inc("replica.polls")
+            while self.following:
+                out = client.request(
+                    "wal_fetch",
+                    after_seq=self.wal.last_seq,
+                    max=self.fetch_limit,
+                )
+                generation = int(out.get("generation", 0))
+                last_seq = int(out.get("last_seq", 0))
+                if generation < self.wal.generation:
+                    self._fence(
+                        reg,
+                        f"the polled primary reports generation {generation}, "
+                        f"behind local generation {self.wal.generation} — it "
+                        "is a deposed primary, not ours",
+                    )
+                    return
+                if last_seq < self.wal.last_seq:
+                    self._fence(
+                        reg,
+                        f"the polled primary's log ends at seq {last_seq}, "
+                        f"behind local seq {self.wal.last_seq} — divergent "
+                        "lineage; re-seed this replica from an empty data-dir",
+                    )
+                    return
+                records = out.get("records") or []
+                if not records:
+                    if reg is not None:
+                        reg.set_gauge(
+                            "replica.lag_records",
+                            float(last_seq - self.wal.last_seq),
+                        )
+                    return
+                plan = self.wal.plan
+                if plan is not None:
+                    first_seq = self.wal.last_seq + 1
+                    rule = plan.rule_for_serve(first_seq, ("lag",))
+                    if rule is not None:
+                        time.sleep(
+                            rule.arg if rule.arg is not None else DEFAULT_LAG_SECONDS
+                        )
+                for wire in records:
+                    self.state.apply_replica(WalRecord.from_wire(wire))
+                self.wal.sync()
+                if reg is not None:
+                    reg.set_gauge(
+                        "replica.lag_records",
+                        float(max(0, last_seq - self.wal.last_seq)),
+                    )
+                if self.wal.last_seq >= last_seq:
+                    return
+
+    def _fence(self, reg: Any, why: str) -> None:
+        if reg is not None:
+            reg.inc("replica.fenced")
+        self.following = False
+        self._drop_client()
+        warnings.warn(
+            f"replication fenced: {why}",
+            DegradedExecutionWarning,
+            stacklevel=3,
+        )
+
+    # -- failover ----------------------------------------------------------
+
+    def promote(self) -> Dict[str, Any]:
+        """Take over as primary: catch up, fence the old lineage, open writes.
+
+        The generation bump *is* the fence: the ``promote`` control record
+        and everything after it carry ``generation + 1``, so the old
+        primary's unreplicated suffix (same seqs, old generation) can
+        never be spliced into this log, and the old primary itself is
+        refused if it ever tries to follow or re-feed us.
+        """
+        with trace_span("replica.promote"):
+            if self.following:
+                try:
+                    self._poll()  # best-effort final catch-up
+                except WalError:
+                    raise  # a forked local state must not take writes
+                except ServeError:
+                    pass  # a dead primary is exactly why we are promoting
+            self.following = False
+            self._drop_client()
+            self.wal.generation += 1
+            self.wal.append("promote", {"generation": self.wal.generation}, None)
+            self.wal.sync()
+            self.state.read_only = False
+            self.state.role = "primary"
+            self.state.checkpoint()
+            reg = _obs.ACTIVE
+            if reg is not None:
+                reg.inc("replica.promotions")
+            return {
+                "promoted": True,
+                "generation": self.wal.generation,
+                "last_seq": self.wal.last_seq,
+            }
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _ensure_client(self) -> ServeClient:
+        if self._client is None:
+            self._client = ServeClient(**self._connect_args)
+        return self._client
+
+    def _drop_client(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            client.close()
+
+    def close(self) -> None:
+        self._drop_client()

@@ -22,7 +22,7 @@ import os
 import selectors
 import socket
 import time
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.runlog import CancelToken
 from ..errors import (
@@ -30,6 +30,8 @@ from ..errors import (
     RequestDeadlineError,
     ServeError,
     ServeProtocolError,
+    ServeReadOnlyError,
+    WalError,
 )
 from ..obs import registry as _obs
 from ..obs.spans import trace_span
@@ -76,15 +78,23 @@ class JoinServer:
         max_batch: int = 64,
         max_line: int = protocol.MAX_LINE_BYTES,
         cancel: Optional[CancelToken] = None,
+        tick: Optional[Callable[[], None]] = None,
+        tick_interval: float = 0.05,
     ) -> None:
         if (socket_path is None) == (port is None):
             raise ServeError("pass exactly one of socket_path or port")
         if max_batch <= 0:
             raise ServeError(f"max_batch must be positive, got {max_batch}")
+        if tick_interval <= 0:
+            raise ServeError(
+                f"tick_interval must be positive, got {tick_interval}"
+            )
         self.state = state
         self.max_batch = max_batch
         self.max_line = max_line
         self.cancel = cancel
+        self._tick = tick
+        self.tick_interval = tick_interval
         self._conns: Dict[int, _Conn] = {}
         self._shutting_down = False
         self._socket_path = socket_path
@@ -131,6 +141,9 @@ class JoinServer:
         if self.cancel is not None:
             sel.register(self.cancel.fileno(), selectors.EVENT_READ, "cancel")
         drain_deadline: Optional[float] = None
+        next_tick = (
+            time.monotonic() + self.tick_interval if self._tick else None
+        )
         try:
             while True:
                 if self._shutting_down and not any(
@@ -146,6 +159,11 @@ class JoinServer:
                 # served even if the socket stays silent.
                 backlog = any(c.lines for c in self._conns.values())
                 timeout = 0.0 if backlog else (0.1 if self._shutting_down else None)
+                if next_tick is not None:
+                    # A periodic tick (the replication poll) must not wait
+                    # behind an unbounded select.
+                    budget = max(0.0, next_tick - time.monotonic())
+                    timeout = budget if timeout is None else min(timeout, budget)
                 events = sel.select(timeout)
                 for key, mask in events:
                     tag = key.data
@@ -164,6 +182,16 @@ class JoinServer:
                 for conn in list(self._conns.values()):
                     if conn.lines:
                         self._serve_lines(sel, conn)
+                if next_tick is not None and self._tick is not None:
+                    now = time.monotonic()
+                    if now >= next_tick:
+                        try:
+                            self._tick()
+                        except Exception:  # a tick bug must not kill the loop
+                            reg = _obs.ACTIVE
+                            if reg is not None:
+                                reg.inc("serve.errors")
+                        next_tick = now + self.tick_interval
         finally:
             sel.close()
             self.close()
@@ -263,12 +291,31 @@ class JoinServer:
         if reg is not None:
             reg.inc("serve.batches")
         now = time.monotonic()
+        responses: List[Dict[str, Any]] = []
         for line in batch:
-            response = self._handle_line(line, now)
-            self._send(sel, conn, response)
+            responses.append(self._handle_line(line, now))
             if self._shutting_down:
                 conn.lines.clear()
                 break
+        # Group commit: the state's durability sync covers the whole
+        # drained batch, and no acknowledgement reaches the wire before
+        # it (for the in-memory state this is a no-op). A failed sync
+        # voids every ok response in the batch — those ops are applied in
+        # memory but their log records are not durable, so acknowledging
+        # them would be a lie the next recovery exposes.
+        try:
+            self.state.sync()
+        except WalError as exc:
+            responses = [
+                response
+                if not response.get("ok")
+                else self._error(
+                    response.get("id"), protocol.KIND_WAL, str(exc)
+                )
+                for response in responses
+            ]
+        for response in responses:
+            self._send(sel, conn, response)
         self._flush(sel, conn)
 
     def _handle_line(self, line: bytes, now: float) -> Dict[str, Any]:
@@ -352,6 +399,10 @@ class JoinServer:
             return self._error(request_id, protocol.KIND_ADMISSION, str(exc))
         except ServeProtocolError as exc:
             return self._error(request_id, protocol.KIND_BAD_REQUEST, str(exc))
+        except ServeReadOnlyError as exc:
+            return self._error(request_id, protocol.KIND_READ_ONLY, str(exc))
+        except WalError as exc:
+            return self._error(request_id, protocol.KIND_WAL, str(exc))
         except Exception as exc:  # a bug must not kill the resident loop
             return self._error(
                 request_id, protocol.KIND_INTERNAL, f"{type(exc).__name__}: {exc}"

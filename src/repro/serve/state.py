@@ -174,6 +174,19 @@ class ServeState:
             "metrics": self._op_metrics,
         }
 
+    # -- durability hook ------------------------------------------------------
+
+    def sync(self) -> None:
+        """Make every acknowledged-but-buffered write durable.
+
+        A no-op here: the in-memory state has no durability. The event
+        loop calls this after draining a request batch and *before*
+        flushing the responses, so a durable subclass
+        (:class:`~repro.serve.wal.DurableServeState`) gets group-commit
+        semantics — one fsync per drained batch, never an ack on the wire
+        before its log record is on disk.
+        """
+
     # -- admission control ---------------------------------------------------
 
     def resident_bytes(self) -> int:

@@ -717,6 +717,37 @@ class TestAtomicWrites:
         )
         assert findings == []
 
+    def test_serve_durability_modules_in_scope(self, tmp_path):
+        # PR 10 extended the scope to the serve durability layer: the same
+        # raw write that RL601 flags in the run log is flagged there too.
+        for rel in ("src/repro/serve/wal.py", "src/repro/serve/replica.py"):
+            findings = _lint_source(
+                tmp_path,
+                """
+                def save(path, data):
+                    with open(path, "w") as handle:
+                        handle.write(data)
+                """,
+                rel=rel,
+            )
+            assert _codes(findings) == ["RL601"], rel
+            assert "atomic_write_bytes" in findings[0].message
+
+    def test_marker_suppresses_in_serve_scope(self, tmp_path):
+        findings = _lint_source(
+            tmp_path,
+            """
+            import os
+
+            def append(path, line):
+                fd = os.open(path, os.O_WRONLY | os.O_APPEND)  # lint: atomic-write (checksummed append-only log)
+                os.write(fd, line)
+                os.close(fd)
+            """,
+            rel="src/repro/serve/wal.py",
+        )
+        assert findings == []
+
 
 # -- driver plumbing -------------------------------------------------------
 

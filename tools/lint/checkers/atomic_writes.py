@@ -1,14 +1,16 @@
-"""RL601 — the run log only writes through the atomic-rename helper.
+"""RL601 — durability modules only write through the atomic-rename helper.
 
-``core/runlog.py`` is the durability layer: every byte it persists must
-survive a crash at any instruction boundary, which is why all writes
-funnel through ``atomic_write_bytes`` (write a temp file, ``fsync`` it,
-``os.replace`` over the destination, ``fsync`` the directory). A direct
-``open(path, "w")`` sprinkled into the module later would reintroduce
-torn files that every durability test happens to miss — the window is
-microseconds wide — so the invariant is enforced statically instead.
+``core/runlog.py``, ``serve/wal.py`` and ``serve/replica.py`` are the
+durability layers: every byte they persist must survive a crash at any
+instruction boundary, which is why all writes funnel through
+``atomic_write_bytes`` (write a temp file, ``fsync`` it, ``os.replace``
+over the destination, ``fsync`` the directory). A direct
+``open(path, "w")`` sprinkled into one of these modules later would
+reintroduce torn files that every durability test happens to miss — the
+window is microseconds wide — so the invariant is enforced statically
+instead.
 
-Inside ``core/runlog.py`` a finding is raised for
+Inside the scoped modules a finding is raised for
 
 * builtin ``open(...)`` whose mode contains ``w``/``a``/``x``/``+`` —
   or whose mode is not a string literal (unverifiable ⇒ flagged);
@@ -20,8 +22,10 @@ Read-only opens (``open(path)``, ``open(path, "rb")``) pass. Other
 modules are out of scope — they have no durability contract.
 
 Suppress with ``# lint: atomic-write (why)``. The only legitimate
-suppressions are inside the atomic helper itself and the fault-injection
-path that *deliberately* writes a torn spill.
+suppressions are inside the atomic helper itself, the fault-injection
+path that *deliberately* writes a torn spill, and the write-ahead log's
+append path — whose durability protocol is per-record checksums plus
+torn-tail truncation rather than write-temp-rename.
 """
 
 from __future__ import annotations
@@ -34,7 +38,11 @@ from ..base import Checker, Finding, LintedFile
 CODE = "RL601"
 MARKER = "atomic-write"
 
-_SCOPE_SUFFIX = "core/runlog.py"
+_SCOPE_SUFFIXES = (
+    "core/runlog.py",
+    "serve/wal.py",
+    "serve/replica.py",
+)
 _WRITE_MODE_CHARS = frozenset("wax+")
 _WRITE_FLAGS = frozenset(
     {"O_WRONLY", "O_RDWR", "O_APPEND", "O_CREAT", "O_TRUNC"}
@@ -43,7 +51,7 @@ _WRITE_METHODS = frozenset({"write_text", "write_bytes"})
 
 
 def _in_scope(linted: LintedFile) -> bool:
-    return linted.rel.endswith(_SCOPE_SUFFIX)
+    return linted.rel.endswith(_SCOPE_SUFFIXES)
 
 
 def _open_mode(node: ast.Call) -> ast.expr | None:
@@ -91,7 +99,7 @@ def check(linted: LintedFile) -> List[Finding]:
                 linted.finding(
                     node,
                     CODE,
-                    f"{detail} in the run log bypasses the atomic "
+                    f"{detail} in a durability module bypasses the atomic "
                     "write-temp/fsync/rename protocol; route the write "
                     "through atomic_write_bytes",
                 )
@@ -109,8 +117,8 @@ def check(linted: LintedFile) -> List[Finding]:
                     linted.finding(
                         node,
                         CODE,
-                        "os.open(...) with write flags in the run log "
-                        "bypasses the atomic write-temp/fsync/rename "
+                        "os.open(...) with write flags in a durability "
+                        "module bypasses the atomic write-temp/fsync/rename "
                         "protocol; route the write through "
                         "atomic_write_bytes",
                     )
@@ -122,7 +130,7 @@ def check(linted: LintedFile) -> List[Finding]:
                 linted.finding(
                     node,
                     CODE,
-                    f".{func.attr}(...) in the run log bypasses the "
+                    f".{func.attr}(...) in a durability module bypasses the "
                     "atomic write-temp/fsync/rename protocol; route the "
                     "write through atomic_write_bytes",
                 )
@@ -133,7 +141,7 @@ def check(linted: LintedFile) -> List[Finding]:
 CHECKER = Checker(
     code=CODE,
     name="atomic-writes",
-    description="the run log writes only through the atomic-rename helper",
+    description="durability modules write only through the atomic-rename helper",
     run=check,
     marker=MARKER,
 )
